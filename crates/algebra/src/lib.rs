@@ -1,0 +1,361 @@
+//! # iql-algebra — the complex-object algebra baseline
+//!
+//! An executable algebra over *complex values* (no oids): constants, finite
+//! tuples, finite sets — the complex-object data models the paper
+//! generalizes (Thomas–Fischer, Abiteboul–Beeri; Sections 2.3 and 3.4).
+//! The flagship operations are **nest**, **unnest**, and **powerset**
+//! (Example 3.4.1/3.4.2's comparison points): IQL expresses each with
+//! invented oids, and the benchmarks compare the two realizations.
+//!
+//! Values reuse the model crate's [`Constant`] and [`AttrName`]; a complex
+//! value is exactly an oid-free [`iql_model::OValue`], and [`to_ovalue`] /
+//! [`from_ovalue`] convert between the two.
+
+use iql_model::{AttrName, Constant, OValue};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A complex value: constant, tuple, or set — an o-value without oids.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A constant from `D`.
+    Const(Constant),
+    /// A finite tuple.
+    Tuple(BTreeMap<AttrName, Value>),
+    /// A finite, duplicate-free set.
+    Set(BTreeSet<Value>),
+}
+
+impl Value {
+    /// A string constant.
+    pub fn str(s: &str) -> Value {
+        Value::Const(Constant::str(s))
+    }
+
+    /// An integer constant.
+    pub fn int(i: i64) -> Value {
+        Value::Const(Constant::int(i))
+    }
+
+    /// A tuple from pairs.
+    pub fn tuple<I, A>(fields: I) -> Value
+    where
+        I: IntoIterator<Item = (A, Value)>,
+        A: Into<AttrName>,
+    {
+        Value::Tuple(fields.into_iter().map(|(a, v)| (a.into(), v)).collect())
+    }
+
+    /// A set from elements.
+    pub fn set<I: IntoIterator<Item = Value>>(elems: I) -> Value {
+        Value::Set(elems.into_iter().collect())
+    }
+
+    /// The empty set.
+    pub fn empty_set() -> Value {
+        Value::Set(BTreeSet::new())
+    }
+
+    /// Tuple field access.
+    pub fn field(&self, a: AttrName) -> Option<&Value> {
+        match self {
+            Value::Tuple(f) => f.get(&a),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", to_ovalue(self))
+    }
+}
+
+/// Converts a complex value into the (oid-free) o-value representation.
+pub fn to_ovalue(v: &Value) -> OValue {
+    match v {
+        Value::Const(c) => OValue::Const(c.clone()),
+        Value::Tuple(fields) => {
+            OValue::Tuple(fields.iter().map(|(a, v)| (*a, to_ovalue(v))).collect())
+        }
+        Value::Set(elems) => OValue::Set(elems.iter().map(to_ovalue).collect()),
+    }
+}
+
+/// Converts an oid-free o-value into a complex value; `None` if any oid
+/// occurs (oids have no meaning in the value-based algebra).
+pub fn from_ovalue(v: &OValue) -> Option<Value> {
+    match v {
+        OValue::Const(c) => Some(Value::Const(c.clone())),
+        OValue::Oid(_) => None,
+        OValue::Tuple(fields) => {
+            let mut out = BTreeMap::new();
+            for (a, fv) in fields {
+                out.insert(*a, from_ovalue(fv)?);
+            }
+            Some(Value::Tuple(out))
+        }
+        OValue::Set(elems) => {
+            let mut out = BTreeSet::new();
+            for e in elems {
+                out.insert(from_ovalue(e)?);
+            }
+            Some(Value::Set(out))
+        }
+    }
+}
+
+/// A relation: a duplicate-free set of complex values (usually tuples).
+pub type Rel = BTreeSet<Value>;
+
+/// σ — selection by predicate.
+pub fn select<F: Fn(&Value) -> bool>(rel: &Rel, pred: F) -> Rel {
+    rel.iter().filter(|v| pred(v)).cloned().collect()
+}
+
+/// π — projection of tuples onto `attrs` (non-tuples and tuples missing an
+/// attribute are dropped).
+pub fn project(rel: &Rel, attrs: &[AttrName]) -> Rel {
+    rel.iter()
+        .filter_map(|v| match v {
+            Value::Tuple(fields) => {
+                let mut out = BTreeMap::new();
+                for a in attrs {
+                    out.insert(*a, fields.get(a)?.clone());
+                }
+                Some(Value::Tuple(out))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// ⋈ — natural join on common attributes.
+pub fn join(left: &Rel, right: &Rel) -> Rel {
+    let mut out = Rel::new();
+    for l in left {
+        let Value::Tuple(lf) = l else { continue };
+        for r in right {
+            let Value::Tuple(rf) = r else { continue };
+            let compatible = lf.iter().all(|(a, v)| rf.get(a).is_none_or(|rv| rv == v));
+            if compatible {
+                let mut merged = lf.clone();
+                for (a, v) in rf {
+                    merged.insert(*a, v.clone());
+                }
+                out.insert(Value::Tuple(merged));
+            }
+        }
+    }
+    out
+}
+
+/// ∪ — union.
+pub fn union(a: &Rel, b: &Rel) -> Rel {
+    a.union(b).cloned().collect()
+}
+
+/// − — difference.
+pub fn difference(a: &Rel, b: &Rel) -> Rel {
+    a.difference(b).cloned().collect()
+}
+
+/// ∩ — intersection.
+pub fn intersect(a: &Rel, b: &Rel) -> Rel {
+    a.intersection(b).cloned().collect()
+}
+
+/// A per-element map (the restricted "replace" of complex-object algebras).
+pub fn map<F: Fn(&Value) -> Value>(rel: &Rel, f: F) -> Rel {
+    rel.iter().map(f).collect()
+}
+
+/// ν — nest: groups tuples by all attributes except `nested`, collecting
+/// the `nested` values of each group into a set stored under `nested`
+/// (Example 3.4.1's `nest R2 into R3`).
+///
+/// ```
+/// use iql_algebra::{nest, unnest, Rel, Value};
+/// let flat: Rel = [("k", 1), ("k", 2), ("m", 3)]
+///     .iter()
+///     .map(|(a, b)| Value::tuple([("a", Value::str(a)), ("b", Value::int(*b))]))
+///     .collect();
+/// let grouped = nest(&flat, "b".into());
+/// assert_eq!(grouped.len(), 2);
+/// assert_eq!(unnest(&grouped, "b".into()), flat);
+/// ```
+pub fn nest(rel: &Rel, nested: AttrName) -> Rel {
+    let mut groups: BTreeMap<BTreeMap<AttrName, Value>, BTreeSet<Value>> = BTreeMap::new();
+    for v in rel {
+        let Value::Tuple(fields) = v else { continue };
+        let Some(nval) = fields.get(&nested) else {
+            continue;
+        };
+        let mut key = fields.clone();
+        key.remove(&nested);
+        groups.entry(key).or_default().insert(nval.clone());
+    }
+    groups
+        .into_iter()
+        .map(|(mut key, set)| {
+            key.insert(nested, Value::Set(set));
+            Value::Tuple(key)
+        })
+        .collect()
+}
+
+/// μ — unnest: replaces the set-valued attribute `nested` by one tuple per
+/// element (Example 3.4.1's `unnest R1 into R2`). Tuples whose `nested`
+/// field is not a set are dropped.
+pub fn unnest(rel: &Rel, nested: AttrName) -> Rel {
+    let mut out = Rel::new();
+    for v in rel {
+        let Value::Tuple(fields) = v else { continue };
+        let Some(Value::Set(elems)) = fields.get(&nested) else {
+            continue;
+        };
+        for e in elems {
+            let mut t = fields.clone();
+            t.insert(nested, e.clone());
+            out.insert(Value::Tuple(t));
+        }
+    }
+    out
+}
+
+/// The powerset of a set of values — the expensive operation of the LDM and
+/// Abiteboul–Beeri algebras (Section 3.4): exponential in the input size.
+pub fn powerset(rel: &Rel) -> BTreeSet<Rel> {
+    let elems: Vec<&Value> = rel.iter().collect();
+    assert!(
+        elems.len() < usize::BITS as usize,
+        "powerset of {} elements would overflow",
+        elems.len()
+    );
+    let mut out = BTreeSet::new();
+    for mask in 0..(1usize << elems.len()) {
+        let subset: Rel = elems
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, v)| (*v).clone())
+            .collect();
+        out.insert(subset);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: &str) -> AttrName {
+        AttrName::new(n)
+    }
+
+    fn pairs(data: &[(&str, &str)]) -> Rel {
+        data.iter()
+            .map(|(x, y)| Value::tuple([("a", Value::str(x)), ("b", Value::str(y))]))
+            .collect()
+    }
+
+    #[test]
+    fn select_project() {
+        let r = pairs(&[("k1", "v1"), ("k2", "v2")]);
+        let sel = select(&r, |v| v.field(a("a")) == Some(&Value::str("k1")));
+        assert_eq!(sel.len(), 1);
+        let proj = project(&r, &[a("a")]);
+        assert_eq!(proj.len(), 2);
+        assert!(proj.contains(&Value::tuple([("a", Value::str("k1"))])));
+    }
+
+    #[test]
+    fn natural_join() {
+        let r = pairs(&[("k1", "v1"), ("k2", "v2")]);
+        let s: Rel = [("v1", "z1"), ("v2", "z2"), ("v9", "z9")]
+            .iter()
+            .map(|(b, c)| Value::tuple([("b", Value::str(b)), ("c", Value::str(c))]))
+            .collect();
+        let j = join(&r, &s);
+        assert_eq!(j.len(), 2);
+        for v in &j {
+            let Value::Tuple(f) = v else { panic!() };
+            assert_eq!(f.len(), 3);
+        }
+    }
+
+    #[test]
+    fn join_with_no_common_attrs_is_product() {
+        let r: Rel = [
+            Value::tuple([("a", Value::int(1))]),
+            Value::tuple([("a", Value::int(2))]),
+        ]
+        .into_iter()
+        .collect();
+        let s: Rel = [Value::tuple([("b", Value::int(3))])].into_iter().collect();
+        assert_eq!(join(&r, &s).len(), 2);
+    }
+
+    #[test]
+    fn nest_unnest_inverse_on_grouped_data() {
+        let flat = pairs(&[("k1", "v1"), ("k1", "v2"), ("k2", "v3")]);
+        let nested = nest(&flat, a("b"));
+        assert_eq!(nested.len(), 2);
+        assert!(nested.contains(&Value::tuple([
+            ("a", Value::str("k1")),
+            ("b", Value::set([Value::str("v1"), Value::str("v2")])),
+        ])));
+        let back = unnest(&nested, a("b"));
+        assert_eq!(back, flat);
+    }
+
+    #[test]
+    fn unnest_drops_empty_sets() {
+        // unnest(nest(R)) = R holds, but nest(unnest(S)) ≠ S when S has
+        // empty-set groups — the classic asymmetry.
+        let s: Rel = [Value::tuple([
+            ("a", Value::str("k")),
+            ("b", Value::empty_set()),
+        ])]
+        .into_iter()
+        .collect();
+        assert!(unnest(&s, a("b")).is_empty());
+    }
+
+    #[test]
+    fn powerset_sizes() {
+        let r: Rel = (0..4).map(Value::int).collect();
+        assert_eq!(powerset(&r).len(), 16);
+        assert_eq!(powerset(&Rel::new()).len(), 1);
+    }
+
+    #[test]
+    fn set_ops() {
+        let r: Rel = (0..3).map(Value::int).collect();
+        let s: Rel = (2..5).map(Value::int).collect();
+        assert_eq!(union(&r, &s).len(), 5);
+        assert_eq!(intersect(&r, &s).len(), 1);
+        assert_eq!(difference(&r, &s).len(), 2);
+    }
+
+    #[test]
+    fn ovalue_roundtrip() {
+        let v = Value::tuple([
+            ("name", Value::str("x")),
+            ("tags", Value::set([Value::int(1), Value::int(2)])),
+        ]);
+        let ov = to_ovalue(&v);
+        assert_eq!(from_ovalue(&ov), Some(v));
+        // Oids don't convert.
+        let with_oid = OValue::oid(iql_model::Oid::from_raw(1));
+        assert_eq!(from_ovalue(&with_oid), None);
+    }
+
+    #[test]
+    fn map_applies_per_element() {
+        let r: Rel = (0..3).map(Value::int).collect();
+        let m = map(&r, |v| Value::set([v.clone()]));
+        assert_eq!(m.len(), 3);
+        assert!(m.contains(&Value::set([Value::int(0)])));
+    }
+}

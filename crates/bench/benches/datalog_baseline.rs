@@ -1,0 +1,54 @@
+//! E11 — Datalog-in-IQL vs the dedicated relational engines (Section 3.4 /
+//! Section 5): same transitive closure, three evaluators. The expected
+//! shape: semi-naive < naive < IQL's naive inflationary evaluator, with
+//! the gap growing in n. Also the `eval_indexing` ablation (DESIGN.md §5.2):
+//! the IQL evaluator with scan indexes on vs off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iql_bench::{bench_config, edge_instance, random_digraph};
+use iql_core::eval::run;
+use iql_core::programs::transitive_closure_program;
+use iql_model::Constant;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let iql_tc = transitive_closure_program();
+    let dl =
+        iql_datalog::parse_program("Tc(x, y) :- Edge(x, y). Tc(x, z) :- Tc(x, y), Edge(y, z).")
+            .unwrap();
+    let mut group = c.benchmark_group("datalog_baseline");
+    group.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let edges = random_digraph(n, 2 * n, 3);
+        let input = edge_instance(&iql_tc, "Edge", ("src", "dst"), &edges);
+        group.bench_with_input(BenchmarkId::new("iql", n), &input, |b, i| {
+            b.iter(|| run(&iql_tc, i, &cfg).unwrap());
+        });
+        let mut no_index = cfg.clone();
+        no_index.use_index = false;
+        group.bench_with_input(BenchmarkId::new("iql_no_index", n), &input, |b, i| {
+            b.iter(|| run(&iql_tc, i, &no_index).unwrap());
+        });
+        let mut naive_iql = cfg.clone();
+        naive_iql.use_seminaive = false;
+        group.bench_with_input(BenchmarkId::new("iql_naive", n), &input, |b, i| {
+            b.iter(|| run(&iql_tc, i, &naive_iql).unwrap());
+        });
+
+        let mut db = iql_datalog::Database::new();
+        for (s, d) in &edges {
+            db.insert("Edge", vec![Constant::str(s), Constant::str(d)])
+                .unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("dl_naive", n), &db, |b, db| {
+            b.iter(|| iql_datalog::eval_naive(&dl, db).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("dl_seminaive", n), &db, |b, db| {
+            b.iter(|| iql_datalog::eval_seminaive(&dl, db).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E2 — Example 1.2: graph relation → cyclic class representation.
+//!
+//! Regenerates the scaling series of the paper's flagship transformation:
+//! one P-oid per node, successors grouped through a temporary set-valued
+//! class, weak assignment closing the cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iql_bench::{bench_config, edge_instance, random_digraph};
+use iql_core::eval::run;
+use iql_core::programs::{class_to_graph_program, graph_to_class_program};
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let encode = graph_to_class_program();
+    let decode = class_to_graph_program();
+    let mut group = c.benchmark_group("graph_transform");
+    group.sample_size(10);
+    for n in [10usize, 30, 100] {
+        let edges = random_digraph(n, 2 * n, 7);
+        let input = edge_instance(&encode, "R", ("src", "dst"), &edges);
+        group.bench_with_input(BenchmarkId::new("encode", n), &input, |b, input| {
+            b.iter(|| run(&encode, input, &cfg).unwrap());
+        });
+        let encoded = run(&encode, &input, &cfg).unwrap();
+        let back_in = encoded.output.project(&decode.input).unwrap();
+        group.bench_with_input(BenchmarkId::new("decode", n), &back_in, |b, back_in| {
+            b.iter(|| run(&decode, back_in, &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E3 — Example 3.4.1: nest/unnest in IQL (invented oids) vs the
+//! complex-object algebra's direct ν/μ operators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iql_bench::{bench_config, edge_instance, grouped_pairs};
+use iql_core::eval::run;
+use iql_core::programs::{nest_program, unnest_program};
+use iql_model::{Instance, RelName};
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let nest_p = nest_program();
+    let unnest_p = unnest_program();
+    let mut group = c.benchmark_group("nest_unnest");
+    group.sample_size(10);
+    for keys in [10usize, 30, 100] {
+        let pairs = grouped_pairs(keys, 8);
+        let input = edge_instance(&nest_p, "R2", ("a", "b"), &pairs);
+        group.bench_with_input(BenchmarkId::new("iql_nest", keys), &input, |b, input| {
+            b.iter(|| run(&nest_p, input, &cfg).unwrap());
+        });
+
+        let rel: iql_algebra::Rel = pairs
+            .iter()
+            .map(|(a, b)| {
+                iql_algebra::Value::tuple([
+                    ("a", iql_algebra::Value::str(a)),
+                    ("b", iql_algebra::Value::str(b)),
+                ])
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("algebra_nest", keys), &rel, |b, rel| {
+            b.iter(|| iql_algebra::nest(rel, "b".into()));
+        });
+
+        // Unnest the nested forms.
+        let nested = run(&nest_p, &input, &cfg).unwrap();
+        let mut back_in = Instance::new(Arc::clone(&unnest_p.input));
+        for v in nested.output.relation(RelName::new("R3")).unwrap() {
+            back_in
+                .insert_unchecked(RelName::new("R1"), v.clone())
+                .unwrap();
+        }
+        group.bench_with_input(
+            BenchmarkId::new("iql_unnest", keys),
+            &back_in,
+            |b, back_in| {
+                b.iter(|| run(&unnest_p, back_in, &cfg).unwrap());
+            },
+        );
+        let alg_nested = iql_algebra::nest(&rel, "b".into());
+        group.bench_with_input(
+            BenchmarkId::new("algebra_unnest", keys),
+            &alg_nested,
+            |b, alg_nested| {
+                b.iter(|| iql_algebra::unnest(alg_nested, "b".into()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

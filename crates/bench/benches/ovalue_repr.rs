@@ -1,0 +1,81 @@
+//! Ablation (DESIGN.md §5.1): interned-name + canonical-BTree o-values vs a
+//! naive string-keyed representation — compares construction, comparison,
+//! and set-dedup cost on the tuple shapes IQL joins over.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iql_model::OValue;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The strawman: string-keyed tuples, no interning.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum NaiveValue {
+    Str(String),
+    Tuple(BTreeMap<String, NaiveValue>),
+}
+
+fn make_ovalues(n: usize) -> Vec<OValue> {
+    (0..n)
+        .map(|i| {
+            OValue::tuple([
+                ("src", OValue::str(&format!("node{}", i % 97))),
+                ("dst", OValue::str(&format!("node{}", (i * 7) % 97))),
+            ])
+        })
+        .collect()
+}
+
+fn make_naive(n: usize) -> Vec<NaiveValue> {
+    (0..n)
+        .map(|i| {
+            NaiveValue::Tuple(BTreeMap::from([
+                (
+                    "src".to_string(),
+                    NaiveValue::Str(format!("node{}", i % 97)),
+                ),
+                (
+                    "dst".to_string(),
+                    NaiveValue::Str(format!("node{}", (i * 7) % 97)),
+                ),
+            ]))
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ovalue_repr");
+    group.sample_size(20);
+    for n in [1000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("interned_build_dedup", n), &n, |b, &n| {
+            b.iter(|| {
+                let set: BTreeSet<OValue> = make_ovalues(n).into_iter().collect();
+                set.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive_build_dedup", n), &n, |b, &n| {
+            b.iter(|| {
+                let set: BTreeSet<NaiveValue> = make_naive(n).into_iter().collect();
+                set.len()
+            });
+        });
+        let ovals = make_ovalues(n);
+        group.bench_with_input(BenchmarkId::new("interned_sort", n), &ovals, |b, v| {
+            b.iter(|| {
+                let mut v = v.clone();
+                v.sort();
+                v.len()
+            });
+        });
+        let navals = make_naive(n);
+        group.bench_with_input(BenchmarkId::new("naive_sort", n), &navals, |b, v| {
+            b.iter(|| {
+                let mut v = v.clone();
+                v.sort();
+                v.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E4 — Example 3.4.2: the powerset three ways — range-restricted IQL with
+//! invented oids, the non-range-restricted `X = X` program (enumeration
+//! fallback), and the algebra's direct operator. All exponential; the
+//! benchmark pins the 2^n *shape*.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iql_bench::{bench_config, unary_instance, universe};
+use iql_core::eval::run;
+use iql_core::programs::{powerset_program, powerset_unrestricted_program};
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let constructive = powerset_program();
+    let unrestricted = powerset_unrestricted_program();
+    let mut group = c.benchmark_group("powerset");
+    group.sample_size(10);
+    for n in [2usize, 4, 6] {
+        let vals = universe(n);
+        // The constructive program invents Θ(4^n) oids — cap it lower.
+        if n <= 4 {
+            let i1 = unary_instance(&constructive, "R", "a", &vals);
+            group.bench_with_input(BenchmarkId::new("iql_oids", n), &i1, |b, i| {
+                b.iter(|| run(&constructive, i, &cfg).unwrap());
+            });
+        }
+        let i2 = unary_instance(&unrestricted, "R", "a", &vals);
+        group.bench_with_input(BenchmarkId::new("iql_enum", n), &i2, |b, i| {
+            b.iter(|| run(&unrestricted, i, &cfg).unwrap());
+        });
+        let rel: iql_algebra::Rel = vals.iter().map(|v| iql_algebra::Value::str(v)).collect();
+        group.bench_with_input(BenchmarkId::new("algebra", n), &rel, |b, rel| {
+            b.iter(|| iql_algebra::powerset(rel));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E10 — Theorem 5.4: IQLrr programs evaluate in PTIME. The benchmark
+//! produces the polynomial scaling series for transitive closure (an IQLrr
+//! program) over chains and random digraphs; contrast with the exponential
+//! `powerset` bench.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iql_bench::{bench_config, chain, edge_instance, random_digraph};
+use iql_core::eval::run;
+use iql_core::programs::transitive_closure_program;
+use iql_core::sublang::{classify, SubLanguage};
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let tc = transitive_closure_program();
+    assert_eq!(classify(&tc), SubLanguage::Iqlrr);
+    let mut group = c.benchmark_group("ptime_shape");
+    group.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let input = edge_instance(&tc, "Edge", ("src", "dst"), &chain(n, "c"));
+        group.bench_with_input(BenchmarkId::new("tc_chain", n), &input, |b, i| {
+            b.iter(|| run(&tc, i, &cfg).unwrap());
+        });
+        let input = edge_instance(&tc, "Edge", ("src", "dst"), &random_digraph(n, 2 * n, 3));
+        group.bench_with_input(BenchmarkId::new("tc_random", n), &input, |b, i| {
+            b.iter(|| run(&tc, i, &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

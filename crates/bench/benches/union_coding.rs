@@ -1,0 +1,65 @@
+//! E5 — Example 3.4.3: union-type encode/decode over random cyclic
+//! P-instances, including the O-isomorphism verification of losslessness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iql_bench::bench_config;
+use iql_core::eval::run;
+use iql_core::programs::{union_decode_program, union_encode_program};
+use iql_model::{ClassName, Instance, OValue};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn random_union_instance(prog: &iql_core::Program, n: usize, seed: u64) -> Instance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut inst = Instance::new(Arc::clone(&prog.input));
+    let p = ClassName::new("P");
+    let oids: Vec<_> = (0..n).map(|_| inst.create_oid(p).unwrap()).collect();
+    for &o in &oids {
+        if rng.gen_bool(0.5) {
+            inst.define_value(o, OValue::oid(oids[rng.gen_range(0..n)]))
+                .unwrap();
+        } else {
+            inst.define_value(
+                o,
+                OValue::tuple([
+                    ("A1", OValue::oid(oids[rng.gen_range(0..n)])),
+                    ("A2", OValue::oid(oids[rng.gen_range(0..n)])),
+                ]),
+            )
+            .unwrap();
+        }
+    }
+    inst
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let enc = union_encode_program();
+    let dec = union_decode_program();
+    let mut group = c.benchmark_group("union_coding");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let input = random_union_instance(&enc, n, 42);
+        group.bench_with_input(BenchmarkId::new("encode", n), &input, |b, i| {
+            b.iter(|| run(&enc, i, &cfg).unwrap());
+        });
+        let encoded = run(&enc, &input, &cfg).unwrap();
+        let back_in = encoded.output.project(&dec.input).unwrap();
+        group.bench_with_input(BenchmarkId::new("decode", n), &back_in, |b, i| {
+            b.iter(|| run(&dec, i, &cfg).unwrap());
+        });
+        let decoded = run(&dec, &back_in, &cfg).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("iso_check", n),
+            &(decoded.output.clone(), input.clone()),
+            |b, (d, i)| {
+                b.iter(|| assert!(iql_model::iso::are_o_isomorphic(d, i)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E13 — Section 7 / Figure 2: φ and ψ translations and bisimulation
+//! equality over rings of mutually-referencing pure values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iql_model::{AttrName, ClassName, Constant, TypeExpr};
+use iql_vtree::{phi, psi, vinstances_equal, Node, VInstance, VSchema};
+
+fn ring_schema() -> VSchema {
+    VSchema::new([(
+        ClassName::new("Bnode"),
+        TypeExpr::tuple([
+            ("label", TypeExpr::base()),
+            ("next", TypeExpr::set_of(TypeExpr::class("Bnode"))),
+        ]),
+    )])
+    .unwrap()
+}
+
+fn ring(schema: &VSchema, n: usize) -> VInstance {
+    let mut vinst = VInstance::new(schema);
+    let slots: Vec<_> = (0..n).map(|_| vinst.forest.reserve()).collect();
+    for i in 0..n {
+        let label = vinst.forest.add_const(Constant::str(&format!("p{i}")));
+        let next = vinst.forest.add_set([slots[(i + 1) % n]]);
+        vinst.forest.set_node(
+            slots[i],
+            Node::Tuple(
+                [("label", label), ("next", next)]
+                    .map(|(a, id)| (AttrName::new(a), id))
+                    .into(),
+            ),
+        );
+        vinst.add(ClassName::new("Bnode"), slots[i]);
+    }
+    vinst
+}
+
+fn bench(c: &mut Criterion) {
+    let schema = ring_schema();
+    let mut group = c.benchmark_group("vtree_roundtrip");
+    group.sample_size(10);
+    for n in [8usize, 32, 128] {
+        let vinst = ring(&schema, n);
+        group.bench_with_input(BenchmarkId::new("phi", n), &vinst, |b, v| {
+            b.iter(|| phi(&schema, v).unwrap());
+        });
+        let (obj, _) = phi(&schema, &vinst).unwrap();
+        group.bench_with_input(BenchmarkId::new("psi", n), &obj, |b, o| {
+            b.iter(|| psi(o).unwrap());
+        });
+        let back = psi(&obj).unwrap();
+        group.bench_with_input(BenchmarkId::new("bisim_eq", n), &back, |b, back| {
+            b.iter(|| assert!(vinstances_equal(back, &vinst)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Workload generators and experiment drivers shared by the Criterion
+//! benches and the table-printing `harness` binary.
+//!
+//! Each paper experiment (see `DESIGN.md` §4 and `EXPERIMENTS.md`) has a
+//! driver here returning plain measurement structs; benches wrap drivers in
+//! Criterion, the harness prints them as tables.
+
+pub mod workloads;
+
+pub use workloads::*;
+
+use iql_core::eval::{run, EvalConfig, EvalOutput};
+use iql_core::Program;
+use iql_model::{Instance, OValue, RelName};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default evaluation limits for experiments (generous enumeration budget
+/// for the powerset workloads).
+pub fn bench_config() -> EvalConfig {
+    EvalConfig {
+        max_steps: 100_000,
+        enum_budget: 1 << 22,
+        max_facts: 50_000_000,
+        check_output: true,
+        use_index: true,
+        use_seminaive: true,
+        nondeterministic_choice: false,
+    }
+}
+
+/// Builds an input instance holding one binary relation of string pairs.
+pub fn edge_instance(
+    prog: &Program,
+    rel: &str,
+    attrs: (&str, &str),
+    edges: &[(String, String)],
+) -> Instance {
+    let mut input = Instance::new(Arc::clone(&prog.input));
+    let r = RelName::new(rel);
+    for (s, d) in edges {
+        input
+            .insert_unchecked(
+                r,
+                OValue::tuple([(attrs.0, OValue::str(s)), (attrs.1, OValue::str(d))]),
+            )
+            .expect("relation declared");
+    }
+    input
+}
+
+/// Builds an input instance holding one unary relation of string values.
+pub fn unary_instance(prog: &Program, rel: &str, attr: &str, values: &[String]) -> Instance {
+    let mut input = Instance::new(Arc::clone(&prog.input));
+    let r = RelName::new(rel);
+    for v in values {
+        input
+            .insert_unchecked(r, OValue::tuple([(attr, OValue::str(v))]))
+            .expect("relation declared");
+    }
+    input
+}
+
+/// Times one program run, returning the output and wall time.
+pub fn timed_run(prog: &Program, input: &Instance, cfg: &EvalConfig) -> (EvalOutput, Duration) {
+    let start = Instant::now();
+    let out = run(prog, input, cfg).expect("experiment program runs");
+    (out, start.elapsed())
+}
+
+/// Times an arbitrary closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// One row of a scaling table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The size parameter (n).
+    pub n: usize,
+    /// Labelled measurements: (label, seconds, optional count).
+    pub cells: Vec<(String, f64, Option<usize>)>,
+}
+
+/// Prints a scaling table with aligned columns.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    if rows.is_empty() {
+        println!("(no rows)");
+        return;
+    }
+    // Header from the first row's labels.
+    print!("{:>8}", "n");
+    for (label, _, _) in &rows[0].cells {
+        print!("  {label:>18}");
+    }
+    println!();
+    for row in rows {
+        print!("{:>8}", row.n);
+        for (_, secs, count) in &row.cells {
+            match count {
+                Some(c) => print!("  {:>10.4}s {c:>6}", secs),
+                None => print!("  {:>17.4}s", secs),
+            }
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iql_core::programs::transitive_closure_program;
+
+    #[test]
+    fn timed_run_produces_output() {
+        let prog = transitive_closure_program();
+        let edges = workloads::chain(5, "n");
+        let input = edge_instance(&prog, "Edge", ("src", "dst"), &edges);
+        let (out, d) = timed_run(&prog, &input, &bench_config());
+        assert_eq!(out.output.relation(RelName::new("Tc")).unwrap().len(), 15);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn print_table_smoke() {
+        print_table(
+            "smoke",
+            &[Row {
+                n: 10,
+                cells: vec![("x".into(), 0.5, Some(3))],
+            }],
+        );
+    }
+}

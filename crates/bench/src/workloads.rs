@@ -1,0 +1,126 @@
+//! Synthetic workload generators.
+//!
+//! The paper has no datasets (it is a theory paper); these generators
+//! produce the graph/relation shapes its examples and theorems quantify
+//! over: chains and random digraphs for transitive closure and the
+//! Example-1.2 transformation, grouped key/value pairs for nest/unnest, and
+//! small universes for the exponential powerset workloads.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// A chain `p0 → p1 → … → pn` (n edges).
+pub fn chain(n: usize, prefix: &str) -> Vec<(String, String)> {
+    (0..n)
+        .map(|i| (format!("{prefix}{i}"), format!("{prefix}{}", i + 1)))
+        .collect()
+}
+
+/// A directed cycle over `n` nodes.
+pub fn cycle(n: usize, prefix: &str) -> Vec<(String, String)> {
+    (0..n)
+        .map(|i| (format!("{prefix}{i}"), format!("{prefix}{}", (i + 1) % n)))
+        .collect()
+}
+
+/// A random simple digraph with `n` nodes and (about) `m` distinct edges,
+/// deterministic in `seed`.
+pub fn random_digraph(n: usize, m: usize, seed: u64) -> Vec<(String, String)> {
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let cap = m.min(n * (n - 1));
+    let mut attempts = 0usize;
+    while edges.len() < cap && attempts < cap * 20 {
+        attempts += 1;
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        if s != d {
+            edges.insert((s, d));
+        }
+    }
+    edges
+        .into_iter()
+        .map(|(s, d)| (format!("v{s}"), format!("v{d}")))
+        .collect()
+}
+
+/// `keys` groups of `per_key` values, flattened to (key, value) pairs — the
+/// nest/unnest workload.
+pub fn grouped_pairs(keys: usize, per_key: usize) -> Vec<(String, String)> {
+    let mut out = Vec::with_capacity(keys * per_key);
+    for k in 0..keys {
+        for v in 0..per_key {
+            out.push((format!("k{k}"), format!("w{k}_{v}")));
+        }
+    }
+    out
+}
+
+/// A universe of `n` distinct constants — the powerset workload.
+pub fn universe(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("d{i}")).collect()
+}
+
+/// A layered DAG: `layers` layers of `width` nodes, each node wired to
+/// `fanout` random nodes of the next layer. Used for stratified-negation
+/// and reachability workloads.
+pub fn layered_dag(layers: usize, width: usize, fanout: usize, seed: u64) -> Vec<(String, String)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for l in 0..layers.saturating_sub(1) {
+        for w in 0..width {
+            let mut targets = BTreeSet::new();
+            while targets.len() < fanout.min(width) {
+                targets.insert(rng.gen_range(0..width));
+            }
+            for t in targets {
+                out.push((format!("l{l}_{w}"), format!("l{}_{t}", l + 1)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_and_cycle_shapes() {
+        assert_eq!(chain(3, "x").len(), 3);
+        let c = cycle(4, "y");
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[3].1, "y0");
+    }
+
+    #[test]
+    fn random_digraph_is_deterministic_and_simple() {
+        let a = random_digraph(10, 30, 42);
+        let b = random_digraph(10, 30, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 30);
+        for (s, d) in &a {
+            assert_ne!(s, d, "no self loops");
+        }
+        let set: BTreeSet<_> = a.iter().collect();
+        assert_eq!(set.len(), a.len(), "no duplicate edges");
+    }
+
+    #[test]
+    fn grouped_pairs_shape() {
+        let g = grouped_pairs(3, 4);
+        assert_eq!(g.len(), 12);
+        assert!(g.iter().filter(|(k, _)| k == "k1").count() == 4);
+    }
+
+    #[test]
+    fn layered_dag_shape() {
+        let d = layered_dag(3, 4, 2, 7);
+        assert_eq!(d.len(), 2 * 4 * 2);
+        assert!(d
+            .iter()
+            .all(|(s, _)| s.starts_with("l0") || s.starts_with("l1")));
+    }
+}

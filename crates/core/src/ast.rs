@@ -1,0 +1,569 @@
+//! Abstract syntax of IQL programs (Section 3.1).
+//!
+//! A program `G(S, Sin, Sout)` is a finite set of rules over a schema `S`,
+//! together with input and output projections. Terms, literals, and rules
+//! follow the paper's definitions, with the engineering extensions the paper
+//! itself sanctions:
+//!
+//! * constants in terms (Remark 3.1.1);
+//! * sequential composition `;` as a first-class *stage* list (Section 3.4 —
+//!   composition is definable with negation, so stages are a shorthand);
+//! * the IQL⁺ `choose` literal (Section 4.4);
+//! * IQL\* deletion heads (Section 4.5).
+
+use iql_model::{AttrName, ClassName, Constant, RelName, Schema, TypeExpr};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A variable name. Variables are program-scoped identifiers; each carries a
+/// type determined by declaration or inference (Section 3.3).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarName(Arc<str>);
+
+impl VarName {
+    /// Makes a variable name.
+    pub fn new(s: &str) -> Self {
+        VarName(Arc::from(s))
+    }
+
+    /// The identifier text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for VarName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for VarName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for VarName {
+    fn from(s: &str) -> Self {
+        VarName::new(s)
+    }
+}
+
+/// A term (Section 3.1). Every term has a type; typing is computed by the
+/// checker and stored per-rule in [`Rule::var_types`].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A variable `x`.
+    Var(VarName),
+    /// A constant (extension per Remark 3.1.1).
+    Const(Constant),
+    /// A relation name used as a set term (`R` has type `{T(R)}`).
+    Rel(RelName),
+    /// A class name used as a set term (`P` has type `{P}`).
+    Class(ClassName),
+    /// `x̂` — dereference of a class-typed variable; has type `T(P)`.
+    Deref(VarName),
+    /// A set term `{t1, …, tk}` (possibly empty).
+    Set(Vec<Term>),
+    /// A tuple term `[A1: t1, …, Ak: tk]` (possibly empty).
+    Tuple(BTreeMap<AttrName, Term>),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var<V: Into<VarName>>(v: V) -> Term {
+        Term::Var(v.into())
+    }
+
+    /// A dereference term `x̂`.
+    pub fn deref<V: Into<VarName>>(v: V) -> Term {
+        Term::Deref(v.into())
+    }
+
+    /// A string-constant term.
+    pub fn str(s: &str) -> Term {
+        Term::Const(Constant::str(s))
+    }
+
+    /// An integer-constant term.
+    pub fn int(i: i64) -> Term {
+        Term::Const(Constant::int(i))
+    }
+
+    /// A tuple term from pairs.
+    pub fn tuple<I, A>(fields: I) -> Term
+    where
+        I: IntoIterator<Item = (A, Term)>,
+        A: Into<AttrName>,
+    {
+        Term::Tuple(fields.into_iter().map(|(a, t)| (a.into(), t)).collect())
+    }
+
+    /// A set term.
+    pub fn set<I: IntoIterator<Item = Term>>(elems: I) -> Term {
+        Term::Set(elems.into_iter().collect())
+    }
+
+    /// All variables occurring in the term (including under `Deref`).
+    pub fn vars(&self, out: &mut std::collections::BTreeSet<VarName>) {
+        match self {
+            Term::Var(v) | Term::Deref(v) => {
+                out.insert(v.clone());
+            }
+            Term::Const(_) | Term::Rel(_) | Term::Class(_) => {}
+            Term::Set(elems) => {
+                for t in elems {
+                    t.vars(out);
+                }
+            }
+            Term::Tuple(fields) => {
+                for t in fields.values() {
+                    t.vars(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Rel(r) => write!(f, "{r}"),
+            Term::Class(p) => write!(f, "{p}"),
+            Term::Deref(v) => write!(f, "{v}^"),
+            Term::Set(elems) => {
+                write!(f, "{{")?;
+                for (i, t) in elems.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "}}")
+            }
+            Term::Tuple(fields) => {
+                write!(f, "[")?;
+                for (i, (a, t)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}: {t}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// A body literal (Section 3.1), plus the IQL⁺ `choose` marker.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Literal {
+    /// `t1(t2)` (positive) or `¬t1(t2)` (negative): membership of `t2` in
+    /// the set denoted by `t1`.
+    Member {
+        /// The set term `t1` (of type `{t}`).
+        set: Term,
+        /// The element term `t2` (of type `t`).
+        elem: Term,
+        /// `false` for `¬t1(t2)`.
+        positive: bool,
+    },
+    /// `t1 = t2` (positive) or `t1 ≠ t2` (negative). Positive equalities may
+    /// coerce across union types (rule-typing condition 2, Section 3.1).
+    Eq {
+        /// Left term.
+        left: Term,
+        /// Right term.
+        right: Term,
+        /// `false` for `t1 ≠ t2`.
+        positive: bool,
+    },
+    /// IQL⁺'s `choose` (Section 4.4): head-only variables of this rule draw
+    /// from *existing* objects (one generic choice) instead of inventing.
+    Choose,
+}
+
+impl Literal {
+    /// Positive membership `set(elem)`.
+    pub fn member(set: Term, elem: Term) -> Literal {
+        Literal::Member {
+            set,
+            elem,
+            positive: true,
+        }
+    }
+
+    /// Negative membership `¬set(elem)`.
+    pub fn not_member(set: Term, elem: Term) -> Literal {
+        Literal::Member {
+            set,
+            elem,
+            positive: false,
+        }
+    }
+
+    /// Equality `t1 = t2`.
+    pub fn eq(left: Term, right: Term) -> Literal {
+        Literal::Eq {
+            left,
+            right,
+            positive: true,
+        }
+    }
+
+    /// Inequality `t1 ≠ t2`.
+    pub fn neq(left: Term, right: Term) -> Literal {
+        Literal::Eq {
+            left,
+            right,
+            positive: false,
+        }
+    }
+
+    /// All variables occurring in the literal.
+    pub fn vars(&self, out: &mut std::collections::BTreeSet<VarName>) {
+        match self {
+            Literal::Member { set, elem, .. } => {
+                set.vars(out);
+                elem.vars(out);
+            }
+            Literal::Eq { left, right, .. } => {
+                left.vars(out);
+                right.vars(out);
+            }
+            Literal::Choose => {}
+        }
+    }
+
+    /// Is the literal positive (usable to bind variables)?
+    pub fn is_positive(&self) -> bool {
+        match self {
+            Literal::Member { positive, .. } | Literal::Eq { positive, .. } => *positive,
+            Literal::Choose => true,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Member {
+                set,
+                elem,
+                positive,
+            } => {
+                if !positive {
+                    write!(f, "not ")?;
+                }
+                write!(f, "{set}({elem})")
+            }
+            Literal::Eq {
+                left,
+                right,
+                positive,
+            } => {
+                write!(f, "{left} {} {right}", if *positive { "=" } else { "!=" })
+            }
+            Literal::Choose => write!(f, "choose"),
+        }
+    }
+}
+
+/// A rule head — a *fact* (Section 3.1), or an IQL\* deletion (Section 4.5).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Head {
+    /// `R(t)` — derive a relation fact.
+    Rel(RelName, Term),
+    /// `P(x)` — derive a class fact. With `x` head-only this is pure
+    /// invention into `P`; with `x` from the body it is a (trivial)
+    /// membership assertion.
+    Class(ClassName, VarName),
+    /// `x̂(t)` — add `t` to the set value of the oid bound to `x`
+    /// (set-valued classes only).
+    SetMember(VarName, Term),
+    /// `x̂ = t` — *weak assignment*: define the value of the oid bound to
+    /// `x`, only if currently undefined and uniquely derived this step
+    /// (condition (†), Section 3.2).
+    Assign(VarName, Term),
+    /// `del R(t)` — IQL\* deletion of a relation fact.
+    DeleteRel(RelName, Term),
+    /// `del P(x)` — IQL\* deletion of the oid bound to `x` (with cascade).
+    DeleteOid(ClassName, VarName),
+    /// `del x̂(t)` — IQL\* removal of a member from a set-valued oid.
+    DeleteSetMember(VarName, Term),
+}
+
+impl Head {
+    /// All variables occurring in the head.
+    pub fn vars(&self, out: &mut std::collections::BTreeSet<VarName>) {
+        match self {
+            Head::Rel(_, t) | Head::DeleteRel(_, t) => t.vars(out),
+            Head::Class(_, v) | Head::DeleteOid(_, v) => {
+                out.insert(v.clone());
+            }
+            Head::SetMember(v, t) | Head::Assign(v, t) | Head::DeleteSetMember(v, t) => {
+                out.insert(v.clone());
+                t.vars(out);
+            }
+        }
+    }
+
+    /// Is this a deletion head (IQL\*)?
+    pub fn is_deletion(&self) -> bool {
+        matches!(
+            self,
+            Head::DeleteRel(..) | Head::DeleteOid(..) | Head::DeleteSetMember(..)
+        )
+    }
+}
+
+impl fmt::Display for Head {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Head::Rel(r, t) => write!(f, "{r}({t})"),
+            Head::Class(p, v) => write!(f, "{p}({v})"),
+            Head::SetMember(v, t) => write!(f, "{v}^({t})"),
+            Head::Assign(v, t) => write!(f, "{v}^ = {t}"),
+            Head::DeleteRel(r, t) => write!(f, "del {r}({t})"),
+            Head::DeleteOid(p, v) => write!(f, "del {p}({v})"),
+            Head::DeleteSetMember(v, t) => write!(f, "del {v}^({t})"),
+        }
+    }
+}
+
+/// A rule `L ← L1, …, Lk` with its (declared or inferred) variable typing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// The head fact.
+    pub head: Head,
+    /// The body literals, in source order.
+    pub body: Vec<Literal>,
+    /// Types of all variables in the rule (explicit `var` declarations
+    /// merged with inference; complete after type checking).
+    pub var_types: BTreeMap<VarName, TypeExpr>,
+}
+
+impl Rule {
+    /// A rule with no explicit variable declarations.
+    pub fn new(head: Head, body: Vec<Literal>) -> Rule {
+        Rule {
+            head,
+            body,
+            var_types: BTreeMap::new(),
+        }
+    }
+
+    /// Adds an explicit variable typing (overrides inference).
+    pub fn with_var<V: Into<VarName>>(mut self, v: V, t: TypeExpr) -> Rule {
+        self.var_types.insert(v.into(), t);
+        self
+    }
+
+    /// Variables occurring in the body.
+    pub fn body_vars(&self) -> std::collections::BTreeSet<VarName> {
+        let mut out = std::collections::BTreeSet::new();
+        for l in &self.body {
+            l.vars(&mut out);
+        }
+        out
+    }
+
+    /// Variables occurring in the head but not the body — the *invention*
+    /// variables (they must have class type, rule condition 3).
+    pub fn invention_vars(&self) -> std::collections::BTreeSet<VarName> {
+        let body = self.body_vars();
+        let mut head = std::collections::BTreeSet::new();
+        self.head.vars(&mut head);
+        head.difference(&body).cloned().collect()
+    }
+
+    /// Does the body contain `choose`?
+    pub fn has_choose(&self) -> bool {
+        self.body.iter().any(|l| matches!(l, Literal::Choose))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        write!(f, ";")
+    }
+}
+
+/// One stage of a program: a rule set evaluated to its inflationary fixpoint
+/// before the next stage starts (the `;` composition of Section 3.4).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Stage {
+    /// The rules of this stage.
+    pub rules: Vec<Rule>,
+}
+
+impl Stage {
+    /// A stage from rules.
+    pub fn new(rules: Vec<Rule>) -> Stage {
+        Stage { rules }
+    }
+}
+
+/// A full program `G(S, Sin, Sout)` (Section 3): stages over schema `S`,
+/// with input and output projections.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// The full schema `S` (inputs, outputs, and temporaries).
+    pub schema: Arc<Schema>,
+    /// The input projection `Sin`.
+    pub input: Arc<Schema>,
+    /// The output projection `Sout`.
+    pub output: Arc<Schema>,
+    /// Sequentially composed stages.
+    pub stages: Vec<Stage>,
+}
+
+impl Program {
+    /// All rules across all stages.
+    pub fn rules(&self) -> impl Iterator<Item = &Rule> {
+        self.stages.iter().flat_map(|s| s.rules.iter())
+    }
+
+    /// Does any rule use `choose` (IQL⁺)?
+    pub fn uses_choose(&self) -> bool {
+        self.rules().any(Rule::has_choose)
+    }
+
+    /// Does any rule delete (IQL\*)?
+    pub fn uses_deletion(&self) -> bool {
+        self.rules().any(|r| r.head.is_deletion())
+    }
+}
+
+impl Program {
+    /// Renders the program (schema, input/output declarations, stages, and
+    /// explicit `var` typings) as parseable IQL source — the inverse of
+    /// [`crate::parser::parse_unit`] up to formatting.
+    pub fn to_source(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", self.schema);
+        let _ = writeln!(s, "program {{");
+        let inputs: Vec<String> = self
+            .input
+            .relations()
+            .map(|r| r.to_string())
+            .chain(self.input.classes().map(|c| c.to_string()))
+            .collect();
+        if !inputs.is_empty() {
+            let _ = writeln!(s, "  input {};", inputs.join(", "));
+        }
+        let outputs: Vec<String> = self
+            .output
+            .relations()
+            .map(|r| r.to_string())
+            .chain(self.output.classes().map(|c| c.to_string()))
+            .collect();
+        if !outputs.is_empty() {
+            let _ = writeln!(s, "  output {};", outputs.join(", "));
+        }
+        for stage in &self.stages {
+            let _ = writeln!(s, "  stage {{");
+            for r in &stage.rules {
+                // Emit the (checked) variable typings explicitly so the
+                // reparse needs no inference.
+                if !r.var_types.is_empty() {
+                    let decls: Vec<String> = r
+                        .var_types
+                        .iter()
+                        .map(|(v, t)| format!("{v}: {t}"))
+                        .collect();
+                    let _ = writeln!(s, "    var {};", decls.join(", "));
+                }
+                let _ = writeln!(s, "    {r}");
+            }
+            let _ = writeln!(s, "  }}");
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_source())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vars_collection() {
+        let r = Rule::new(
+            Head::Rel(
+                RelName::new("Rx"),
+                Term::tuple([("a", Term::var("x")), ("b", Term::var("p"))]),
+            ),
+            vec![Literal::member(
+                Term::Rel(RelName::new("Sx")),
+                Term::var("x"),
+            )],
+        );
+        assert_eq!(r.body_vars().len(), 1);
+        let inv = r.invention_vars();
+        assert_eq!(inv.len(), 1);
+        assert!(inv.contains(&VarName::new("p")));
+    }
+
+    #[test]
+    fn deref_counts_the_variable() {
+        let mut vars = std::collections::BTreeSet::new();
+        Term::deref("z").vars(&mut vars);
+        assert!(vars.contains(&VarName::new("z")));
+    }
+
+    #[test]
+    fn display_rule() {
+        let r = Rule::new(
+            Head::SetMember(VarName::new("z"), Term::var("y")),
+            vec![
+                Literal::member(
+                    Term::Rel(RelName::new("R2")),
+                    Term::tuple([("A1", Term::var("x")), ("A2", Term::var("y"))]),
+                ),
+                Literal::neq(Term::var("x"), Term::var("y")),
+            ],
+        );
+        let s = r.to_string();
+        assert!(s.contains("z^(y)"));
+        assert!(s.contains("!="));
+    }
+
+    #[test]
+    fn choose_and_delete_flags() {
+        let r1 = Rule::new(
+            Head::Class(ClassName::new("Pc"), VarName::new("v")),
+            vec![Literal::Choose],
+        );
+        assert!(r1.has_choose());
+        let r2 = Rule::new(
+            Head::DeleteRel(RelName::new("Rd"), Term::var("x")),
+            vec![Literal::member(
+                Term::Rel(RelName::new("Rd")),
+                Term::var("x"),
+            )],
+        );
+        assert!(r2.head.is_deletion());
+    }
+}

@@ -1,0 +1,350 @@
+//! A fluent, programmatic builder for IQL programs — the API used by
+//! examples, tests, and the benchmark harness (the textual syntax of
+//! [`crate::parser`] produces the same [`Program`] values).
+
+use crate::ast::{Program, Rule, Stage};
+use crate::error::Result;
+use crate::typecheck::check_program;
+use iql_model::{ClassName, RelName, Schema};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Builds a [`Program`] over a schema, declaring input/output projections
+/// and stages of rules.
+pub struct ProgramBuilder {
+    schema: Schema,
+    input_rels: BTreeSet<RelName>,
+    input_classes: BTreeSet<ClassName>,
+    output_rels: BTreeSet<RelName>,
+    output_classes: BTreeSet<ClassName>,
+    stages: Vec<Stage>,
+}
+
+impl ProgramBuilder {
+    /// Starts a builder over the full program schema `S`.
+    pub fn new(schema: Schema) -> Self {
+        ProgramBuilder {
+            schema,
+            input_rels: BTreeSet::new(),
+            input_classes: BTreeSet::new(),
+            output_rels: BTreeSet::new(),
+            output_classes: BTreeSet::new(),
+            stages: vec![Stage::default()],
+        }
+    }
+
+    /// Adds a relation to the input projection `Sin`.
+    pub fn input_relation<N: Into<RelName>>(mut self, r: N) -> Self {
+        self.input_rels.insert(r.into());
+        self
+    }
+
+    /// Adds a class to the input projection `Sin`.
+    pub fn input_class<N: Into<ClassName>>(mut self, c: N) -> Self {
+        self.input_classes.insert(c.into());
+        self
+    }
+
+    /// Adds a relation to the output projection `Sout`.
+    pub fn output_relation<N: Into<RelName>>(mut self, r: N) -> Self {
+        self.output_rels.insert(r.into());
+        self
+    }
+
+    /// Adds a class to the output projection `Sout`.
+    pub fn output_class<N: Into<ClassName>>(mut self, c: N) -> Self {
+        self.output_classes.insert(c.into());
+        self
+    }
+
+    /// Appends a rule to the current stage.
+    pub fn rule(mut self, r: Rule) -> Self {
+        self.stages
+            .last_mut()
+            .expect("at least one stage")
+            .rules
+            .push(r);
+        self
+    }
+
+    /// Starts a new stage (sequential composition `;`).
+    pub fn then(mut self) -> Self {
+        self.stages.push(Stage::default());
+        self
+    }
+
+    /// Finishes: projects the input/output schemas, assembles the program,
+    /// and runs the type checker (inference included).
+    pub fn build(self) -> Result<Program> {
+        let schema = Arc::new(self.schema);
+        let input = Arc::new(schema.project(&self.input_rels, &self.input_classes)?);
+        let output = Arc::new(schema.project(&self.output_rels, &self.output_classes)?);
+        let stages: Vec<Stage> = self
+            .stages
+            .into_iter()
+            .filter(|s| !s.rules.is_empty())
+            .collect();
+        let mut prog = Program {
+            schema,
+            input,
+            output,
+            stages,
+        };
+        check_program(&mut prog)?;
+        Ok(prog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Head, Literal, Term};
+    use crate::eval::{run, EvalConfig};
+    use iql_model::{Instance, OValue, SchemaBuilder, TypeExpr};
+
+    /// Example 1.2 end-to-end: transform a graph stored as a binary relation
+    /// `R : [A1:D, A2:D]` into the cyclic class representation
+    /// `P : [A1:D, A2:{P}]`.
+    fn graph_program() -> Program {
+        use TypeExpr as T;
+        let schema = SchemaBuilder::new()
+            .relation("R", T::tuple([("A1", T::base()), ("A2", T::base())]))
+            .relation("R0", T::tuple([("A1", T::base())]))
+            .relation(
+                "Rp",
+                T::tuple([
+                    ("A1", T::base()),
+                    ("A2", T::class("P")),
+                    ("A3", T::class("Pp")),
+                ]),
+            )
+            .class(
+                "P",
+                T::tuple([("A1", T::base()), ("A2", T::set_of(T::class("P")))]),
+            )
+            .class("Pp", T::set_of(T::class("P")))
+            .build()
+            .unwrap();
+
+        let r = |n: &str| Term::Rel(RelName::new(n));
+        let t2 = |a: Term, b: Term| Term::tuple([("A1", a), ("A2", b)]);
+        let t1 = |a: Term| Term::tuple([("A1", a)]);
+        let t3 = |a: Term, b: Term, c: Term| Term::tuple([("A1", a), ("A2", b), ("A3", c)]);
+
+        ProgramBuilder::new(schema)
+            .input_relation("R")
+            .output_class("P")
+            // Stage 1: node names.
+            .rule(Rule::new(
+                Head::Rel(RelName::new("R0"), t1(Term::var("x"))),
+                vec![Literal::member(r("R"), t2(Term::var("x"), Term::var("y")))],
+            ))
+            .rule(Rule::new(
+                Head::Rel(RelName::new("R0"), t1(Term::var("x"))),
+                vec![Literal::member(r("R"), t2(Term::var("y"), Term::var("x")))],
+            ))
+            .then()
+            // Stage 2: invent two oids per node.
+            .rule(Rule::new(
+                Head::Rel(
+                    RelName::new("Rp"),
+                    t3(Term::var("x"), Term::var("p"), Term::var("pp")),
+                ),
+                vec![Literal::member(r("R0"), t1(Term::var("x")))],
+            ))
+            .then()
+            // Stage 3: group successors through the temporary class Pp.
+            .rule(Rule::new(
+                Head::SetMember("pp".into(), Term::var("q")),
+                vec![
+                    Literal::member(r("Rp"), t3(Term::var("x"), Term::var("p"), Term::var("pp"))),
+                    Literal::member(r("Rp"), t3(Term::var("y"), Term::var("q"), Term::var("qq"))),
+                    Literal::member(r("R"), t2(Term::var("x"), Term::var("y"))),
+                ],
+            ))
+            .then()
+            // Stage 4: weak assignment builds the node values.
+            .rule(Rule::new(
+                Head::Assign(
+                    "p".into(),
+                    Term::tuple([("A1", Term::var("x")), ("A2", Term::deref("pp"))]),
+                ),
+                vec![Literal::member(
+                    r("Rp"),
+                    t3(Term::var("x"), Term::var("p"), Term::var("pp")),
+                )],
+            ))
+            .build()
+            .unwrap()
+    }
+
+    use iql_model::RelName;
+
+    #[test]
+    fn example_1_2_graph_transformation() {
+        let prog = graph_program();
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        let r = RelName::new("R");
+        // A 3-cycle a→b→c→a plus an edge a→c.
+        for (s, d) in [("a", "b"), ("b", "c"), ("c", "a"), ("a", "c")] {
+            input
+                .insert(
+                    r,
+                    OValue::tuple([("A1", OValue::str(s)), ("A2", OValue::str(d))]),
+                )
+                .unwrap();
+        }
+        let out = run(&prog, &input, &EvalConfig::default()).unwrap();
+        let p = ClassName::new("P");
+        let oids: Vec<_> = out.output.class(p).unwrap().iter().copied().collect();
+        assert_eq!(oids.len(), 3, "one P-oid per node");
+        out.output.validate().unwrap();
+
+        // Reconstruct the successor map by node name.
+        let mut succs: std::collections::BTreeMap<String, BTreeSet<String>> = Default::default();
+        let name_of: std::collections::BTreeMap<_, _> = oids
+            .iter()
+            .map(|o| {
+                let OValue::Tuple(fields) = out.output.value(*o).unwrap() else {
+                    panic!("node value must be a tuple")
+                };
+                let OValue::Const(c) = &fields[&"A1".into()] else {
+                    panic!()
+                };
+                (*o, c.to_string())
+            })
+            .collect();
+        for o in &oids {
+            let OValue::Tuple(fields) = out.output.value(*o).unwrap() else {
+                panic!()
+            };
+            let OValue::Set(kids) = &fields[&"A2".into()] else {
+                panic!()
+            };
+            let names: BTreeSet<String> = kids
+                .iter()
+                .map(|k| {
+                    let OValue::Oid(ko) = k else { panic!() };
+                    name_of[ko].clone()
+                })
+                .collect();
+            succs.insert(name_of[o].clone(), names);
+        }
+        assert_eq!(
+            succs[&"\"a\"".to_string()],
+            BTreeSet::from(["\"b\"".to_string(), "\"c\"".to_string()])
+        );
+        assert_eq!(
+            succs[&"\"b\"".to_string()],
+            BTreeSet::from(["\"c\"".to_string()])
+        );
+        assert_eq!(
+            succs[&"\"c\"".to_string()],
+            BTreeSet::from(["\"a\"".to_string()])
+        );
+    }
+
+    #[test]
+    fn determinate_up_to_o_isomorphism() {
+        // Theorem 4.1.3: two runs (here: the same run twice — oid draws are
+        // deterministic per run, so we instead permute the input insertion
+        // order) yield O-isomorphic outputs.
+        let prog = graph_program();
+        let r = RelName::new("R");
+        let edges = [("a", "b"), ("b", "c"), ("c", "a"), ("a", "c")];
+        let mut i1 = Instance::new(Arc::clone(&prog.input));
+        for (s, d) in edges {
+            i1.insert(
+                r,
+                OValue::tuple([("A1", OValue::str(s)), ("A2", OValue::str(d))]),
+            )
+            .unwrap();
+        }
+        let mut i2 = Instance::new(Arc::clone(&prog.input));
+        for (s, d) in edges.iter().rev() {
+            i2.insert(
+                r,
+                OValue::tuple([("A1", OValue::str(s)), ("A2", OValue::str(d))]),
+            )
+            .unwrap();
+        }
+        let o1 = run(&prog, &i1, &EvalConfig::default()).unwrap();
+        let o2 = run(&prog, &i2, &EvalConfig::default()).unwrap();
+        assert!(iql_model::iso::are_o_isomorphic(&o1.output, &o2.output));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let prog = graph_program();
+        let input = Instance::new(Arc::clone(&prog.input));
+        let out = run(&prog, &input, &EvalConfig::default()).unwrap();
+        assert_eq!(out.output.class(ClassName::new("P")).unwrap().len(), 0);
+        assert_eq!(out.report.invented, 0);
+    }
+
+    use iql_model::ClassName;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn unknown_projection_names_are_rejected() {
+        let schema = SchemaBuilder::new()
+            .relation("Known", TypeExpr::base())
+            .build()
+            .unwrap();
+        let err = ProgramBuilder::new(schema)
+            .input_relation("Missing")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("Missing"));
+    }
+
+    #[test]
+    fn empty_stages_are_dropped() {
+        let schema = SchemaBuilder::new()
+            .relation("A", TypeExpr::base())
+            .relation("B", TypeExpr::base())
+            .build()
+            .unwrap();
+        let prog = ProgramBuilder::new(schema)
+            .input_relation("A")
+            .output_relation("B")
+            .then() // empty stage before any rule
+            .rule(Rule::new(
+                Head::Rel(RelName::new("B"), Term::var("x")),
+                vec![Literal::member(
+                    Term::Rel(RelName::new("A")),
+                    Term::var("x"),
+                )],
+            ))
+            .then() // trailing empty stage
+            .build()
+            .unwrap();
+        assert_eq!(prog.stages.len(), 1);
+    }
+
+    #[test]
+    fn builder_runs_type_inference() {
+        let schema = SchemaBuilder::new()
+            .relation("A", TypeExpr::base())
+            .relation("B", TypeExpr::base())
+            .build()
+            .unwrap();
+        let prog = ProgramBuilder::new(schema)
+            .input_relation("A")
+            .output_relation("B")
+            .rule(Rule::new(
+                Head::Rel(RelName::new("B"), Term::var("x")),
+                vec![Literal::member(
+                    Term::Rel(RelName::new("A")),
+                    Term::var("x"),
+                )],
+            ))
+            .build()
+            .unwrap();
+        let rule = &prog.stages[0].rules[0];
+        assert_eq!(
+            rule.var_types[&crate::ast::VarName::new("x")],
+            TypeExpr::Base
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Control-flow shorthands (Section 3.4).
+//!
+//! "It is shown in Abiteboul and Vianu \[1988\] that control mechanisms such
+//! as composition, if-then-else, and while-statements can be simulated in
+//! detDL (using negation and inflationary semantics). These mechanisms can
+//! now be used as shorthands." Composition is native ([`crate::ast::Stage`]
+//! lists); this module provides the remaining idioms as *rule
+//! transformations* over **flag relations** — nullary relations of type
+//! `[]` whose only possible fact is the empty tuple, acting as booleans:
+//!
+//! * [`flag_type`] — the type of a flag relation;
+//! * [`set_flag`] — a rule deriving the flag from a condition body;
+//! * [`guarded`] — a stage whose rules fire only when a flag is set
+//!   (the *then* branch);
+//! * [`unless`] — a stage whose rules fire only when it is not
+//!   (the *else* branch; sound under stage composition, where the flag is
+//!   final before the branch runs).
+//!
+//! A `while` loop is already inherent to inflationary fixpoints: a stage
+//! re-fires as long as its rules derive new facts; conditional loops are
+//! expressed by guarding the loop body on a flag the body maintains.
+
+use crate::ast::{Head, Literal, Rule, Stage, Term};
+use iql_model::{RelName, TypeExpr};
+
+/// The type of a flag relation: `[]` — the only inhabitant is the empty
+/// tuple, so the relation is either `{}` (false) or `{[]}` (true).
+pub fn flag_type() -> TypeExpr {
+    TypeExpr::unit()
+}
+
+/// The fact term for a flag: the empty tuple.
+pub fn flag_fact() -> Term {
+    Term::tuple(Vec::<(&str, Term)>::new())
+}
+
+/// A rule that raises `flag` when `condition` holds.
+pub fn set_flag(flag: RelName, condition: Vec<Literal>) -> Rule {
+    Rule::new(Head::Rel(flag, flag_fact()), condition)
+}
+
+/// Guards every rule of `stage` on `flag` being set (the *then* branch).
+pub fn guarded(stage: Stage, flag: RelName) -> Stage {
+    transform(stage, flag, true)
+}
+
+/// Guards every rule of `stage` on `flag` being **unset** (the *else*
+/// branch). Sound when the flag's value is final before this stage runs —
+/// which stage composition guarantees when the flag is only derived in
+/// earlier stages (stratification by stages).
+pub fn unless(stage: Stage, flag: RelName) -> Stage {
+    transform(stage, flag, false)
+}
+
+fn transform(stage: Stage, flag: RelName, positive: bool) -> Stage {
+    Stage::new(
+        stage
+            .rules
+            .into_iter()
+            .map(|mut r| {
+                let lit = Literal::Member {
+                    set: Term::Rel(flag),
+                    elem: flag_fact(),
+                    positive,
+                };
+                r.body.insert(0, lit);
+                r
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::eval::{run, EvalConfig};
+    use iql_model::{Instance, OValue, SchemaBuilder};
+    use std::sync::Arc;
+
+    /// If the input contains "trigger", copy A to Out; else copy B to Out.
+    fn if_then_else_program() -> crate::ast::Program {
+        use TypeExpr as T;
+        let schema = SchemaBuilder::new()
+            .relation("In", T::base())
+            .relation("A", T::base())
+            .relation("B", T::base())
+            .relation("Out", T::base())
+            .relation("Cond", flag_type())
+            .build()
+            .unwrap();
+        let cond = RelName::new("Cond");
+        let then_branch = Stage::new(vec![Rule::new(
+            Head::Rel(RelName::new("Out"), Term::var("x")),
+            vec![Literal::member(
+                Term::Rel(RelName::new("A")),
+                Term::var("x"),
+            )],
+        )]);
+        let else_branch = Stage::new(vec![Rule::new(
+            Head::Rel(RelName::new("Out"), Term::var("x")),
+            vec![Literal::member(
+                Term::Rel(RelName::new("B")),
+                Term::var("x"),
+            )],
+        )]);
+
+        let mut builder = ProgramBuilder::new(schema)
+            .input_relation("In")
+            .input_relation("A")
+            .input_relation("B")
+            .output_relation("Out")
+            // Stage 1: evaluate the condition.
+            .rule(set_flag(
+                cond,
+                vec![Literal::member(
+                    Term::Rel(RelName::new("In")),
+                    Term::str("trigger"),
+                )],
+            ))
+            .then();
+        // Stage 2: both branches, complementarily guarded.
+        for r in guarded(then_branch, cond).rules {
+            builder = builder.rule(r);
+        }
+        for r in unless(else_branch, cond).rules {
+            builder = builder.rule(r);
+        }
+        builder.build().unwrap()
+    }
+
+    fn run_with(input_vals: &[&str]) -> Vec<String> {
+        let prog = if_then_else_program();
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        for v in input_vals {
+            input.insert(RelName::new("In"), OValue::str(v)).unwrap();
+        }
+        input
+            .insert(RelName::new("A"), OValue::str("from-A"))
+            .unwrap();
+        input
+            .insert(RelName::new("B"), OValue::str("from-B"))
+            .unwrap();
+        let out = run(&prog, &input, &EvalConfig::default()).unwrap();
+        out.output
+            .relation(RelName::new("Out"))
+            .unwrap()
+            .iter()
+            .map(|v| v.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn if_branch_taken_when_condition_holds() {
+        assert_eq!(run_with(&["trigger"]), vec!["\"from-A\"".to_string()]);
+    }
+
+    #[test]
+    fn else_branch_taken_when_condition_fails() {
+        assert_eq!(
+            run_with(&["something-else"]),
+            vec!["\"from-B\"".to_string()]
+        );
+    }
+
+    #[test]
+    fn flag_relations_are_booleans() {
+        // The flag type has exactly one inhabitant.
+        let t = flag_type();
+        let cm = iql_model::ClassMap::default();
+        assert!(t.member(&OValue::unit(), &cm));
+        assert!(!t.member(&OValue::empty_set(), &cm));
+        assert!(!t.member(&OValue::int(0), &cm));
+    }
+
+    #[test]
+    fn while_via_inflationary_fixpoint() {
+        // "while new nodes are reachable, keep extending" is just the
+        // inflationary fixpoint — pinned here as a regression of the idiom.
+        use TypeExpr as T;
+        let schema = SchemaBuilder::new()
+            .relation("Edge", T::tuple([("s", T::base()), ("d", T::base())]))
+            .relation("Reach", T::base())
+            .build()
+            .unwrap();
+        let prog = ProgramBuilder::new(schema)
+            .input_relation("Edge")
+            .output_relation("Reach")
+            .rule(Rule::new(
+                Head::Rel(RelName::new("Reach"), Term::str("start")),
+                vec![],
+            ))
+            .rule(Rule::new(
+                Head::Rel(RelName::new("Reach"), Term::var("y")),
+                vec![
+                    Literal::member(Term::Rel(RelName::new("Reach")), Term::var("x")),
+                    Literal::member(
+                        Term::Rel(RelName::new("Edge")),
+                        Term::tuple([("s", Term::var("x")), ("d", Term::var("y"))]),
+                    ),
+                ],
+            ))
+            .build()
+            .unwrap();
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        for (s, d) in [("start", "m"), ("m", "end"), ("x", "y")] {
+            input
+                .insert(
+                    RelName::new("Edge"),
+                    OValue::tuple([("s", OValue::str(s)), ("d", OValue::str(d))]),
+                )
+                .unwrap();
+        }
+        let out = run(&prog, &input, &EvalConfig::default()).unwrap();
+        assert_eq!(out.output.relation(RelName::new("Reach")).unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,137 @@
+//! Error types for the IQL language layer.
+
+use crate::ast::VarName;
+use std::fmt;
+
+/// Errors from parsing, type checking, and evaluation of IQL programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IqlError {
+    /// A parse error with line/column and message.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A variable's type could not be inferred; declare it with `var x: T`.
+    CannotInfer {
+        /// The untypable variable.
+        var: VarName,
+        /// The rule, rendered.
+        rule: String,
+    },
+    /// A term failed to type-check.
+    TypeError {
+        /// Description of the mismatch.
+        msg: String,
+        /// The rule, rendered.
+        rule: String,
+    },
+    /// A head-only (invention) variable whose type is not a class name
+    /// (violates rule condition 3, Section 3.1).
+    InventionNotClassTyped {
+        /// The offending variable.
+        var: VarName,
+        /// The rule, rendered.
+        rule: String,
+    },
+    /// Evaluation exceeded the configured step limit — the program may not
+    /// terminate (cf. the `R3(y,z) ← R3(x,y)` example, Section 3.4).
+    StepLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Evaluation exceeded the configured fact budget.
+    FactBudget {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A `choose` could not be made generically: the candidates fall into
+    /// more than one automorphism orbit, so any pick would violate
+    /// genericity (Section 4.4).
+    ChoiceNotGeneric {
+        /// Number of distinct orbits found.
+        orbits: usize,
+    },
+    /// A `choose` found no candidate objects of the required type.
+    ChoiceEmpty,
+    /// An error bubbled up from the data model.
+    Model(iql_model::ModelError),
+    /// The input instance does not match the program's input schema.
+    BadInput(String),
+    /// Catch-all with context.
+    Invalid(String),
+}
+
+impl fmt::Display for IqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IqlError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            IqlError::CannotInfer { var, rule } => write!(
+                f,
+                "cannot infer a type for variable {var} in rule `{rule}`; add an explicit `var {var}: T` declaration"
+            ),
+            IqlError::TypeError { msg, rule } => {
+                write!(f, "type error in rule `{rule}`: {msg}")
+            }
+            IqlError::InventionNotClassTyped { var, rule } => write!(
+                f,
+                "invention variable {var} in rule `{rule}` must have a class type (rule condition 3)"
+            ),
+            IqlError::StepLimit { limit } => write!(
+                f,
+                "evaluation exceeded {limit} inflationary steps; the program may not terminate"
+            ),
+            IqlError::FactBudget { limit } => {
+                write!(f, "evaluation exceeded the fact budget of {limit}")
+            }
+            IqlError::ChoiceNotGeneric { orbits } => write!(
+                f,
+                "choose: candidates split into {orbits} automorphism orbits; a deterministic pick would violate genericity"
+            ),
+            IqlError::ChoiceEmpty => write!(f, "choose: no candidate objects of the required type"),
+            IqlError::Model(e) => write!(f, "{e}"),
+            IqlError::BadInput(msg) => write!(f, "bad input instance: {msg}"),
+            IqlError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IqlError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<iql_model::ModelError> for IqlError {
+    fn from(e: iql_model::ModelError) -> Self {
+        IqlError::Model(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, IqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = IqlError::Model(iql_model::ModelError::StrayOid(1));
+        assert!(std::error::Error::source(&e).is_some());
+        let p = IqlError::Parse {
+            line: 3,
+            col: 9,
+            msg: "expected `:-`".into(),
+        };
+        assert!(p.to_string().contains("3:9"));
+    }
+}

@@ -1,0 +1,1459 @@
+//! The naive inflationary evaluator (Section 3.2).
+//!
+//! Semantics follows the paper exactly: evaluation proceeds in *steps*; each
+//! step
+//!
+//! 1. computes the **valuation-domain** — all `(rule, θ)` with `I ⊨ θ body`
+//!    such that *no extension* of `θ` already satisfies the head (this
+//!    head-satisfaction guard is what terminates oid invention);
+//! 2. picks a **valuation-map** — fresh, pairwise-distinct oids for every
+//!    head-only variable of every `(rule, θ)` (or, under IQL⁺ `choose`, an
+//!    existing object chosen generically, Section 4.4);
+//! 3. adds the derived ground facts, subject to the **weak-assignment**
+//!    condition (†): a non-set oid's value is set only if currently
+//!    undefined and uniquely derived this step.
+//!
+//! Stages (`;` composition) run each rule set to its inflationary fixpoint
+//! before the next starts. IQL\* deletion heads are applied at the end of
+//! each step with cascading oid deletion (Section 4.5); a fact both added
+//! and deleted in one step ends up deleted (a documented choice — the paper
+//! leaves the conflict policy to the `*`-language machinery).
+//!
+//! Variables not bound by any positive literal fall back to **active-domain
+//! enumeration** of their type — precisely the paper's valuation semantics,
+//! and the engine behind the non-range-restricted powerset program of
+//! Example 3.4.2. Enumeration is guarded by a configurable budget.
+
+use crate::ast::{Head, Literal, Program, Rule, Stage, Term, VarName};
+use crate::error::{IqlError, Result};
+use iql_model::iso::orbits;
+use iql_model::{ClassName, Instance, OValue, Oid, TypeExpr};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// A valuation `θ` of rule variables to o-values.
+pub type Binding = BTreeMap<VarName, OValue>;
+
+/// Evaluation limits and switches.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Maximum inflationary steps per stage before reporting
+    /// [`IqlError::StepLimit`].
+    pub max_steps: usize,
+    /// Budget for active-domain type enumeration (per variable, per step).
+    pub enum_budget: usize,
+    /// Hard cap on total ground facts in the working instance.
+    pub max_facts: usize,
+    /// Validate the output instance against the output schema.
+    pub check_output: bool,
+    /// Build per-scan hash indexes on bound tuple attributes (the ablation
+    /// knob for the `eval_indexing` benchmark; on by default).
+    pub use_index: bool,
+    /// Delta-driven (semi-naive) evaluation of eligible rules: rules whose
+    /// bodies read only relations/classes (no dereferences, no enumeration
+    /// fallbacks, no choose, no deletion heads) are re-evaluated only
+    /// against the facts added in the previous step. Sound for inflationary
+    /// semantics because negation and the invention guard are *monotone
+    /// blockers*: once a valuation is blocked it stays blocked, so every
+    /// valuation fires at exactly its first-valid step either way. The
+    /// ablation knob for the naive-vs-seminaive comparison; on by default.
+    pub use_seminaive: bool,
+    /// N-IQL mode (the paper's Remark N-IQL): `choose` may pick among
+    /// candidates even when the choice violates genericity — the language
+    /// becomes *nondeterministic complete* instead of determinate. Off by
+    /// default; when off, a non-generic choice raises
+    /// [`IqlError::ChoiceNotGeneric`].
+    pub nondeterministic_choice: bool,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            max_steps: 10_000,
+            enum_budget: 1 << 20,
+            max_facts: 10_000_000,
+            check_output: true,
+            use_index: true,
+            use_seminaive: true,
+            nondeterministic_choice: false,
+        }
+    }
+}
+
+/// Statistics from one program run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvalReport {
+    /// Total inflationary steps across stages.
+    pub steps: usize,
+    /// Oids invented.
+    pub invented: usize,
+    /// Ground facts added.
+    pub facts_added: usize,
+    /// Times the enumeration fallback fired.
+    pub enum_fallbacks: usize,
+    /// Facts deleted (IQL\*).
+    pub facts_deleted: usize,
+}
+
+/// The result of running a program.
+#[derive(Debug, Clone)]
+pub struct EvalOutput {
+    /// The full fixpoint instance over `S`.
+    pub full: Instance,
+    /// The projection `J[Sout]`.
+    pub output: Instance,
+    /// Run statistics.
+    pub report: EvalReport,
+}
+
+/// Runs `prog` on `input` (an instance of `Sin`), producing `J[Sout]`.
+pub fn run(prog: &Program, input: &Instance, cfg: &EvalConfig) -> Result<EvalOutput> {
+    // Input must be an instance of Sin.
+    if !prog.input.is_projection_of(input.schema()) || !input.schema().is_projection_of(&prog.input)
+    {
+        return Err(IqlError::BadInput(format!(
+            "input instance schema differs from the program's input projection\nexpected: {}\nfound: {}",
+            prog.input,
+            input.schema()
+        )));
+    }
+    input
+        .validate()
+        .map_err(|e| IqlError::BadInput(e.to_string()))?;
+
+    // Working instance over the full schema S, seeded with the input.
+    let mut work = Instance::new(Arc::clone(&prog.schema));
+    for r in prog.input.relations() {
+        for v in input.relation(r)? {
+            work.insert_unchecked(r, v.clone())?;
+        }
+    }
+    for p in prog.input.classes() {
+        for o in input.class(p)? {
+            work.adopt_oid(p, *o)?;
+            if let Some(v) = input.value(*o) {
+                work.overwrite_value(*o, v.clone())?;
+            }
+        }
+    }
+
+    let mut report = EvalReport::default();
+    for stage in &prog.stages {
+        run_stage(stage, &mut work, cfg, &mut report)?;
+    }
+
+    let output = work.project(&prog.output)?;
+    if cfg.check_output {
+        output
+            .validate()
+            .map_err(|e| IqlError::Invalid(format!("output instance invalid: {e}")))?;
+    }
+    Ok(EvalOutput {
+        full: work,
+        output,
+        report,
+    })
+}
+
+/// Runs one stage to its inflationary fixpoint.
+pub fn run_stage(
+    stage: &Stage,
+    work: &mut Instance,
+    cfg: &EvalConfig,
+    report: &mut EvalReport,
+) -> Result<()> {
+    let mut delta: Option<Delta> = None; // None ⇒ first step: full evaluation
+    for step in 0.. {
+        if step >= cfg.max_steps {
+            return Err(IqlError::StepLimit {
+                limit: cfg.max_steps,
+            });
+        }
+        report.steps += 1;
+        let (changed, delta_out) = one_step(stage, work, cfg, report, delta.as_ref())?;
+        if !changed {
+            break;
+        }
+        delta = if cfg.use_seminaive {
+            Some(delta_out)
+        } else {
+            None
+        };
+        if work.fact_count() > cfg.max_facts {
+            return Err(IqlError::FactBudget {
+                limit: cfg.max_facts,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The facts added by one step — what semi-naive evaluation joins against.
+#[derive(Debug, Default, Clone)]
+struct Delta {
+    rels: BTreeMap<iql_model::RelName, BTreeSet<OValue>>,
+    classes: BTreeMap<ClassName, BTreeSet<Oid>>,
+}
+
+/// Is a rule syntactically eligible for delta-driven evaluation? Its truth
+/// at a valuation must depend only on relation/class facts (monotone) and
+/// the binding itself: no dereferences (ν changes untracked), no relation/
+/// class terms inside comparisons (their whole extent is state), no
+/// enumeration fallbacks (the active domain grows), no choose, no deletion.
+fn rule_seminaive_eligible(rule: &Rule) -> bool {
+    fn simple(t: &Term) -> bool {
+        match t {
+            Term::Var(_) | Term::Const(_) => true,
+            Term::Rel(_) | Term::Class(_) | Term::Deref(_) => false,
+            Term::Set(elems) => elems.iter().all(simple),
+            Term::Tuple(fields) => fields.values().all(simple),
+        }
+    }
+    if rule.head.is_deletion() || rule.has_choose() {
+        return false;
+    }
+    // Head terms must be state-independent too: a head like `R1(z^)`
+    // derives a *different* fact as ν(z) grows, so its valuations must be
+    // re-fired every step (the constructive powerset depends on this).
+    let head_ok = match &rule.head {
+        Head::Rel(_, t) | Head::SetMember(_, t) | Head::Assign(_, t) => simple(t),
+        Head::Class(_, _) => true,
+        Head::DeleteRel(..) | Head::DeleteOid(..) | Head::DeleteSetMember(..) => false,
+    };
+    if !head_ok {
+        return false;
+    }
+    let body_ok = rule.body.iter().all(|lit| match lit {
+        Literal::Member { set, elem, .. } => {
+            matches!(set, Term::Rel(_) | Term::Class(_) | Term::Var(_)) && simple(elem)
+        }
+        Literal::Eq { left, right, .. } => simple(left) && simple(right),
+        Literal::Choose => false,
+    });
+    if !body_ok {
+        return false;
+    }
+    // No enumeration fallbacks in the plan.
+    match build_plan(rule) {
+        Ok(plan) => !plan.iter().any(|op| matches!(op, Op::Enumerate { .. })),
+        Err(_) => false,
+    }
+}
+
+/// One application of the inflationary one-step operator `g1`. Returns
+/// whether anything changed.
+fn one_step(
+    stage: &Stage,
+    work: &mut Instance,
+    cfg: &EvalConfig,
+    report: &mut EvalReport,
+    delta_in: Option<&Delta>,
+) -> Result<(bool, Delta)> {
+    // Phase 1: valuation-domain against the frozen pre-step instance.
+    // Eligible rules are evaluated differentially: one run per relation/
+    // class scan, with that scan restricted to the previous step's delta
+    // (a valuation is new only if at least one of its supporting facts is).
+    let mut fires: Vec<(usize, Binding)> = Vec::new();
+    // Deletions un-block guards (a deleted head fact lets an old valuation
+    // fire again), so any deletion rule in the stage disables delta-driven
+    // evaluation for the whole stage.
+    let stage_deletes = stage.rules.iter().any(|r| r.head.is_deletion());
+    for (ri, rule) in stage.rules.iter().enumerate() {
+        let valuations = match delta_in {
+            Some(delta) if cfg.use_seminaive && !stage_deletes && rule_seminaive_eligible(rule) => {
+                let nscans = count_source_scans(rule)?;
+                let mut acc: BTreeSet<Binding> = BTreeSet::new();
+                for i in 0..nscans {
+                    acc.extend(find_valuations_delta(
+                        rule,
+                        work,
+                        cfg,
+                        report,
+                        Some((delta, i)),
+                    )?);
+                }
+                acc.into_iter().collect()
+            }
+            _ => find_valuations(rule, work, cfg, report)?,
+        };
+        for theta in valuations {
+            if rule.head.is_deletion() {
+                // Deletion rules fire when the fact to delete exists.
+                if deletion_applicable(rule, &theta, work) {
+                    fires.push((ri, theta));
+                }
+            } else if !head_satisfiable(rule, &theta, work) {
+                fires.push((ri, theta));
+            }
+        }
+    }
+
+    // Phase 2: valuation-map (invention / choose) and fact derivation.
+    let mut changed = false;
+    let mut delta_out = Delta::default();
+    let mut assignments: BTreeMap<Oid, BTreeSet<OValue>> = BTreeMap::new();
+    let mut deletions: Vec<(usize, Binding)> = Vec::new();
+    // Pre-step ν snapshot for condition (†).
+    let predefined: BTreeSet<Oid> = work
+        .objects()
+        .into_iter()
+        .filter(|o| !work.is_set_valued(*o) && work.value(*o).is_some())
+        .collect();
+    // Choose candidates are computed against the frozen pre-step state, so
+    // resolve every needed choice before any mutation happens.
+    let mut choose_cache: BTreeMap<ClassName, Oid> = BTreeMap::new();
+    for (ri, _) in &fires {
+        let rule = &stage.rules[*ri];
+        if rule.has_choose() && !rule.head.is_deletion() {
+            for v in rule.invention_vars() {
+                if let Some(TypeExpr::Class(p)) = rule.var_types.get(&v) {
+                    choose_existing(work, *p, &mut choose_cache, cfg)?;
+                }
+            }
+        }
+    }
+
+    for (ri, theta) in fires {
+        let rule = &stage.rules[ri];
+        if rule.head.is_deletion() {
+            deletions.push((ri, theta));
+            continue;
+        }
+        // Extend θ over the invention variables.
+        let mut full = theta.clone();
+        for v in rule.invention_vars() {
+            let class = match rule.var_types.get(&v) {
+                Some(TypeExpr::Class(p)) => *p,
+                _ => {
+                    return Err(IqlError::Invalid(format!(
+                        "invention variable {v} lost its class type"
+                    )))
+                }
+            };
+            let oid = if rule.has_choose() {
+                choose_existing(work, class, &mut choose_cache, cfg)?
+            } else {
+                report.invented += 1;
+                changed = true;
+                let fresh = work.create_oid(class)?;
+                delta_out.classes.entry(class).or_default().insert(fresh);
+                fresh
+            };
+            full.insert(v.clone(), OValue::Oid(oid));
+        }
+        // Derive the head fact.
+        match &rule.head {
+            Head::Rel(r, t) => {
+                let v = eval_term(t, &full, work).ok_or_else(|| {
+                    IqlError::Invalid(format!("head term {t} undefined at application"))
+                })?;
+                if work.insert_unchecked(*r, v.clone())? {
+                    report.facts_added += 1;
+                    changed = true;
+                    delta_out.rels.entry(*r).or_default().insert(v);
+                }
+            }
+            Head::Class(_, _) => {
+                // Membership was established by invention (or was already
+                // true for body-bound variables).
+            }
+            Head::SetMember(x, t) => {
+                let oid = binding_oid(&full, x)?;
+                let v = eval_term(t, &full, work).ok_or_else(|| {
+                    IqlError::Invalid(format!("head term {t} undefined at application"))
+                })?;
+                if work.add_set_member(oid, v)? {
+                    report.facts_added += 1;
+                    changed = true;
+                }
+            }
+            Head::Assign(x, t) => {
+                let oid = binding_oid(&full, x)?;
+                let v = eval_term(t, &full, work).ok_or_else(|| {
+                    IqlError::Invalid(format!("head term {t} undefined at application"))
+                })?;
+                assignments.entry(oid).or_default().insert(v);
+            }
+            Head::DeleteRel(..) | Head::DeleteOid(..) | Head::DeleteSetMember(..) => {
+                unreachable!("deletions routed above")
+            }
+        }
+    }
+
+    // Phase 3: weak assignments per condition (†).
+    for (oid, values) in assignments {
+        if predefined.contains(&oid) {
+            continue; // value already determined — ignore new derivations
+        }
+        if values.len() != 1 {
+            continue; // ambiguous parallel derivations — ignore all
+        }
+        let v = values.into_iter().next().expect("len checked");
+        if work.define_value(oid, v)? {
+            report.facts_added += 1;
+            changed = true;
+        }
+    }
+
+    // Phase 4: deletions (IQL*) — applied last; deletion wins over a
+    // same-step addition.
+    for (ri, theta) in deletions {
+        let rule = &stage.rules[ri];
+        match &rule.head {
+            Head::DeleteRel(r, t) => {
+                if let Some(v) = eval_term(t, &theta, work) {
+                    if work.remove(*r, &v)? {
+                        report.facts_deleted += 1;
+                        changed = true;
+                    }
+                }
+            }
+            Head::DeleteOid(_, x) => {
+                let oid = binding_oid(&theta, x)?;
+                if work.class_of(oid).is_some() {
+                    work.delete_oid(oid)?;
+                    report.facts_deleted += 1;
+                    changed = true;
+                }
+            }
+            Head::DeleteSetMember(x, t) => {
+                let oid = binding_oid(&theta, x)?;
+                if let Some(v) = eval_term(t, &theta, work) {
+                    if let Some(OValue::Set(s)) = work.value(oid) {
+                        if s.contains(&v) {
+                            let mut s2 = s.clone();
+                            s2.remove(&v);
+                            work.overwrite_value(oid, OValue::Set(s2))?;
+                            report.facts_deleted += 1;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    Ok((changed, delta_out))
+}
+
+fn binding_oid(binding: &Binding, v: &VarName) -> Result<Oid> {
+    match binding.get(v) {
+        Some(OValue::Oid(o)) => Ok(*o),
+        other => Err(IqlError::Invalid(format!(
+            "variable {v} should be bound to an oid, found {other:?}"
+        ))),
+    }
+}
+
+/// Picks an existing object of `class` generically (Section 4.4): legal when
+/// the candidates are pairwise automorphic (then any pick yields an
+/// isomorphic result — we take the canonical minimum) or unique.
+fn choose_existing(
+    work: &Instance,
+    class: ClassName,
+    cache: &mut BTreeMap<ClassName, Oid>,
+    cfg: &EvalConfig,
+) -> Result<Oid> {
+    if let Some(o) = cache.get(&class) {
+        return Ok(*o);
+    }
+    let candidates: Vec<Oid> = work.class(class)?.iter().copied().collect();
+    if candidates.is_empty() {
+        return Err(IqlError::ChoiceEmpty);
+    }
+    let picked = if candidates.len() == 1 {
+        candidates[0]
+    } else {
+        if cfg.nondeterministic_choice {
+            // N-IQL: any pick is allowed; take the canonical minimum so
+            // runs stay reproducible even though the semantics is
+            // nondeterministic.
+            candidates[0]
+        } else {
+            let orbs = orbits(work, &candidates);
+            if orbs.len() > 1 {
+                return Err(IqlError::ChoiceNotGeneric { orbits: orbs.len() });
+            }
+            candidates[0]
+        }
+    };
+    cache.insert(class, picked);
+    Ok(picked)
+}
+
+// ---------------------------------------------------------------------
+// Term evaluation and pattern matching
+// ---------------------------------------------------------------------
+
+/// Evaluates a term under a binding; `None` means the valuation is undefined
+/// on the term (unbound variable, or dereference of an undefined oid).
+pub fn eval_term(term: &Term, binding: &Binding, inst: &Instance) -> Option<OValue> {
+    match term {
+        Term::Var(v) => binding.get(v).cloned(),
+        Term::Const(c) => Some(OValue::Const(c.clone())),
+        Term::Rel(r) => Some(OValue::Set(inst.relation(*r).ok()?.clone())),
+        Term::Class(p) => Some(OValue::Set(
+            inst.class(*p)
+                .ok()?
+                .iter()
+                .copied()
+                .map(OValue::Oid)
+                .collect(),
+        )),
+        Term::Deref(v) => match binding.get(v) {
+            Some(OValue::Oid(o)) => inst.value(*o).cloned(),
+            _ => None,
+        },
+        Term::Set(elems) => {
+            let mut out = BTreeSet::new();
+            for e in elems {
+                out.insert(eval_term(e, binding, inst)?);
+            }
+            Some(OValue::Set(out))
+        }
+        Term::Tuple(fields) => {
+            let mut out = BTreeMap::new();
+            for (a, t) in fields {
+                out.insert(*a, eval_term(t, binding, inst)?);
+            }
+            Some(OValue::Tuple(out))
+        }
+    }
+}
+
+/// Matches `pattern` against `value` under `binding`, collecting **every**
+/// extending binding into `out`. Most patterns are deterministic (zero or
+/// one extension); set-literal patterns may match in several ways
+/// (`{x, y} = {1, 2}` binds both assignments), and each is a distinct
+/// valuation per the paper's semantics.
+///
+/// Newly bound variables are checked against their declared type: a
+/// valuation must satisfy `θx ∈ ⟦t⟧π` (Section 3.2). This is what makes
+/// union-coercion equalities (`w = v` with `w` typed at one branch of
+/// `v`'s union type) act as runtime branch filters — exactly how the
+/// paper's Example 3.4.3 discriminates union values.
+fn match_term_all(
+    pattern: &Term,
+    value: &OValue,
+    binding: &Binding,
+    types: &BTreeMap<VarName, TypeExpr>,
+    inst: &Instance,
+    out: &mut Vec<Binding>,
+) {
+    match pattern {
+        Term::Var(v) => match binding.get(v) {
+            Some(bound) => {
+                if bound == value {
+                    out.push(binding.clone());
+                }
+            }
+            None => {
+                if let Some(ty) = types.get(v) {
+                    if !ty.member(value, inst) {
+                        return; // ill-typed binding is not a valuation
+                    }
+                }
+                let mut b = binding.clone();
+                b.insert(v.clone(), value.clone());
+                out.push(b);
+            }
+        },
+        Term::Const(c) => {
+            if matches!(value, OValue::Const(c2) if c == c2) {
+                out.push(binding.clone());
+            }
+        }
+        Term::Rel(_) | Term::Class(_) | Term::Deref(_) => {
+            if eval_term(pattern, binding, inst).as_ref() == Some(value) {
+                out.push(binding.clone());
+            }
+        }
+        Term::Tuple(fields) => {
+            let OValue::Tuple(vals) = value else { return };
+            if fields.len() != vals.len() || !fields.keys().eq(vals.keys()) {
+                return;
+            }
+            let mut frontier = vec![binding.clone()];
+            for (a, p) in fields {
+                let mut next = Vec::new();
+                for b in &frontier {
+                    match_term_all(p, &vals[a], b, types, inst, &mut next);
+                }
+                frontier = next;
+                if frontier.is_empty() {
+                    return;
+                }
+            }
+            out.extend(frontier);
+        }
+        Term::Set(pats) => {
+            let OValue::Set(vals) = value else { return };
+            // Bijective match: pattern elements map to distinct set
+            // elements (duplicates among instantiated pattern elements
+            // would collapse, so sizes must agree). ALL assignments are
+            // produced.
+            if pats.len() != vals.len() {
+                return;
+            }
+            let vals: Vec<&OValue> = vals.iter().collect();
+            fn go(
+                pats: &[Term],
+                vals: &[&OValue],
+                used: &mut Vec<bool>,
+                binding: &Binding,
+                types: &BTreeMap<VarName, TypeExpr>,
+                inst: &Instance,
+                out: &mut Vec<Binding>,
+            ) {
+                let Some(p) = pats.first() else {
+                    out.push(binding.clone());
+                    return;
+                };
+                for (i, v) in vals.iter().enumerate() {
+                    if used[i] {
+                        continue;
+                    }
+                    let mut exts = Vec::new();
+                    match_term_all(p, v, binding, types, inst, &mut exts);
+                    if !exts.is_empty() {
+                        used[i] = true;
+                        for ext in &exts {
+                            go(&pats[1..], vals, used, ext, types, inst, out);
+                        }
+                        used[i] = false;
+                    }
+                }
+            }
+            let mut used = vec![false; vals.len()];
+            let mut local = Vec::new();
+            go(pats, &vals, &mut used, binding, types, inst, &mut local);
+            // Distinct assignment orders can produce identical bindings
+            // (e.g. ground pattern elements); dedup locally to keep
+            // valuations set-like without resorting the caller's
+            // accumulator on every match.
+            local.sort();
+            local.dedup();
+            out.extend(local);
+        }
+    }
+}
+
+fn undo(binding: &mut Binding, trail: &mut Vec<VarName>, mark: usize) {
+    while trail.len() > mark {
+        let v = trail.pop().expect("trail non-empty");
+        binding.remove(&v);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Valuation search
+// ---------------------------------------------------------------------
+
+/// An execution plan step for one rule body.
+enum Op<'a> {
+    /// Iterate the set denoted by `set`, matching `elem` (binds variables).
+    Scan { set: &'a Term, elem: &'a Term },
+    /// Evaluate `src` and match `pattern` against it (binds variables).
+    EqMatch { src: &'a Term, pattern: &'a Term },
+    /// Enumerate a variable's type over the active domain.
+    Enumerate { var: VarName, ty: TypeExpr },
+    /// Filter: all variables bound.
+    Filter { lit: &'a Literal },
+}
+
+/// Builds the execution plan for a rule body: orders literals so variables
+/// are bound before use, inserting [`Op::Enumerate`] fallbacks where no
+/// positive literal can bind a variable (the paper's active-domain
+/// valuation semantics).
+fn build_plan(rule: &Rule) -> Result<Vec<Op<'_>>> {
+    let mut remaining: Vec<&Literal> = rule.body.iter().collect();
+    let mut bound: BTreeSet<VarName> = BTreeSet::new();
+    let mut plan: Vec<Op> = Vec::new();
+
+    let term_bound = |t: &Term, bound: &BTreeSet<VarName>| {
+        let mut vs = BTreeSet::new();
+        t.vars(&mut vs);
+        vs.iter().all(|v| bound.contains(v))
+    };
+
+    while !remaining.is_empty() {
+        // 1. Prefer a positive membership whose set side is evaluable;
+        //    among those, prefer the one sharing the most already-bound
+        //    variables (joins before cross products).
+        let mut picked: Option<usize> = None;
+        let mut best_score: isize = -1;
+        for (i, lit) in remaining.iter().enumerate() {
+            if let Literal::Member {
+                set,
+                elem,
+                positive: true,
+            } = lit
+            {
+                let evaluable = match set {
+                    Term::Rel(_) | Term::Class(_) => true,
+                    _ => term_bound(set, &bound),
+                };
+                if evaluable {
+                    let mut vs = BTreeSet::new();
+                    elem.vars(&mut vs);
+                    let score = vs.iter().filter(|v| bound.contains(*v)).count() as isize;
+                    if score > best_score {
+                        best_score = score;
+                        picked = Some(i);
+                    }
+                }
+            }
+        }
+        // 2. Else a positive equality with one side evaluable.
+        if picked.is_none() {
+            for (i, lit) in remaining.iter().enumerate() {
+                if let Literal::Eq {
+                    left,
+                    right,
+                    positive: true,
+                } = lit
+                {
+                    if term_bound(left, &bound) || term_bound(right, &bound) {
+                        picked = Some(i);
+                        break;
+                    }
+                }
+            }
+        }
+        // 3. Else a fully-bound filter (negatives, inequalities, choose).
+        if picked.is_none() {
+            for (i, lit) in remaining.iter().enumerate() {
+                let mut vs = BTreeSet::new();
+                lit.vars(&mut vs);
+                if vs.iter().all(|v| bound.contains(v)) {
+                    picked = Some(i);
+                    break;
+                }
+            }
+        }
+        match picked {
+            Some(i) => {
+                let lit = remaining.remove(i);
+                match lit {
+                    Literal::Member {
+                        set,
+                        elem,
+                        positive: true,
+                    } => {
+                        let mut vs = BTreeSet::new();
+                        set.vars(&mut vs);
+                        elem.vars(&mut vs);
+                        bound.extend(vs);
+                        plan.push(Op::Scan { set, elem });
+                    }
+                    Literal::Eq {
+                        left,
+                        right,
+                        positive: true,
+                    } => {
+                        let (src, pattern) = if term_bound(left, &bound) {
+                            (left, right)
+                        } else {
+                            (right, left)
+                        };
+                        let mut vs = BTreeSet::new();
+                        pattern.vars(&mut vs);
+                        bound.extend(vs);
+                        plan.push(Op::EqMatch { src, pattern });
+                    }
+                    other => plan.push(Op::Filter { lit: other }),
+                }
+            }
+            None => {
+                // Stuck: enumerate the lexicographically first unbound
+                // variable of the remaining literals (paper semantics —
+                // variables range over their type's active-domain
+                // interpretation).
+                let mut vs = BTreeSet::new();
+                for lit in &remaining {
+                    lit.vars(&mut vs);
+                }
+                let var = vs
+                    .into_iter()
+                    .find(|v| !bound.contains(v))
+                    .expect("stuck plan must have an unbound variable");
+                let ty = rule
+                    .var_types
+                    .get(&var)
+                    .cloned()
+                    .ok_or_else(|| IqlError::Invalid(format!("untyped variable {var}")))?;
+                bound.insert(var.clone());
+                plan.push(Op::Enumerate { var, ty });
+            }
+        }
+    }
+    // (Head-only vars are the invention variables, handled by the caller.)
+    Ok(plan)
+}
+
+/// Renders the execution plan of a rule body — `EXPLAIN` for IQL. Useful
+/// for understanding evaluation cost (scans vs. hash joins vs. enumeration
+/// fallbacks) and exposed through the `iql explain` CLI subcommand.
+pub fn explain_rule(rule: &Rule) -> Result<String> {
+    use std::fmt::Write;
+    let plan = build_plan(rule)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "plan for: {rule}");
+    for (i, op) in plan.iter().enumerate() {
+        match op {
+            Op::Scan { set, elem } => {
+                let _ = writeln!(out, "  {i}: scan {set}, match {elem}");
+            }
+            Op::EqMatch { src, pattern } => {
+                let _ = writeln!(out, "  {i}: eval {src}, match {pattern}");
+            }
+            Op::Enumerate { var, ty } => {
+                let _ = writeln!(
+                    out,
+                    "  {i}: enumerate {var} over active-domain {ty}  [expensive]"
+                );
+            }
+            Op::Filter { lit } => {
+                let _ = writeln!(out, "  {i}: filter {lit}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Number of relation/class scans in a rule's plan — the positions a
+/// semi-naive evaluation differentiates.
+fn count_source_scans(rule: &Rule) -> Result<usize> {
+    Ok(build_plan(rule)?
+        .iter()
+        .filter(|op| {
+            matches!(
+                op,
+                Op::Scan {
+                    set: Term::Rel(_) | Term::Class(_),
+                    ..
+                }
+            )
+        })
+        .count())
+}
+
+/// Computes all valuations `θ` of the body variables with `I ⊨ θ body`.
+fn find_valuations(
+    rule: &Rule,
+    inst: &Instance,
+    cfg: &EvalConfig,
+    report: &mut EvalReport,
+) -> Result<Vec<Binding>> {
+    find_valuations_delta(rule, inst, cfg, report, None)
+}
+
+/// Like [`find_valuations`], but when `delta` is `Some((d, i))`, the `i`-th
+/// relation/class scan of the plan draws from the delta instead of the full
+/// extent — the differentiated join of semi-naive evaluation.
+fn find_valuations_delta(
+    rule: &Rule,
+    inst: &Instance,
+    cfg: &EvalConfig,
+    report: &mut EvalReport,
+    delta: Option<(&Delta, usize)>,
+) -> Result<Vec<Binding>> {
+    let plan = build_plan(rule)?;
+    report.enum_fallbacks += plan
+        .iter()
+        .filter(|op| matches!(op, Op::Enumerate { .. }))
+        .count();
+    let mut source_scan_idx = 0usize;
+    static EMPTY_FACTS: std::sync::OnceLock<BTreeSet<OValue>> = std::sync::OnceLock::new();
+    static EMPTY_OIDS: std::sync::OnceLock<BTreeSet<Oid>> = std::sync::OnceLock::new();
+
+    // ---- Execute the plan over a frontier of bindings. ----
+    let mut frontier: Vec<Binding> = vec![Binding::new()];
+    for op in &plan {
+        if frontier.is_empty() {
+            return Ok(frontier);
+        }
+        let mut next: Vec<Binding> = Vec::new();
+        match op {
+            Op::Scan { set, elem } => {
+                // Is this relation/class scan the differentiated position?
+                let restrict = match (set, delta) {
+                    (Term::Rel(_) | Term::Class(_), Some((d, at))) => {
+                        let hit = source_scan_idx == at;
+                        source_scan_idx += 1;
+                        if hit {
+                            Some(d)
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                // Per-scan hash indexes on bound tuple attributes: built
+                // lazily per attribute, probed per binding. Turns the
+                // nested-loop join into a hash join wherever the pattern
+                // shares a bound variable or constant with the scan.
+                let mut indexes: BTreeMap<
+                    iql_model::AttrName,
+                    std::collections::HashMap<OValue, Vec<&OValue>>,
+                > = BTreeMap::new();
+                for binding in &frontier {
+                    // Candidates to iterate.
+                    match set {
+                        Term::Rel(r) => {
+                            let facts = match restrict {
+                                Some(d) => d
+                                    .rels
+                                    .get(r)
+                                    .unwrap_or_else(|| EMPTY_FACTS.get_or_init(BTreeSet::new)),
+                                None => inst.relation(*r)?,
+                            };
+                            let probe = if cfg.use_index {
+                                find_probe(elem, binding, inst)
+                            } else {
+                                None
+                            };
+                            match probe {
+                                Some((attr, key)) => {
+                                    let idx = indexes
+                                        .entry(attr)
+                                        .or_insert_with(|| build_attr_index(facts, attr));
+                                    if let Some(cands) = idx.get(&key) {
+                                        for v in cands {
+                                            push_match(
+                                                elem,
+                                                v,
+                                                binding,
+                                                &rule.var_types,
+                                                &mut next,
+                                                inst,
+                                            );
+                                        }
+                                    }
+                                }
+                                None => {
+                                    for v in facts {
+                                        push_match(
+                                            elem,
+                                            v,
+                                            binding,
+                                            &rule.var_types,
+                                            &mut next,
+                                            inst,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        Term::Class(p) => {
+                            let oids = match restrict {
+                                Some(d) => d
+                                    .classes
+                                    .get(p)
+                                    .unwrap_or_else(|| EMPTY_OIDS.get_or_init(BTreeSet::new)),
+                                None => inst.class(*p)?,
+                            };
+                            for o in oids {
+                                push_match(
+                                    elem,
+                                    &OValue::Oid(*o),
+                                    binding,
+                                    &rule.var_types,
+                                    &mut next,
+                                    inst,
+                                );
+                            }
+                        }
+                        _ => {
+                            let Some(val) = eval_term(set, binding, inst) else {
+                                continue; // undefined ⇒ unsatisfied
+                            };
+                            let OValue::Set(elems) = val else {
+                                continue; // non-set ⇒ unsatisfied (typing!)
+                            };
+                            for v in &elems {
+                                push_match(elem, v, binding, &rule.var_types, &mut next, inst);
+                            }
+                        }
+                    }
+                }
+            }
+            Op::EqMatch { src, pattern } => {
+                for binding in &frontier {
+                    let Some(val) = eval_term(src, binding, inst) else {
+                        continue;
+                    };
+                    push_match(pattern, &val, binding, &rule.var_types, &mut next, inst);
+                }
+            }
+            Op::Enumerate { var, ty } => {
+                let values = inst
+                    .enumerate_type(ty, cfg.enum_budget)
+                    .map_err(IqlError::Model)?;
+                for binding in &frontier {
+                    match binding.get(var) {
+                        Some(v) => {
+                            if values.contains(v) {
+                                next.push(binding.clone());
+                            }
+                        }
+                        None => {
+                            for v in &values {
+                                let mut b = binding.clone();
+                                b.insert(var.clone(), v.clone());
+                                next.push(b);
+                            }
+                        }
+                    }
+                }
+            }
+            Op::Filter { lit } => {
+                for binding in &frontier {
+                    if literal_satisfied(lit, binding, inst) {
+                        next.push(binding.clone());
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    Ok(frontier)
+}
+
+/// Finds an indexable (attribute, key) pair: a tuple-pattern field whose
+/// term is fully evaluable under the current binding.
+fn find_probe(
+    elem: &Term,
+    binding: &Binding,
+    inst: &Instance,
+) -> Option<(iql_model::AttrName, OValue)> {
+    let Term::Tuple(fields) = elem else {
+        return None;
+    };
+    for (attr, t) in fields {
+        let mut vs = BTreeSet::new();
+        t.vars(&mut vs);
+        if vs.iter().all(|v| binding.contains_key(v)) {
+            if let Some(key) = eval_term(t, binding, inst) {
+                return Some((*attr, key));
+            }
+        }
+    }
+    None
+}
+
+/// Builds a hash index over a relation's tuples keyed by one attribute.
+fn build_attr_index(
+    facts: &BTreeSet<OValue>,
+    attr: iql_model::AttrName,
+) -> std::collections::HashMap<OValue, Vec<&OValue>> {
+    let mut idx: std::collections::HashMap<OValue, Vec<&OValue>> = Default::default();
+    for v in facts {
+        if let OValue::Tuple(fields) = v {
+            if let Some(key) = fields.get(&attr) {
+                idx.entry(key.clone()).or_default().push(v);
+            }
+        }
+    }
+    idx
+}
+
+fn push_match(
+    pattern: &Term,
+    value: &OValue,
+    binding: &Binding,
+    types: &BTreeMap<VarName, TypeExpr>,
+    out: &mut Vec<Binding>,
+    inst: &Instance,
+) {
+    match_term_all(pattern, value, binding, types, inst, out);
+}
+
+/// `I ⊨ θ lit` for a fully-bound literal.
+fn literal_satisfied(lit: &Literal, binding: &Binding, inst: &Instance) -> bool {
+    match lit {
+        Literal::Member {
+            set,
+            elem,
+            positive,
+        } => {
+            let (Some(sv), Some(ev)) = (
+                eval_term(set, binding, inst),
+                eval_term(elem, binding, inst),
+            ) else {
+                return false; // valuation must be defined on both terms
+            };
+            match sv {
+                OValue::Set(s) => s.contains(&ev) == *positive,
+                _ => false,
+            }
+        }
+        Literal::Eq {
+            left,
+            right,
+            positive,
+        } => {
+            let (Some(lv), Some(rv)) = (
+                eval_term(left, binding, inst),
+                eval_term(right, binding, inst),
+            ) else {
+                return false;
+            };
+            (lv == rv) == *positive
+        }
+        Literal::Choose => true,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Head-satisfaction guard (the val-dom "no extension" condition)
+// ---------------------------------------------------------------------
+
+/// Is there an extension `θ̄` of `θ` over the invention variables such that
+/// `I ⊨ θ̄ head`? (If so, the pair is *not* in the valuation-domain.)
+fn head_satisfiable(rule: &Rule, theta: &Binding, inst: &Instance) -> bool {
+    let no_invention = rule.invention_vars().is_empty();
+    match &rule.head {
+        Head::Rel(r, t) => {
+            let Ok(facts) = inst.relation(*r) else {
+                return false;
+            };
+            if no_invention {
+                // Fully bound head: a set-membership probe suffices.
+                return match eval_term(t, theta, inst) {
+                    Some(v) => facts.contains(&v),
+                    None => false,
+                };
+            }
+            facts.iter().any(|v| {
+                let mut b = theta.clone();
+                let mut trail = Vec::new();
+                match_term_extension(t, v, &mut b, &mut trail, inst, rule)
+            })
+        }
+        Head::Class(p, v) => match theta.get(v) {
+            Some(OValue::Oid(o)) => inst.class(*p).map(|s| s.contains(o)).unwrap_or(false),
+            Some(_) => false,
+            // Invention variable: satisfied iff some existing oid inhabits P.
+            None => inst.class(*p).map(|s| !s.is_empty()).unwrap_or(false),
+        },
+        Head::SetMember(x, t) => {
+            let candidates: Vec<Oid> = match theta.get(x) {
+                Some(OValue::Oid(o)) => vec![*o],
+                Some(_) => return false,
+                None => match rule.var_types.get(x) {
+                    Some(TypeExpr::Class(p)) => inst
+                        .class(*p)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default(),
+                    _ => return false,
+                },
+            };
+            candidates.iter().any(|o| {
+                let Some(OValue::Set(s)) = inst.value(*o) else {
+                    return false;
+                };
+                if no_invention {
+                    return match eval_term(t, theta, inst) {
+                        Some(v) => s.contains(&v),
+                        None => false,
+                    };
+                }
+                s.iter().any(|member| {
+                    let mut b = theta.clone();
+                    let mut trail = Vec::new();
+                    match_term_extension(t, member, &mut b, &mut trail, inst, rule)
+                })
+            })
+        }
+        Head::Assign(x, t) => {
+            let candidates: Vec<Oid> = match theta.get(x) {
+                Some(OValue::Oid(o)) => vec![*o],
+                Some(_) => return false,
+                None => match rule.var_types.get(x) {
+                    Some(TypeExpr::Class(p)) => inst
+                        .class(*p)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default(),
+                    _ => return false,
+                },
+            };
+            candidates.iter().any(|o| match inst.value(*o) {
+                Some(v) => {
+                    if no_invention {
+                        return eval_term(t, theta, inst).as_ref() == Some(v);
+                    }
+                    let mut b = theta.clone();
+                    let mut trail = Vec::new();
+                    match_term_extension(t, v, &mut b, &mut trail, inst, rule)
+                }
+                None => false,
+            })
+        }
+        Head::DeleteRel(..) | Head::DeleteOid(..) | Head::DeleteSetMember(..) => false,
+    }
+}
+
+/// Like [`match_term`], but unbound variables may only bind to values of
+/// their declared type (extensions assign invention variables *existing*
+/// objects of their class).
+fn match_term_extension(
+    pattern: &Term,
+    value: &OValue,
+    binding: &mut Binding,
+    trail: &mut Vec<VarName>,
+    inst: &Instance,
+    rule: &Rule,
+) -> bool {
+    match pattern {
+        Term::Var(v) => match binding.get(v) {
+            Some(bound) => bound == value,
+            None => {
+                // Extension: value must inhabit the variable's type.
+                if let Some(ty) = rule.var_types.get(v) {
+                    if !ty.member(value, inst) {
+                        return false;
+                    }
+                }
+                binding.insert(v.clone(), value.clone());
+                trail.push(v.clone());
+                true
+            }
+        },
+        Term::Tuple(fields) => match value {
+            OValue::Tuple(vals) => {
+                if fields.len() != vals.len() || !fields.keys().eq(vals.keys()) {
+                    return false;
+                }
+                let mark = trail.len();
+                for (a, p) in fields {
+                    if !match_term_extension(p, &vals[a], binding, trail, inst, rule) {
+                        undo(binding, trail, mark);
+                        return false;
+                    }
+                }
+                true
+            }
+            _ => false,
+        },
+        Term::Set(pats) => match value {
+            OValue::Set(vals) => {
+                if pats.len() != vals.len() {
+                    return false;
+                }
+                let vals: Vec<&OValue> = vals.iter().collect();
+                fn go(
+                    pats: &[Term],
+                    vals: &[&OValue],
+                    used: &mut Vec<bool>,
+                    binding: &mut Binding,
+                    trail: &mut Vec<VarName>,
+                    inst: &Instance,
+                    rule: &Rule,
+                ) -> bool {
+                    let Some(p) = pats.first() else { return true };
+                    for (i, v) in vals.iter().enumerate() {
+                        if used[i] {
+                            continue;
+                        }
+                        let mark = trail.len();
+                        if match_term_extension(p, v, binding, trail, inst, rule) {
+                            used[i] = true;
+                            if go(&pats[1..], vals, used, binding, trail, inst, rule) {
+                                return true;
+                            }
+                            used[i] = false;
+                        }
+                        undo(binding, trail, mark);
+                    }
+                    false
+                }
+                let mut used = vec![false; vals.len()];
+                go(pats, &vals, &mut used, binding, trail, inst, rule)
+            }
+            _ => false,
+        },
+        other => match eval_term(other, binding, inst) {
+            Some(v) => &v == value,
+            None => false,
+        },
+    }
+}
+
+/// Does the deletion head's target fact exist under `θ`?
+fn deletion_applicable(rule: &Rule, theta: &Binding, inst: &Instance) -> bool {
+    match &rule.head {
+        Head::DeleteRel(r, t) => match eval_term(t, theta, inst) {
+            Some(v) => inst.relation(*r).map(|s| s.contains(&v)).unwrap_or(false),
+            None => false,
+        },
+        Head::DeleteOid(p, x) => match theta.get(x) {
+            Some(OValue::Oid(o)) => inst.class(*p).map(|s| s.contains(o)).unwrap_or(false),
+            _ => false,
+        },
+        Head::DeleteSetMember(x, t) => match (theta.get(x), eval_term(t, theta, inst)) {
+            (Some(OValue::Oid(o)), Some(v)) => {
+                matches!(inst.value(*o), Some(OValue::Set(s)) if s.contains(&v))
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_unit;
+    use iql_model::RelName;
+
+    fn tc_unit() -> crate::parser::Unit {
+        parse_unit(
+            r#"
+            schema {
+              relation Edge: [src: D, dst: D];
+              relation Tc:  [src: D, dst: D];
+            }
+            program {
+              input Edge;
+              output Tc;
+              Tc(x, y) :- Edge(x, y);
+              Tc(x, z) :- Tc(x, y), Edge(y, z);
+            }
+            instance {
+              Edge("a", "b");
+              Edge("b", "c");
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn explain_shows_scans_in_join_order() {
+        let unit = tc_unit();
+        let prog = unit.program.unwrap();
+        let rule = &prog.stages[0].rules[1];
+        let plan = explain_rule(rule).unwrap();
+        assert!(plan.contains("scan Tc"));
+        assert!(plan.contains("scan Edge"));
+        // Tc is scanned first (source order at score ties), then Edge joins
+        // on the shared variable.
+        let tc_pos = plan.find("scan Tc").unwrap();
+        let edge_pos = plan.find("scan Edge").unwrap();
+        assert!(tc_pos < edge_pos);
+    }
+
+    #[test]
+    fn explain_marks_enumeration_fallbacks() {
+        let prog = crate::programs::powerset_unrestricted_program();
+        let rule = &prog.stages[0].rules[0];
+        let plan = explain_rule(rule).unwrap();
+        assert!(plan.contains("enumerate"), "{plan}");
+        assert!(plan.contains("[expensive]"));
+    }
+
+    #[test]
+    fn indexes_do_not_change_results() {
+        let unit = tc_unit();
+        let prog = unit.program.unwrap();
+        let input = unit.instance.unwrap();
+        let with = run(&prog, &input, &EvalConfig::default()).unwrap();
+        let mut cfg = EvalConfig::default();
+        cfg.use_index = false;
+        let without = run(&prog, &input, &cfg).unwrap();
+        assert_eq!(
+            with.output.relation(RelName::new("Tc")).unwrap(),
+            without.output.relation(RelName::new("Tc")).unwrap()
+        );
+    }
+
+    #[test]
+    fn fact_budget_is_enforced() {
+        let unit = tc_unit();
+        let prog = unit.program.unwrap();
+        let input = unit.instance.unwrap();
+        let mut cfg = EvalConfig::default();
+        cfg.max_facts = 2;
+        let err = run(&prog, &input, &cfg).unwrap_err();
+        assert!(matches!(err, IqlError::FactBudget { limit: 2 }));
+    }
+
+    #[test]
+    fn enum_budget_is_enforced() {
+        let prog = crate::programs::powerset_unrestricted_program();
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        for i in 0..10 {
+            input
+                .insert(RelName::new("R"), OValue::tuple([("a", OValue::int(i))]))
+                .unwrap();
+        }
+        let mut cfg = EvalConfig::default();
+        cfg.enum_budget = 16; // 2^10 subsets won't fit
+        let err = run(&prog, &input, &cfg).unwrap_err();
+        assert!(matches!(err, IqlError::Model(_)));
+    }
+
+    #[test]
+    fn empty_body_rules_fire_once() {
+        let unit = parse_unit(
+            r#"
+            schema {
+              relation Seed: [s: {D}];
+            }
+            program {
+              output Seed;
+              Seed({});
+            }
+            "#,
+        )
+        .unwrap();
+        let prog = unit.program.unwrap();
+        let input = Instance::new(Arc::clone(&prog.input));
+        let out = run(&prog, &input, &EvalConfig::default()).unwrap();
+        assert_eq!(out.output.relation(RelName::new("Seed")).unwrap().len(), 1);
+        assert_eq!(out.report.steps, 2);
+    }
+
+    #[test]
+    fn eval_term_undefined_cases() {
+        let unit = tc_unit();
+        let input = unit.instance.unwrap();
+        let binding = Binding::new();
+        // Unbound variable → undefined.
+        assert_eq!(eval_term(&Term::var("nope"), &binding, &input), None);
+        // Relation term evaluates to its current contents as a set.
+        let v = eval_term(&Term::Rel(RelName::new("Edge")), &binding, &input).unwrap();
+        assert!(matches!(v, OValue::Set(s) if s.len() == 2));
+    }
+
+    #[test]
+    fn match_all_enumerates_set_assignments() {
+        let unit = tc_unit();
+        let input = unit.instance.unwrap();
+        let pattern = Term::set([Term::var("x"), Term::var("y")]);
+        let value = OValue::set([OValue::int(1), OValue::int(2)]);
+        let mut out = Vec::new();
+        match_term_all(
+            &pattern,
+            &value,
+            &Binding::new(),
+            &BTreeMap::new(),
+            &input,
+            &mut out,
+        );
+        assert_eq!(out.len(), 2, "both bijections are produced");
+        // Size mismatch → no match.
+        let mut out2 = Vec::new();
+        match_term_all(
+            &pattern,
+            &OValue::set([OValue::int(1)]),
+            &Binding::new(),
+            &BTreeMap::new(),
+            &input,
+            &mut out2,
+        );
+        assert!(out2.is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! # iql-core — the Identity Query Language
+//!
+//! The *operational part* of Abiteboul & Kanellakis's object-based data
+//! model (Section 3): **IQL**, inflationary Datalog¬ extended with typed
+//! set/tuple terms, dereference (`x̂`), *invention of new oids* (head-only
+//! variables of class type), and *weak assignment* (`x̂ = t`). Oids serve
+//! three purposes (Section 1): encoding shared/cyclic structures,
+//! manipulating sets (grouping via temporary set-valued classes), and
+//! achieving computational completeness.
+//!
+//! The crate provides:
+//!
+//! * [`ast`] — terms, literals, rules, stages, programs (Section 3.1),
+//!   including the IQL⁺ `choose` literal (Section 4.4) and IQL\* deletion
+//!   heads (Section 4.5);
+//! * [`parser`] — a concrete textual syntax for schemas and programs;
+//! * [`typecheck`] — static typing with the paper's partial type inference
+//!   and union-coercion rule (Section 3.3);
+//! * [`eval`] — the naive inflationary evaluator (Section 3.2): valuation
+//!   domains, valuation maps, parallel invention, condition (†);
+//! * [`sublang`] — the syntactic analyses of Section 5: range-restriction,
+//!   ptime-restriction, invention- and recursion-freedom, and the
+//!   IQLrr ⊂ IQLpr ⊂ IQL classification with its PTIME guarantee
+//!   (Theorem 5.4);
+//! * [`builder`] — a fluent programmatic API producing the same programs as
+//!   the parser;
+//! * [`programs`] — ready-made paper programs (Examples 1.2, 3.4.1, 3.4.2,
+//!   3.4.3) used by examples, tests, and benchmarks.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use iql_core::parser::parse_unit;
+//! use iql_core::eval::{run, EvalConfig};
+//! use iql_model::{Instance, OValue, RelName};
+//! use std::sync::Arc;
+//!
+//! let unit = parse_unit(
+//!     r#"
+//!     schema {
+//!       relation Edge: [src: D, dst: D];
+//!       relation Tc:   [src: D, dst: D];
+//!     }
+//!     program {
+//!       input Edge;
+//!       output Tc;
+//!       Tc(x, y) :- Edge(x, y);
+//!       Tc(x, z) :- Tc(x, y), Edge(y, z);
+//!     }
+//!     "#,
+//! )
+//! .unwrap();
+//! let prog = unit.program.unwrap();
+//! let mut input = Instance::new(Arc::clone(&prog.input));
+//! let edge = RelName::new("Edge");
+//! for (s, d) in [("a", "b"), ("b", "c")] {
+//!     input
+//!         .insert(edge, OValue::tuple([("src", OValue::str(s)), ("dst", OValue::str(d))]))
+//!         .unwrap();
+//! }
+//! let out = run(&prog, &input, &EvalConfig::default()).unwrap();
+//! assert_eq!(out.output.relation(RelName::new("Tc")).unwrap().len(), 3);
+//! ```
+
+pub mod ast;
+pub mod builder;
+pub mod completeness;
+pub mod control;
+pub mod encode;
+pub mod error;
+pub mod eval;
+pub mod parser;
+pub mod programs;
+pub mod sublang;
+pub mod typecheck;
+
+pub use ast::{Head, Literal, Program, Rule, Stage, Term, VarName};
+pub use builder::ProgramBuilder;
+pub use error::{IqlError, Result};
+pub use eval::{run, EvalConfig, EvalOutput, EvalReport};

@@ -1,0 +1,1455 @@
+//! A concrete textual syntax for IQL schemas and programs.
+//!
+//! The syntax follows the paper's notation as closely as ASCII allows:
+//!
+//! ```text
+//! schema {
+//!   relation R:  [A1: D, A2: D];
+//!   class P:     [A1: D, A2: {P}];
+//!   class Ta isa Student, Instructor: [];       // Section 6 inheritance
+//! }
+//! program {
+//!   input R;
+//!   output P;
+//!   stage {                                     // ';' composition
+//!     R0(x) :- R(x, y);
+//!     R0(x) :- R(y, x);
+//!   }
+//!   stage {
+//!     Rp(x, p, pp) :- R0(x);                    // p, pp are invented
+//!   }
+//!   stage {
+//!     pp^(q) :- Rp(x, p, pp), Rp(y, q, qq), R(x, y);
+//!   }
+//!   stage {
+//!     p^ = [A1: x, A2: pp^] :- Rp(x, p, pp);    // weak assignment
+//!   }
+//! }
+//! ```
+//!
+//! Conventions (the paper's "shorthands", Section 3.4):
+//!
+//! * `R(t1, …, tk)` is positional shorthand for `R([A1:t1, …, Ak:tk])` using
+//!   the *declared* attribute order of `R`'s tuple type;
+//! * identifiers that name a schema relation/class denote it; all others are
+//!   variables;
+//! * `x^` is the dereference `x̂`; `x^(t)` a set-membership atom/fact;
+//!   `x^ = t` a weak assignment (in heads) or equality with a dereference
+//!   (in bodies);
+//! * `not A` negates a membership atom, `!=` an equality;
+//! * `choose` (IQL⁺) and `del` heads (IQL\*) extend the core language;
+//! * `var x: T;` declares variable types when inference needs help
+//!   (e.g. the powerset's non-range-restricted `X = X`).
+
+use crate::ast::{Head, Literal, Program, Rule, Stage, Term, VarName};
+use crate::error::{IqlError, Result};
+use crate::typecheck::check_program;
+use iql_model::{AttrName, ClassName, IsaHierarchy, RelName, Schema, SchemaWithIsa, TypeExpr};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// A parsed compilation unit: a schema (possibly with isa), attribute
+/// declaration order (for positional shorthand), optionally a program, and
+/// optionally an instance.
+#[derive(Debug, Clone)]
+pub struct Unit {
+    /// The declared schema, before any inheritance translation.
+    pub schema: Schema,
+    /// Isa edges, if any (Section 6).
+    pub isa: IsaHierarchy,
+    /// The schema programs run over: equal to `schema` when there is no
+    /// isa, otherwise the union-type translation (Definition 6.2.2).
+    pub program_schema: Schema,
+    /// Declared attribute order per relation with a tuple type.
+    pub attr_order: BTreeMap<RelName, Vec<AttrName>>,
+    /// The program, if a `program { … }` block was present.
+    pub program: Option<Program>,
+    /// The instance, if an `instance { … }` block was present. Built over
+    /// the program's *input* schema when a program is present, otherwise
+    /// over the full schema. Identifiers that are not schema names denote
+    /// oids, created on first use:
+    ///
+    /// ```text
+    /// instance {
+    ///   Gen2(cain);
+    ///   cain^ = [name: "Cain", occupations: {"Farmer"}];
+    ///   FoundedLineage(cain);
+    /// }
+    /// ```
+    pub instance: Option<iql_model::Instance>,
+}
+
+/// Parses a unit (schema and optional program) and type-checks the program.
+pub fn parse_unit(src: &str) -> Result<Unit> {
+    Parser::new(src)?.unit()
+}
+
+/// Parses just a type expression (handy for tests and tools).
+pub fn parse_type(src: &str) -> Result<TypeExpr> {
+    let mut p = Parser::new(src)?;
+    let t = p.ty()?;
+    p.expect_eof()?;
+    Ok(t)
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LBrace,
+    RBrace,
+    LBrack,
+    RBrack,
+    LParen,
+    RParen,
+    Colon,
+    Semi,
+    Comma,
+    Eq,
+    Neq,
+    Arrow, // :-
+    Caret,
+    Pipe,
+    Amp,
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct SpannedTok {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<SpannedTok>> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = src.chars().peekable();
+    let err = |line: usize, col: usize, msg: &str| IqlError::Parse {
+        line,
+        col,
+        msg: msg.to_string(),
+    };
+    while let Some(&c) = chars.peek() {
+        let (tl, tc) = (line, col);
+        let advance = |chars: &mut std::iter::Peekable<std::str::Chars>,
+                       line: &mut usize,
+                       col: &mut usize| {
+            let c = chars.next();
+            if c == Some('\n') {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            c
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                advance(&mut chars, &mut line, &mut col);
+            }
+            '/' => {
+                advance(&mut chars, &mut line, &mut col);
+                if chars.peek() == Some(&'/') {
+                    // Line comment.
+                    while let Some(&c2) = chars.peek() {
+                        if c2 == '\n' {
+                            break;
+                        }
+                        advance(&mut chars, &mut line, &mut col);
+                    }
+                } else {
+                    return Err(err(tl, tc, "unexpected '/'"));
+                }
+            }
+            '{' | '}' | '[' | ']' | '(' | ')' | ';' | ',' | '^' | '|' | '&' => {
+                advance(&mut chars, &mut line, &mut col);
+                out.push(SpannedTok {
+                    tok: match c {
+                        '{' => Tok::LBrace,
+                        '}' => Tok::RBrace,
+                        '[' => Tok::LBrack,
+                        ']' => Tok::RBrack,
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        ';' => Tok::Semi,
+                        ',' => Tok::Comma,
+                        '^' => Tok::Caret,
+                        '|' => Tok::Pipe,
+                        '&' => Tok::Amp,
+                        _ => unreachable!(),
+                    },
+                    line: tl,
+                    col: tc,
+                });
+            }
+            ':' => {
+                advance(&mut chars, &mut line, &mut col);
+                if chars.peek() == Some(&'-') {
+                    advance(&mut chars, &mut line, &mut col);
+                    out.push(SpannedTok {
+                        tok: Tok::Arrow,
+                        line: tl,
+                        col: tc,
+                    });
+                } else {
+                    out.push(SpannedTok {
+                        tok: Tok::Colon,
+                        line: tl,
+                        col: tc,
+                    });
+                }
+            }
+            '=' => {
+                advance(&mut chars, &mut line, &mut col);
+                out.push(SpannedTok {
+                    tok: Tok::Eq,
+                    line: tl,
+                    col: tc,
+                });
+            }
+            '!' => {
+                advance(&mut chars, &mut line, &mut col);
+                if chars.peek() == Some(&'=') {
+                    advance(&mut chars, &mut line, &mut col);
+                    out.push(SpannedTok {
+                        tok: Tok::Neq,
+                        line: tl,
+                        col: tc,
+                    });
+                } else {
+                    return Err(err(tl, tc, "expected '=' after '!'"));
+                }
+            }
+            '"' => {
+                advance(&mut chars, &mut line, &mut col);
+                let mut s = String::new();
+                loop {
+                    match advance(&mut chars, &mut line, &mut col) {
+                        Some('"') => break,
+                        Some('\\') => match advance(&mut chars, &mut line, &mut col) {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some(other) => s.push(other),
+                            None => return Err(err(tl, tc, "unterminated string")),
+                        },
+                        Some(other) => s.push(other),
+                        None => return Err(err(tl, tc, "unterminated string")),
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut s = String::new();
+                s.push(c);
+                advance(&mut chars, &mut line, &mut col);
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_digit() {
+                        s.push(c2);
+                        advance(&mut chars, &mut line, &mut col);
+                    } else {
+                        break;
+                    }
+                }
+                let n: i64 = s
+                    .parse()
+                    .map_err(|_| err(tl, tc, &format!("bad integer literal {s}")))?;
+                out.push(SpannedTok {
+                    tok: Tok::Int(n),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if c2.is_ascii_alphanumeric() || c2 == '_' || c2 == '\'' {
+                        s.push(c2);
+                        advance(&mut chars, &mut line, &mut col);
+                    } else {
+                        break;
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(s),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            other => return Err(err(tl, tc, &format!("unexpected character {other:?}"))),
+        }
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    // Filled while parsing the schema block.
+    relations: Vec<(RelName, TypeExpr)>,
+    classes: Vec<(ClassName, TypeExpr)>,
+    isa: IsaHierarchy,
+    attr_order: BTreeMap<RelName, Vec<AttrName>>,
+    rel_names: BTreeSet<String>,
+    class_names: BTreeSet<String>,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser> {
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+            relations: Vec::new(),
+            classes: Vec::new(),
+            isa: IsaHierarchy::new(),
+            attr_order: BTreeMap::new(),
+            rel_names: BTreeSet::new(),
+            class_names: BTreeSet::new(),
+        })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let t = &self.toks[self.pos];
+        (t.line, t.col)
+    }
+
+    fn fail<T>(&self, msg: &str) -> Result<T> {
+        let (line, col) = self.here();
+        Err(IqlError::Parse {
+            line,
+            col,
+            msg: msg.to_string(),
+        })
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<()> {
+        if *self.peek() == tok {
+            self.next();
+            Ok(())
+        } else {
+            self.fail(&format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if *self.peek() == Tok::Eof {
+            Ok(())
+        } else {
+            self.fail("expected end of input")
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.next();
+                Ok(s)
+            }
+            other => self.fail(&format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_ident(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    // ------------------------------------------------------------------
+    // Unit / schema
+    // ------------------------------------------------------------------
+
+    fn unit(&mut self) -> Result<Unit> {
+        if !self.eat_ident("schema") {
+            return self.fail("expected `schema`");
+        }
+        self.expect(Tok::LBrace, "`{`")?;
+        while !matches!(self.peek(), Tok::RBrace) {
+            self.schema_decl()?;
+        }
+        self.expect(Tok::RBrace, "`}`")?;
+
+        let schema = Schema::new(self.relations.clone(), self.classes.clone())?;
+        let program_schema = if self.isa.is_empty() {
+            schema.clone()
+        } else {
+            SchemaWithIsa::new(schema.clone(), self.isa.clone())?.translate()?
+        };
+
+        let program = if self.eat_ident("program") {
+            Some(self.program(&program_schema)?)
+        } else {
+            None
+        };
+        let instance = if self.eat_ident("instance") {
+            let target = match &program {
+                Some(p) => Arc::clone(&p.input),
+                None => Arc::new(program_schema.clone()),
+            };
+            Some(self.instance_block(&target)?)
+        } else {
+            None
+        };
+        self.expect_eof()?;
+        Ok(Unit {
+            schema,
+            isa: self.isa.clone(),
+            program_schema,
+            attr_order: self.attr_order.clone(),
+            program,
+            instance,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Instance blocks
+    // ------------------------------------------------------------------
+
+    /// Parses `instance { fact; … }` into an [`iql_model::Instance`] over
+    /// `schema`. Facts are ground: terms may be constants, oid names
+    /// (identifiers; created in a class by a `P(name)` fact before or after
+    /// use), tuples, and sets.
+    fn instance_block(&mut self, schema: &Arc<Schema>) -> Result<iql_model::Instance> {
+        use iql_model::{Instance, OValue};
+        self.expect(Tok::LBrace, "`{`")?;
+        // First pass: collect raw facts, tracking oid names.
+        enum RawFact {
+            Rel(RelName, Term),
+            Class(ClassName, String),
+            SetMember(String, Term),
+            Assign(String, Term),
+        }
+        let mut facts: Vec<RawFact> = Vec::new();
+        while !matches!(self.peek(), Tok::RBrace) {
+            let name = self.ident("fact predicate")?;
+            if *self.peek() == Tok::Caret {
+                self.next();
+                if *self.peek() == Tok::LParen {
+                    self.next();
+                    let t = self.term(schema)?;
+                    self.expect(Tok::RParen, "`)`")?;
+                    facts.push(RawFact::SetMember(name, t));
+                } else {
+                    self.expect(Tok::Eq, "`=` or `(` after `^`")?;
+                    let t = self.term(schema)?;
+                    facts.push(RawFact::Assign(name, t));
+                }
+            } else if self.rel_names.contains(&name) {
+                let r = RelName::new(&name);
+                self.expect(Tok::LParen, "`(`")?;
+                let t = self.atom_args(schema, Some(r))?;
+                self.expect(Tok::RParen, "`)`")?;
+                facts.push(RawFact::Rel(r, t));
+            } else if self.class_names.contains(&name) {
+                let c = ClassName::new(&name);
+                self.expect(Tok::LParen, "`(`")?;
+                let o = self.ident("oid name")?;
+                self.expect(Tok::RParen, "`)`")?;
+                facts.push(RawFact::Class(c, o));
+            } else {
+                return self.fail(&format!("{name} is not a schema name"));
+            }
+            self.expect(Tok::Semi, "`;` after fact")?;
+        }
+        self.expect(Tok::RBrace, "`}`")?;
+
+        // Second pass: create oids for class facts, then ground the terms.
+        let mut inst = Instance::new(Arc::clone(schema));
+        let mut oids: BTreeMap<String, iql_model::Oid> = BTreeMap::new();
+        for f in &facts {
+            if let RawFact::Class(c, name) = f {
+                if oids.contains_key(name) {
+                    return self.fail(&format!("oid {name} declared in two classes"));
+                }
+                let o = inst.create_oid(*c).map_err(IqlError::Model)?;
+                oids.insert(name.clone(), o);
+            }
+        }
+        let ground = |t: &Term, oids: &BTreeMap<String, iql_model::Oid>| -> Result<OValue> {
+            fn go(
+                t: &Term,
+                oids: &BTreeMap<String, iql_model::Oid>,
+            ) -> std::result::Result<OValue, String> {
+                match t {
+                    Term::Const(c) => Ok(OValue::Const(c.clone())),
+                    Term::Var(v) => oids
+                        .get(v.as_str())
+                        .map(|o| OValue::Oid(*o))
+                        .ok_or_else(|| format!("unknown oid {v} (declare it with a class fact)")),
+                    Term::Tuple(fields) => {
+                        let mut out = BTreeMap::new();
+                        for (a, ft) in fields {
+                            out.insert(*a, go(ft, oids)?);
+                        }
+                        Ok(OValue::Tuple(out))
+                    }
+                    Term::Set(elems) => {
+                        let mut out = std::collections::BTreeSet::new();
+                        for e in elems {
+                            out.insert(go(e, oids)?);
+                        }
+                        Ok(OValue::Set(out))
+                    }
+                    other => Err(format!("non-ground term {other} in instance block")),
+                }
+            }
+            go(t, oids).map_err(IqlError::Invalid)
+        };
+        for f in &facts {
+            match f {
+                RawFact::Class(..) => {}
+                RawFact::Rel(r, t) => {
+                    let v = ground(t, &oids)?;
+                    inst.insert(*r, v).map_err(IqlError::Model)?;
+                }
+                RawFact::SetMember(name, t) => {
+                    let o = *oids
+                        .get(name)
+                        .ok_or_else(|| IqlError::Invalid(format!("unknown oid {name}")))?;
+                    let v = ground(t, &oids)?;
+                    inst.add_set_member(o, v).map_err(IqlError::Model)?;
+                }
+                RawFact::Assign(name, t) => {
+                    let o = *oids
+                        .get(name)
+                        .ok_or_else(|| IqlError::Invalid(format!("unknown oid {name}")))?;
+                    let v = ground(t, &oids)?;
+                    if !inst.define_value(o, v).map_err(IqlError::Model)? {
+                        return Err(IqlError::Invalid(format!(
+                            "oid {name} assigned a value twice"
+                        )));
+                    }
+                }
+            }
+        }
+        inst.validate().map_err(IqlError::Model)?;
+        Ok(inst)
+    }
+
+    fn schema_decl(&mut self) -> Result<()> {
+        if self.eat_ident("relation") {
+            let name = self.ident("relation name")?;
+            self.expect(Tok::Colon, "`:`")?;
+            let (ty, order) = self.ty_with_order()?;
+            self.expect(Tok::Semi, "`;`")?;
+            let r = RelName::new(&name);
+            if let Some(order) = order {
+                self.attr_order.insert(r, order);
+            }
+            self.rel_names.insert(name);
+            self.relations.push((r, ty));
+            Ok(())
+        } else if self.eat_ident("class") {
+            let name = self.ident("class name")?;
+            let sub = ClassName::new(&name);
+            if self.eat_ident("isa") {
+                loop {
+                    let sup = self.ident("superclass name")?;
+                    self.isa.add(sub, ClassName::new(&sup));
+                    if *self.peek() == Tok::Comma {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(Tok::Colon, "`:`")?;
+            let ty = self.ty()?;
+            self.expect(Tok::Semi, "`;`")?;
+            self.class_names.insert(name);
+            self.classes.push((sub, ty));
+            Ok(())
+        } else {
+            self.fail("expected `relation` or `class`")
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Types
+    // ------------------------------------------------------------------
+
+    fn ty(&mut self) -> Result<TypeExpr> {
+        Ok(self.ty_with_order()?.0)
+    }
+
+    /// Parses a type; if it is a top-level tuple, also returns the declared
+    /// attribute order (for positional shorthand).
+    fn ty_with_order(&mut self) -> Result<(TypeExpr, Option<Vec<AttrName>>)> {
+        let (first, order) = self.ty_inter()?;
+        let mut acc = first;
+        let mut multi = false;
+        while *self.peek() == Tok::Pipe {
+            self.next();
+            let (rhs, _) = self.ty_inter()?;
+            acc = TypeExpr::union(acc, rhs);
+            multi = true;
+        }
+        Ok((acc, if multi { None } else { order }))
+    }
+
+    fn ty_inter(&mut self) -> Result<(TypeExpr, Option<Vec<AttrName>>)> {
+        let (first, order) = self.ty_prim()?;
+        let mut acc = first;
+        let mut multi = false;
+        while *self.peek() == Tok::Amp {
+            self.next();
+            let (rhs, _) = self.ty_prim()?;
+            acc = TypeExpr::inter(acc, rhs);
+            multi = true;
+        }
+        Ok((acc, if multi { None } else { order }))
+    }
+
+    fn ty_prim(&mut self) -> Result<(TypeExpr, Option<Vec<AttrName>>)> {
+        match self.peek().clone() {
+            Tok::Ident(s) if s == "D" => {
+                self.next();
+                Ok((TypeExpr::Base, None))
+            }
+            Tok::Ident(s) if s == "empty" => {
+                self.next();
+                Ok((TypeExpr::Empty, None))
+            }
+            Tok::Ident(s) => {
+                self.next();
+                Ok((TypeExpr::Class(ClassName::new(&s)), None))
+            }
+            Tok::LBrack => {
+                self.next();
+                let mut fields = Vec::new();
+                let mut order = Vec::new();
+                while !matches!(self.peek(), Tok::RBrack) {
+                    let attr = self.ident("attribute name")?;
+                    self.expect(Tok::Colon, "`:`")?;
+                    let t = self.ty()?;
+                    let a = AttrName::new(&attr);
+                    if order.contains(&a) {
+                        return self.fail(&format!("duplicate attribute {attr}"));
+                    }
+                    order.push(a);
+                    fields.push((a, t));
+                    if *self.peek() == Tok::Comma {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(Tok::RBrack, "`]`")?;
+                Ok((TypeExpr::tuple(fields), Some(order)))
+            }
+            Tok::LBrace => {
+                self.next();
+                let t = self.ty()?;
+                self.expect(Tok::RBrace, "`}`")?;
+                Ok((TypeExpr::set_of(t), None))
+            }
+            Tok::LParen => {
+                self.next();
+                let t = self.ty()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok((t, None))
+            }
+            other => self.fail(&format!("expected a type, found {other:?}")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Program
+    // ------------------------------------------------------------------
+
+    fn program(&mut self, schema: &Schema) -> Result<Program> {
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut input_rels = BTreeSet::new();
+        let mut input_classes = BTreeSet::new();
+        let mut output_rels = BTreeSet::new();
+        let mut output_classes = BTreeSet::new();
+        // input/output declarations.
+        loop {
+            if self.peek_ident("input") || self.peek_ident("output") {
+                let is_input = self.eat_ident("input") || {
+                    self.eat_ident("output");
+                    false
+                };
+                loop {
+                    let name = self.ident("relation or class name")?;
+                    if self.rel_names.contains(&name) {
+                        let r = RelName::new(&name);
+                        if is_input {
+                            input_rels.insert(r);
+                        } else {
+                            output_rels.insert(r);
+                        }
+                    } else if self.class_names.contains(&name) {
+                        let c = ClassName::new(&name);
+                        if is_input {
+                            input_classes.insert(c);
+                        } else {
+                            output_classes.insert(c);
+                        }
+                    } else {
+                        return self.fail(&format!("{name} is not a schema name"));
+                    }
+                    if *self.peek() == Tok::Comma {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(Tok::Semi, "`;`")?;
+            } else {
+                break;
+            }
+        }
+        // Classes referenced by kept relation types must be in the
+        // projections; close them over mentioned classes.
+        let close = |rels: &BTreeSet<RelName>, classes: &mut BTreeSet<ClassName>| {
+            let mut frontier: Vec<TypeExpr> = rels
+                .iter()
+                .filter_map(|r| schema.relation_type(*r).ok().cloned())
+                .chain(
+                    classes
+                        .iter()
+                        .filter_map(|c| schema.class_type(*c).ok().cloned()),
+                )
+                .collect();
+            while let Some(t) = frontier.pop() {
+                let mut mentioned = BTreeSet::new();
+                t.classes_mentioned(&mut mentioned);
+                for c in mentioned {
+                    if classes.insert(c) {
+                        if let Ok(ct) = schema.class_type(c) {
+                            frontier.push(ct.clone());
+                        }
+                    }
+                }
+            }
+        };
+        close(&input_rels, &mut input_classes);
+        close(&output_rels, &mut output_classes);
+
+        // Stages / rules.
+        let mut stages: Vec<Stage> = Vec::new();
+        let mut loose: Vec<Rule> = Vec::new();
+        let mut loose_vars: BTreeMap<VarName, TypeExpr> = BTreeMap::new();
+        while !matches!(self.peek(), Tok::RBrace) {
+            if self.peek_ident("stage") {
+                if !loose.is_empty() {
+                    return self.fail("mix of loose rules and `stage` blocks");
+                }
+                self.next();
+                self.expect(Tok::LBrace, "`{`")?;
+                let mut vars: BTreeMap<VarName, TypeExpr> = BTreeMap::new();
+                let mut rules = Vec::new();
+                while !matches!(self.peek(), Tok::RBrace) {
+                    if self.peek_ident("var") {
+                        self.var_decl(&mut vars)?;
+                    } else {
+                        rules.push(self.rule(schema, &vars)?);
+                    }
+                }
+                self.expect(Tok::RBrace, "`}`")?;
+                stages.push(Stage::new(rules));
+            } else if self.peek_ident("var") {
+                self.var_decl(&mut loose_vars)?;
+            } else {
+                if !stages.is_empty() {
+                    return self.fail("mix of `stage` blocks and loose rules");
+                }
+                loose.push(self.rule(schema, &loose_vars)?);
+            }
+        }
+        self.expect(Tok::RBrace, "`}`")?;
+        if !loose.is_empty() {
+            stages.push(Stage::new(loose));
+        }
+
+        let schema = Arc::new(schema.clone());
+        let input = Arc::new(schema.project(&input_rels, &input_classes)?);
+        let output = Arc::new(schema.project(&output_rels, &output_classes)?);
+        let mut prog = Program {
+            schema,
+            input,
+            output,
+            stages,
+        };
+        check_program(&mut prog)?;
+        Ok(prog)
+    }
+
+    fn var_decl(&mut self, vars: &mut BTreeMap<VarName, TypeExpr>) -> Result<()> {
+        self.eat_ident("var");
+        loop {
+            let name = self.ident("variable name")?;
+            self.expect(Tok::Colon, "`:`")?;
+            let t = self.ty()?;
+            vars.insert(VarName::new(&name), t);
+            if *self.peek() == Tok::Comma {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        self.expect(Tok::Semi, "`;`")
+    }
+
+    // ------------------------------------------------------------------
+    // Rules
+    // ------------------------------------------------------------------
+
+    fn rule(&mut self, schema: &Schema, vars: &BTreeMap<VarName, TypeExpr>) -> Result<Rule> {
+        let head = self.head(schema)?;
+        let mut body = Vec::new();
+        if *self.peek() == Tok::Arrow {
+            self.next();
+            loop {
+                body.push(self.literal(schema)?);
+                if *self.peek() == Tok::Comma {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::Semi, "`;` after rule")?;
+        let mut rule = Rule::new(head, body);
+        // Seed declared types for variables the rule uses.
+        let mut used = rule.body_vars();
+        rule.head.vars(&mut used);
+        for v in used {
+            if let Some(t) = vars.get(&v) {
+                rule.var_types.insert(v, t.clone());
+            }
+        }
+        Ok(rule)
+    }
+
+    fn head(&mut self, schema: &Schema) -> Result<Head> {
+        if self.eat_ident("del") {
+            let name = self.ident("deletion target")?;
+            if self.rel_names.contains(&name) {
+                let r = RelName::new(&name);
+                self.expect(Tok::LParen, "`(`")?;
+                let t = self.atom_args(schema, Some(r))?;
+                self.expect(Tok::RParen, "`)`")?;
+                return Ok(Head::DeleteRel(r, t));
+            }
+            if self.class_names.contains(&name) {
+                let c = ClassName::new(&name);
+                self.expect(Tok::LParen, "`(`")?;
+                let v = self.ident("variable")?;
+                self.expect(Tok::RParen, "`)`")?;
+                return Ok(Head::DeleteOid(c, VarName::new(&v)));
+            }
+            // del x^(t)
+            self.expect(Tok::Caret, "`^`")?;
+            self.expect(Tok::LParen, "`(`")?;
+            let t = self.term(schema)?;
+            self.expect(Tok::RParen, "`)`")?;
+            return Ok(Head::DeleteSetMember(VarName::new(&name), t));
+        }
+        let name = self.ident("head predicate")?;
+        if *self.peek() == Tok::Caret {
+            self.next();
+            if *self.peek() == Tok::LParen {
+                self.next();
+                let t = self.term(schema)?;
+                self.expect(Tok::RParen, "`)`")?;
+                return Ok(Head::SetMember(VarName::new(&name), t));
+            }
+            self.expect(Tok::Eq, "`=` or `(` after `^` in head")?;
+            let t = self.term(schema)?;
+            return Ok(Head::Assign(VarName::new(&name), t));
+        }
+        if self.rel_names.contains(&name) {
+            let r = RelName::new(&name);
+            self.expect(Tok::LParen, "`(`")?;
+            let t = self.atom_args(schema, Some(r))?;
+            self.expect(Tok::RParen, "`)`")?;
+            return Ok(Head::Rel(r, t));
+        }
+        if self.class_names.contains(&name) {
+            let c = ClassName::new(&name);
+            self.expect(Tok::LParen, "`(`")?;
+            let v = self.ident("variable")?;
+            self.expect(Tok::RParen, "`)`")?;
+            return Ok(Head::Class(c, VarName::new(&v)));
+        }
+        self.fail(&format!("head predicate {name} is not a schema name"))
+    }
+
+    fn literal(&mut self, schema: &Schema) -> Result<Literal> {
+        if self.eat_ident("not") {
+            let (set, elem) = self.atom(schema)?;
+            return Ok(Literal::not_member(set, elem));
+        }
+        if self.peek_ident("choose") {
+            self.next();
+            return Ok(Literal::Choose);
+        }
+        // Could be an atom `Name(...)`, `x^(...)`, or a term comparison.
+        if let Tok::Ident(name) = self.peek().clone() {
+            if *self.peek2() == Tok::LParen
+                && (self.rel_names.contains(&name) || self.class_names.contains(&name))
+            {
+                let (set, elem) = self.atom(schema)?;
+                return Ok(Literal::member(set, elem));
+            }
+        }
+        // Parse a term, then decide: comparison or variable-atom.
+        let left = self.term(schema)?;
+        match self.peek().clone() {
+            Tok::Eq => {
+                self.next();
+                let right = self.term(schema)?;
+                Ok(Literal::eq(left, right))
+            }
+            Tok::Neq => {
+                self.next();
+                let right = self.term(schema)?;
+                Ok(Literal::neq(left, right))
+            }
+            Tok::LParen => {
+                // X(y) or x^(y): `left` must be a var or deref term.
+                match left {
+                    Term::Var(_) | Term::Deref(_) => {
+                        self.next();
+                        let elem = self.term(schema)?;
+                        self.expect(Tok::RParen, "`)`")?;
+                        Ok(Literal::member(left, elem))
+                    }
+                    other => self.fail(&format!("cannot apply term {other} as a set")),
+                }
+            }
+            other => self.fail(&format!(
+                "expected `=`, `!=`, or `(` in literal, found {other:?}"
+            )),
+        }
+    }
+
+    /// Parses an atom `Name(args…)` for a schema relation/class.
+    fn atom(&mut self, schema: &Schema) -> Result<(Term, Term)> {
+        let name = self.ident("atom predicate")?;
+        if self.rel_names.contains(&name) {
+            let r = RelName::new(&name);
+            self.expect(Tok::LParen, "`(`")?;
+            let t = self.atom_args(schema, Some(r))?;
+            self.expect(Tok::RParen, "`)`")?;
+            Ok((Term::Rel(r), t))
+        } else if self.class_names.contains(&name) {
+            let c = ClassName::new(&name);
+            self.expect(Tok::LParen, "`(`")?;
+            let t = self.term(schema)?;
+            self.expect(Tok::RParen, "`)`")?;
+            Ok((Term::Class(c), t))
+        } else {
+            self.fail(&format!("{name} is not a schema relation or class"))
+        }
+    }
+
+    /// Parses atom arguments, applying positional shorthand for relations
+    /// with tuple types.
+    fn atom_args(&mut self, schema: &Schema, rel: Option<RelName>) -> Result<Term> {
+        let mut args = vec![self.term(schema)?];
+        while *self.peek() == Tok::Comma {
+            self.next();
+            args.push(self.term(schema)?);
+        }
+        if args.len() == 1 {
+            // Single argument: positional only for declared 1-tuples, and
+            // only when the argument is not already an explicit tuple
+            // literal with exactly the declared attribute (otherwise
+            // `R([a: x])` would double-wrap on reparse).
+            if let Some(r) = rel {
+                if let Some(order) = self.attr_order.get(&r) {
+                    if order.len() == 1 {
+                        let attr = order[0];
+                        let explicit = matches!(
+                            &args[0],
+                            Term::Tuple(fields)
+                                if fields.len() == 1 && fields.contains_key(&attr)
+                        );
+                        if !explicit {
+                            return Ok(Term::Tuple(BTreeMap::from([(
+                                attr,
+                                args.pop().expect("one arg"),
+                            )])));
+                        }
+                    }
+                }
+            }
+            return Ok(args.pop().expect("one arg"));
+        }
+        let Some(r) = rel else {
+            return self.fail("multiple arguments only allowed for relation atoms");
+        };
+        let Some(order) = self.attr_order.get(&r).cloned() else {
+            return self.fail(&format!(
+                "relation {r} has no declared tuple attributes; positional shorthand unavailable"
+            ));
+        };
+        if order.len() != args.len() {
+            return self.fail(&format!(
+                "relation {r} has {} attributes, got {} arguments",
+                order.len(),
+                args.len()
+            ));
+        }
+        let _ = schema; // schema consulted via attr_order, kept for clarity
+        Ok(Term::Tuple(order.into_iter().zip(args).collect()))
+    }
+
+    // ------------------------------------------------------------------
+    // Terms
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::only_used_in_recursion)] // schema kept for future name-directed parsing
+    fn term(&mut self, schema: &Schema) -> Result<Term> {
+        match self.peek().clone() {
+            Tok::Ident(s) if s == "true" => {
+                self.next();
+                Ok(Term::Const(iql_model::Constant::bool(true)))
+            }
+            Tok::Ident(s) if s == "false" => {
+                self.next();
+                Ok(Term::Const(iql_model::Constant::bool(false)))
+            }
+            Tok::Ident(name) => {
+                self.next();
+                if *self.peek() == Tok::Caret {
+                    self.next();
+                    return Ok(Term::deref(name.as_str()));
+                }
+                if self.rel_names.contains(&name) {
+                    Ok(Term::Rel(RelName::new(&name)))
+                } else if self.class_names.contains(&name) {
+                    Ok(Term::Class(ClassName::new(&name)))
+                } else {
+                    Ok(Term::var(name.as_str()))
+                }
+            }
+            Tok::Int(n) => {
+                self.next();
+                Ok(Term::int(n))
+            }
+            Tok::Str(s) => {
+                self.next();
+                Ok(Term::str(&s))
+            }
+            Tok::LBrack => {
+                self.next();
+                let mut fields = Vec::new();
+                while !matches!(self.peek(), Tok::RBrack) {
+                    let attr = self.ident("attribute name")?;
+                    self.expect(Tok::Colon, "`:`")?;
+                    let t = self.term(schema)?;
+                    fields.push((AttrName::new(&attr), t));
+                    if *self.peek() == Tok::Comma {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(Tok::RBrack, "`]`")?;
+                Ok(Term::Tuple(fields.into_iter().collect()))
+            }
+            Tok::LBrace => {
+                self.next();
+                let mut elems = Vec::new();
+                while !matches!(self.peek(), Tok::RBrace) {
+                    elems.push(self.term(schema)?);
+                    if *self.peek() == Tok::Comma {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(Tok::RBrace, "`}`")?;
+                Ok(Term::Set(elems))
+            }
+            other => self.fail(&format!("expected a term, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{run, EvalConfig};
+    use iql_model::{Instance, OValue};
+
+    #[test]
+    fn parse_type_expressions() {
+        assert_eq!(parse_type("D").unwrap(), TypeExpr::Base);
+        assert_eq!(parse_type("{D}").unwrap(), TypeExpr::set_of(TypeExpr::Base));
+        let t = parse_type("[a: D, b: {Pp}] | D").unwrap();
+        assert!(matches!(t, TypeExpr::Union(_, _)));
+        let t2 = parse_type("(D | Pq) & Pq").unwrap();
+        assert!(matches!(t2, TypeExpr::Intersect(_, _)));
+        assert_eq!(parse_type("empty").unwrap(), TypeExpr::Empty);
+    }
+
+    #[test]
+    fn parse_schema_only() {
+        let unit = parse_unit(
+            r#"
+            schema {
+              relation R: [a: D, b: D]; // a comment
+              class P: [name: D, kids: {P}];
+            }
+            "#,
+        )
+        .unwrap();
+        assert!(unit.program.is_none());
+        assert_eq!(unit.schema.relations().count(), 1);
+        assert_eq!(
+            unit.attr_order[&RelName::new("R")],
+            vec![AttrName::new("a"), AttrName::new("b")]
+        );
+    }
+
+    #[test]
+    fn parse_error_has_position() {
+        let err = parse_unit("schema { relation R [a: D]; }").unwrap_err();
+        match err {
+            IqlError::Parse { line, col, .. } => {
+                assert_eq!(line, 1);
+                assert!(col > 10);
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn transitive_closure_end_to_end() {
+        let unit = parse_unit(
+            r#"
+            schema {
+              relation Edge: [src: D, dst: D];
+              relation Tc:  [src: D, dst: D];
+            }
+            program {
+              input Edge;
+              output Tc;
+              Tc(x, y) :- Edge(x, y);
+              Tc(x, z) :- Tc(x, y), Edge(y, z);
+            }
+            "#,
+        )
+        .unwrap();
+        let prog = unit.program.unwrap();
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        let edge = RelName::new("Edge");
+        for (s, d) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            input
+                .insert(
+                    edge,
+                    OValue::tuple([("src", OValue::str(s)), ("dst", OValue::str(d))]),
+                )
+                .unwrap();
+        }
+        let out = run(&prog, &input, &EvalConfig::default()).unwrap();
+        // a→{b,c,d}, b→{c,d}, c→{d}
+        assert_eq!(out.output.relation(RelName::new("Tc")).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn negation_and_inequality() {
+        let unit = parse_unit(
+            r#"
+            schema {
+              relation R: [a: D];
+              relation S: [a: D];
+              relation Diff: [a: D];
+            }
+            program {
+              input R, S;
+              output Diff;
+              Diff(x) :- R(x), not S(x);
+            }
+            "#,
+        )
+        .unwrap();
+        let prog = unit.program.unwrap();
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        for v in ["a", "b", "c"] {
+            input
+                .insert(RelName::new("R"), OValue::tuple([("a", OValue::str(v))]))
+                .unwrap();
+        }
+        input
+            .insert(RelName::new("S"), OValue::tuple([("a", OValue::str("b"))]))
+            .unwrap();
+        let out = run(&prog, &input, &EvalConfig::default()).unwrap();
+        assert_eq!(out.output.relation(RelName::new("Diff")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unnest_with_set_variable() {
+        // Example 3.4.1 unnest: R2(x, y) :- R1(x, Y), Y(y);
+        let unit = parse_unit(
+            r#"
+            schema {
+              relation R1: [a: D, b: {D}];
+              relation R2: [a: D, b: D];
+            }
+            program {
+              input R1;
+              output R2;
+              R2(x, y) :- R1(x, Y), Y(y);
+            }
+            "#,
+        )
+        .unwrap();
+        let prog = unit.program.unwrap();
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        input
+            .insert(
+                RelName::new("R1"),
+                OValue::tuple([
+                    ("a", OValue::str("k")),
+                    (
+                        "b",
+                        OValue::set([OValue::int(1), OValue::int(2), OValue::int(3)]),
+                    ),
+                ]),
+            )
+            .unwrap();
+        let out = run(&prog, &input, &EvalConfig::default()).unwrap();
+        assert_eq!(out.output.relation(RelName::new("R2")).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn isa_schema_translates_for_programs() {
+        let unit = parse_unit(
+            r#"
+            schema {
+              class Person: [name: D];
+              class Student isa Person: [course: D];
+              relation Names: [n: D];
+            }
+            program {
+              input Person, Student;
+              output Names;
+              Names(x) :- Person(p), p^ = [name: x];
+              Names(x) :- Student(p), p^ = [name: x, course: c];
+            }
+            "#,
+        )
+        .unwrap();
+        assert!(!unit.isa.is_empty());
+        let prog = unit.program.unwrap();
+        // The translated Student type merges Person's fields.
+        let st = prog.schema.class_type(ClassName::new("Student")).unwrap();
+        let mut s = String::new();
+        use std::fmt::Write;
+        write!(s, "{st}").unwrap();
+        assert!(s.contains("name"));
+    }
+
+    #[test]
+    fn del_heads_parse() {
+        let unit = parse_unit(
+            r#"
+            schema {
+              relation R: [a: D];
+              relation Kill: [a: D];
+            }
+            program {
+              input R, Kill;
+              output R;
+              del R(x) :- Kill(x);
+            }
+            "#,
+        )
+        .unwrap();
+        let prog = unit.program.unwrap();
+        assert!(prog.uses_deletion());
+    }
+
+    #[test]
+    fn choose_parses() {
+        let unit = parse_unit(
+            r#"
+            schema {
+              class P: [];
+              relation Winner: [w: P];
+            }
+            program {
+              input P;
+              output Winner;
+              Winner(x) :- choose;
+            }
+            "#,
+        )
+        .unwrap();
+        assert!(unit.program.unwrap().uses_choose());
+    }
+
+    #[test]
+    fn instance_block_parses_and_runs() {
+        let unit = parse_unit(
+            r#"
+            schema {
+              class Gen2: [name: D, occupations: {D}];
+              relation FoundedLineage: Gen2;
+              relation Names: [n: D];
+            }
+            program {
+              input Gen2, FoundedLineage;
+              output Names;
+              Names(x) :- FoundedLineage(p), p^ = [name: x, occupations: O];
+            }
+            instance {
+              Gen2(cain);
+              Gen2(seth);
+              cain^ = [name: "Cain", occupations: {"Farmer", "Nomad"}];
+              seth^ = [name: "Seth", occupations: {}];
+              FoundedLineage(cain);
+              FoundedLineage(seth);
+            }
+            "#,
+        )
+        .unwrap();
+        let prog = unit.program.unwrap();
+        let input = unit.instance.unwrap();
+        input.validate().unwrap();
+        let out = run(&prog, &input, &EvalConfig::default()).unwrap();
+        assert_eq!(out.output.relation(RelName::new("Names")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn instance_block_with_set_valued_class() {
+        let unit = parse_unit(
+            r#"
+            schema {
+              class Ps: {D};
+              relation Holds: [p: Ps];
+            }
+            instance {
+              Ps(box1);
+              box1^("x");
+              box1^("y");
+              Holds(box1);
+            }
+            "#,
+        )
+        .unwrap();
+        let inst = unit.instance.unwrap();
+        let o = *inst
+            .class(ClassName::new("Ps"))
+            .unwrap()
+            .iter()
+            .next()
+            .unwrap();
+        assert_eq!(
+            inst.value(o),
+            Some(&OValue::set([OValue::str("x"), OValue::str("y")]))
+        );
+    }
+
+    #[test]
+    fn instance_block_rejects_unknown_oid() {
+        let err = parse_unit(
+            r#"
+            schema {
+              class Pz: [];
+              relation R: [p: Pz];
+            }
+            instance {
+              R(ghost);
+            }
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn instance_block_rejects_ill_typed_fact() {
+        let err = parse_unit(
+            r#"
+            schema {
+              relation R: [a: D];
+            }
+            instance {
+              R({});
+            }
+            "#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, IqlError::Model(_)));
+    }
+
+    #[test]
+    fn var_declarations_feed_inference() {
+        // The powerset seed: R1(X) :- X = X with an explicit declaration.
+        let unit = parse_unit(
+            r#"
+            schema {
+              relation R:  [a: D];
+              relation R1: [s: {D}];
+            }
+            program {
+              input R;
+              output R1;
+              var X: {D};
+              R1(X) :- X = X;
+            }
+            "#,
+        )
+        .unwrap();
+        let prog = unit.program.unwrap();
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        for v in ["p", "q"] {
+            input
+                .insert(RelName::new("R"), OValue::tuple([("a", OValue::str(v))]))
+                .unwrap();
+        }
+        let out = run(&prog, &input, &EvalConfig::default()).unwrap();
+        // Subsets of the active domain {p, q}: {}, {p}, {q}, {p,q}.
+        assert_eq!(out.output.relation(RelName::new("R1")).unwrap().len(), 4);
+        assert!(out.report.enum_fallbacks > 0);
+    }
+}

@@ -1,0 +1,782 @@
+//! Ready-made IQL programs from the paper, used by examples, integration
+//! tests, and the benchmark harness. Each is produced through the textual
+//! [`crate::parser`], so these double as end-to-end parser fixtures.
+
+use crate::ast::Program;
+use crate::parser::parse_unit;
+
+/// Example 1.2: transform a directed graph stored as a binary relation
+/// `R : [src:D, dst:D]` into the cyclic class representation
+/// `P : [name:D, succs:{P}]` — one oid per node, successors nested as a set
+/// of oids. Demonstrates all four IQL stages: Datalog projection, parallel
+/// oid invention, set grouping through a temporary set-valued class, and
+/// weak assignment.
+pub fn graph_to_class_program() -> Program {
+    parse_unit(
+        r#"
+        schema {
+          relation R:  [src: D, dst: D];
+          relation R0: [node: D];
+          relation Rp: [node: D, p: P, pp: Pp];
+          class P:  [name: D, succs: {P}];
+          class Pp: {P};
+        }
+        program {
+          input R;
+          output P;
+          stage {
+            R0(x) :- R(x, y);
+            R0(x) :- R(y, x);
+          }
+          stage {
+            Rp(x, p, pp) :- R0(x);
+          }
+          stage {
+            pp^(q) :- Rp(x, p, pp), Rp(y, q, qq), R(x, y);
+          }
+          stage {
+            p^ = [name: x, succs: pp^] :- Rp(x, p, pp);
+          }
+        }
+        "#,
+    )
+    .expect("graph_to_class_program parses")
+    .program
+    .expect("program block present")
+}
+
+/// The inverse of [`graph_to_class_program`]: flatten the class
+/// representation back into a binary edge relation (the "vice-versa"
+/// direction promised in Section 1). Purely invention-free.
+pub fn class_to_graph_program() -> Program {
+    parse_unit(
+        r#"
+        schema {
+          class P:  [name: D, succs: {P}];
+          relation Out: [src: D, dst: D];
+        }
+        program {
+          input P;
+          output Out;
+          Out(x, y) :- P(p), P(q), p^ = [name: x, succs: S], S(q), q^ = [name: y, succs: T];
+        }
+        "#,
+    )
+    .expect("class_to_graph_program parses")
+    .program
+    .expect("program block present")
+}
+
+/// Example 3.4.1: unnest `R1 : [a:D, b:{D}]` into `R2 : [a:D, b:D]`.
+pub fn unnest_program() -> Program {
+    parse_unit(
+        r#"
+        schema {
+          relation R1: [a: D, b: {D}];
+          relation R2: [a: D, b: D];
+        }
+        program {
+          input R1;
+          output R2;
+          R2(x, y) :- R1(x, Y), Y(y);
+        }
+        "#,
+    )
+    .expect("unnest_program parses")
+    .program
+    .expect("program block present")
+}
+
+/// Example 3.4.1: nest `R2 : [a:D, b:D]` into `R3 : [a:D, b:{D}]` using an
+/// auxiliary set-valued class `P` as the grouping temporary (`G1; G2`).
+pub fn nest_program() -> Program {
+    parse_unit(
+        r#"
+        schema {
+          relation R2: [a: D, b: D];
+          relation R3: [a: D, b: {D}];
+          relation R4: [a: D];
+          relation R5: [a: D, z: P];
+          class P: {D};
+        }
+        program {
+          input R2;
+          output R3;
+          stage {
+            R4(x) :- R2(x, y);
+          }
+          stage {
+            R5(x, z) :- R4(x);
+          }
+          stage {
+            z^(y) :- R2(x, y), R5(x, z);
+          }
+          stage {
+            R3(x, z^) :- R5(x, z);
+          }
+        }
+        "#,
+    )
+    .expect("nest_program parses")
+    .program
+    .expect("program block present")
+}
+
+/// Example 3.4.2, second version: the *range-restricted* powerset, built
+/// constructively with invented set-valued oids — `R1` accumulates all
+/// subsets of the input unary relation `R`. Exponential by nature; the
+/// paper's showcase of invention-in-a-loop escaping PTIME.
+pub fn powerset_program() -> Program {
+    parse_unit(
+        r#"
+        schema {
+          relation R:  [a: D];
+          relation R1: [s: {D}];
+          relation R2: [x: {D}, y: {D}, z: P];
+          class P: {D};
+        }
+        program {
+          input R;
+          output R1;
+          R1({});
+          R1({x}) :- R(x);
+          R2(X, Y, z) :- R1(X), R1(Y);
+          z^(x) :- R2(X, Y, z), X(x);
+          z^(y) :- R2(X, Y, z), Y(y);
+          R1(z^) :- P(z);
+        }
+        "#,
+    )
+    .expect("powerset_program parses")
+    .program
+    .expect("program block present")
+}
+
+/// Example 3.4.2, first version: the *non-range-restricted* powerset
+/// `R1(X) ← X = X`, whose variable ranges over the full active-domain
+/// interpretation of `{D}` (evaluated by enumeration fallback).
+pub fn powerset_unrestricted_program() -> Program {
+    parse_unit(
+        r#"
+        schema {
+          relation R:  [a: D];
+          relation R1: [s: {D}];
+        }
+        program {
+          input R;
+          output R1;
+          var X: {D};
+          R1(X) :- X = X;
+        }
+        "#,
+    )
+    .expect("powerset_unrestricted_program parses")
+    .program
+    .expect("program block present")
+}
+
+/// Example 3.4.3, forward direction: losslessly encode instances of the
+/// union-typed schema `P : P ∨ [A1:P, A2:P]` into the union-free schema
+/// `Pp : [B1:{Pp}, B2:{[A1:Pp, A2:Pp]}]`.
+pub fn union_encode_program() -> Program {
+    parse_unit(
+        r#"
+        schema {
+          class P: P | [A1: P, A2: P];
+          class Pp: [B1: {Pp}, B2: {[A1: Pp, A2: Pp]}];
+          relation R: [C1: P, C2: Pp];
+        }
+        program {
+          input P;
+          output Pp;
+          stage {
+            R(x, xp) :- P(x);
+          }
+          stage {
+            xp^ = [B1: {yp}, B2: {}] :- R(x, xp), R(y, yp), y = x^;
+            xp^ = [B1: {}, B2: {[A1: yp, A2: zp]}] :- R(x, xp), R(y, yp), R(z, zp), [A1: y, A2: z] = x^;
+          }
+        }
+        "#,
+    )
+    .expect("union_encode_program parses")
+    .program
+    .expect("program block present")
+}
+
+/// Example 3.4.3, inverse direction: decode the union-free representation
+/// back; composing with [`union_encode_program`] yields an instance
+/// O-isomorphic to the original — "no information is lost". Note the
+/// coercion variable `w : P ∨ [A1:P, A2:P]` used to keep heads typed.
+pub fn union_decode_program() -> Program {
+    parse_unit(
+        r#"
+        schema {
+          class P: P | [A1: P, A2: P];
+          class Pp: [B1: {Pp}, B2: {[A1: Pp, A2: Pp]}];
+          relation R: [C1: P, C2: Pp];
+        }
+        program {
+          input Pp;
+          output P;
+          stage {
+            R(x, xp) :- Pp(xp);
+          }
+          stage {
+            var w: P | [A1: P, A2: P];
+            x^ = w :- R(x, xp), R(y, yp), y = w, xp^ = [B1: {yp}, B2: {}];
+            x^ = w :- R(x, xp), R(y, yp), R(z, zp), [A1: y, A2: z] = w, xp^ = [B1: {}, B2: {[A1: yp, A2: zp]}];
+          }
+        }
+        "#,
+    )
+    .expect("union_decode_program parses")
+    .program
+    .expect("program block present")
+}
+
+/// Plain Datalog transitive closure viewed as an IQL program (Section 3.4:
+/// "each Datalog program can be viewed as a valid IQL program … and its
+/// Datalog and IQL semantics are identical"). Baseline for experiment E11.
+pub fn transitive_closure_program() -> Program {
+    parse_unit(
+        r#"
+        schema {
+          relation Edge: [src: D, dst: D];
+          relation Tc:  [src: D, dst: D];
+        }
+        program {
+          input Edge;
+          output Tc;
+          Tc(x, y) :- Edge(x, y);
+          Tc(x, z) :- Tc(x, y), Edge(y, z);
+        }
+        "#,
+    )
+    .expect("transitive_closure_program parses")
+    .program
+    .expect("program block present")
+}
+
+/// Stratified-negation example: nodes unreachable from a source set,
+/// expressed with composition (`;` makes stratified negation a shorthand,
+/// Section 3.4).
+pub fn unreachable_program() -> Program {
+    parse_unit(
+        r#"
+        schema {
+          relation Edge: [src: D, dst: D];
+          relation Source: [node: D];
+          relation Reach: [node: D];
+          relation Node: [node: D];
+          relation Unreach: [node: D];
+        }
+        program {
+          input Edge, Source;
+          output Unreach;
+          stage {
+            Node(x) :- Edge(x, y);
+            Node(y) :- Edge(x, y);
+            Reach(x) :- Source(x);
+            Reach(y) :- Reach(x), Edge(x, y);
+          }
+          stage {
+            Unreach(x) :- Node(x), not Reach(x);
+          }
+        }
+        "#,
+    )
+    .expect("unreachable_program parses")
+    .program
+    .expect("program block present")
+}
+
+/// The Figure-1 transformation computed *up to copy* in plain IQL, then
+/// resolved with IQL⁺'s `choose` (Theorem 4.4.1). The input is a unary
+/// relation with two constants {a, b}; the output is the directed
+/// quadrangle of four new objects with `a` wired to one diagonal and `b` to
+/// the other. Plain IQL cannot pick *which* vertex of a diagonal is which
+/// (Theorem 4.3.1) — it can only build the whole quadrangle at once, which
+/// is exactly what this program does: every vertex is invented in one
+/// parallel step, and `choose` then selects a marked copy generically.
+pub fn quadrangle_program() -> Program {
+    parse_unit(
+        r#"
+        schema {
+          relation R: [a: D];
+          class Q: [];
+          relation Corner: [x: D, o1: Q, o2: Q, o3: Q, o4: Q];
+          relation Rp: [b: Q, c: D | Q];
+          relation Pair: [x: D, y: D];
+        }
+        program {
+          input R;
+          output Rp, Q;
+          stage {
+            Pair(x, y) :- R(x), R(y), x != y;
+          }
+          stage {
+            Corner(x, o1, o2, o3, o4) :- Pair(x, y);
+          }
+          stage {
+            Rp(o1, x) :- Corner(x, o1, o2, o3, o4);
+            Rp(o3, x) :- Corner(x, o1, o2, o3, o4);
+            Rp(o2, y) :- Corner(x, o1, o2, o3, o4), Pair(x, y);
+            Rp(o4, y) :- Corner(x, o1, o2, o3, o4), Pair(x, y);
+            Rp(o4, o1) :- Corner(x, o1, o2, o3, o4);
+            Rp(o3, o4) :- Corner(x, o1, o2, o3, o4);
+            Rp(o2, o3) :- Corner(x, o1, o2, o3, o4);
+            Rp(o1, o2) :- Corner(x, o1, o2, o3, o4);
+          }
+        }
+        "#,
+    )
+    .expect("quadrangle_program parses")
+    .program
+    .expect("program block present")
+}
+
+/// The Figure-1 query on an **ordered database** (Section 4.4, solution 2:
+/// "copy elimination is possible if an ordering of the constants of the
+/// input is explicitly provided"). With `Lt` marking the smaller constant,
+/// plain IQL — no `choose` — deterministically selects the copy generated
+/// by the smaller element: the order breaks the symmetry that made the
+/// choice non-generic, and genericity is preserved *relative to the ordered
+/// input*.
+pub fn quadrangle_ordered_program() -> Program {
+    parse_unit(
+        r#"
+        schema {
+          relation R: [a: D];
+          relation Lt: [lo: D, hi: D];
+          class Q: [];
+          class Qout: [];
+          relation Pair: [x: D, y: D];
+          relation Corner: [x: D, o1: Q, o2: Q, o3: Q, o4: Q];
+          relation Rp: [b: Q, c: D | Q];
+          relation Keep: [o: Q];
+          relation Map: [u: Q, w: Qout];
+          relation OutRp: [b: Qout, c: D | Qout];
+        }
+        program {
+          input R, Lt;
+          output OutRp, Qout;
+          stage {
+            Pair(x, y) :- R(x), R(y), x != y;
+          }
+          stage {
+            Corner(x, o1, o2, o3, o4) :- Pair(x, y);
+          }
+          stage {
+            Rp(o1, x) :- Corner(x, o1, o2, o3, o4);
+            Rp(o3, x) :- Corner(x, o1, o2, o3, o4);
+            Rp(o2, y) :- Corner(x, o1, o2, o3, o4), Pair(x, y);
+            Rp(o4, y) :- Corner(x, o1, o2, o3, o4), Pair(x, y);
+            Rp(o4, o1) :- Corner(x, o1, o2, o3, o4);
+            Rp(o3, o4) :- Corner(x, o1, o2, o3, o4);
+            Rp(o2, o3) :- Corner(x, o1, o2, o3, o4);
+            Rp(o1, o2) :- Corner(x, o1, o2, o3, o4);
+            // Keep only the copy generated by the order-minimal constant —
+            // a deterministic, order-based selection.
+            Keep(o1) :- Corner(x, o1, o2, o3, o4), Lt(x, y);
+            Keep(o2) :- Corner(x, o1, o2, o3, o4), Lt(x, y);
+            Keep(o3) :- Corner(x, o1, o2, o3, o4), Lt(x, y);
+            Keep(o4) :- Corner(x, o1, o2, o3, o4), Lt(x, y);
+          }
+          stage {
+            Map(u, w) :- Keep(u);
+          }
+          stage {
+            OutRp(w, x) :- Map(u, w), R(x), Rp(u, x);
+            OutRp(w1, w2) :- Map(u1, w1), Map(u2, w2), Rp(u1, u2);
+          }
+        }
+        "#,
+    )
+    .expect("quadrangle_ordered_program parses")
+    .program
+    .expect("program block present")
+}
+
+/// The full Theorem-4.4.1 pipeline for the Figure-1 query: build *all*
+/// copies of the quadrangle in plain IQL (Theorem 4.2.4), mark each copy
+/// with an object of a fresh class, `choose` one mark generically (the
+/// copies are automorphic, so the choice is legal), and extract the chosen
+/// copy into fresh output objects. The output `(Qout, OutRp)` is the
+/// Figure-1 instance that plain IQL *cannot* produce (Theorem 4.3.1).
+pub fn quadrangle_choose_program() -> Program {
+    parse_unit(
+        r#"
+        schema {
+          relation R: [a: D];
+          class Q: [];
+          class Qout: [];
+          class Mark: [];
+          relation Pair: [x: D, y: D];
+          relation CopyMark: [x: D, m: Mark];
+          relation Corner: [x: D, o1: Q, o2: Q, o3: Q, o4: Q];
+          relation Rp: [b: Q, c: D | Q];
+          relation Tag: [m: Mark, o: Q];
+          relation Picked: [m: Mark];
+          relation Map: [u: Q, w: Qout];
+          relation OutRp: [b: Qout, c: D | Qout];
+        }
+        program {
+          input R;
+          output OutRp, Qout;
+          stage {
+            Pair(x, y) :- R(x), R(y), x != y;
+          }
+          stage {
+            Corner(x, o1, o2, o3, o4) :- Pair(x, y);
+            CopyMark(x, m) :- Pair(x, y);
+          }
+          stage {
+            Rp(o1, x) :- Corner(x, o1, o2, o3, o4);
+            Rp(o3, x) :- Corner(x, o1, o2, o3, o4);
+            Rp(o2, y) :- Corner(x, o1, o2, o3, o4), Pair(x, y);
+            Rp(o4, y) :- Corner(x, o1, o2, o3, o4), Pair(x, y);
+            Rp(o4, o1) :- Corner(x, o1, o2, o3, o4);
+            Rp(o3, o4) :- Corner(x, o1, o2, o3, o4);
+            Rp(o2, o3) :- Corner(x, o1, o2, o3, o4);
+            Rp(o1, o2) :- Corner(x, o1, o2, o3, o4);
+            Tag(m, o1) :- CopyMark(x, m), Corner(x, o1, o2, o3, o4);
+            Tag(m, o2) :- CopyMark(x, m), Corner(x, o1, o2, o3, o4);
+            Tag(m, o3) :- CopyMark(x, m), Corner(x, o1, o2, o3, o4);
+            Tag(m, o4) :- CopyMark(x, m), Corner(x, o1, o2, o3, o4);
+          }
+          stage {
+            // IQL* deletions: drop the construction scaffolding that pins
+            // copies to constants, so the copies become automorphic and the
+            // upcoming choice is demonstrably generic.
+            del Corner(x, o1, o2, o3, o4) :- Corner(x, o1, o2, o3, o4);
+            del CopyMark(x, m) :- CopyMark(x, m);
+            del Pair(x, y) :- Pair(x, y);
+          }
+          stage {
+            Picked(m) :- choose;
+          }
+          stage {
+            Map(u, w) :- Picked(m), Tag(m, u);
+          }
+          stage {
+            OutRp(w, x) :- Map(u, w), R(x), Rp(u, x);
+            OutRp(w1, w2) :- Map(u1, w1), Map(u2, w2), Rp(u1, u2);
+          }
+        }
+        "#,
+    )
+    .expect("quadrangle_choose_program parses")
+    .program
+    .expect("program block present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{run, EvalConfig};
+    use iql_model::{ClassName, Instance, OValue, RelName};
+    use std::sync::Arc;
+
+    fn unary_input(prog: &Program, rel: &str, attr: &str, vals: &[&str]) -> Instance {
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        for v in vals {
+            input
+                .insert(RelName::new(rel), OValue::tuple([(attr, OValue::str(v))]))
+                .unwrap();
+        }
+        input
+    }
+
+    #[test]
+    fn programs_roundtrip_through_source() {
+        // to_source() is parseable and reproduces the same program.
+        for prog in [
+            graph_to_class_program(),
+            class_to_graph_program(),
+            unnest_program(),
+            nest_program(),
+            powerset_program(),
+            powerset_unrestricted_program(),
+            transitive_closure_program(),
+            unreachable_program(),
+            quadrangle_program(),
+            quadrangle_choose_program(),
+            quadrangle_ordered_program(),
+        ] {
+            let src = prog.to_source();
+            let unit = crate::parser::parse_unit(&src)
+                .unwrap_or_else(|e| panic!("reparse failed: {e}\n{src}"));
+            let back = unit.program.expect("program block present");
+            assert_eq!(*back.schema, *prog.schema, "schema roundtrip");
+            assert_eq!(*back.input, *prog.input, "input roundtrip");
+            assert_eq!(*back.output, *prog.output, "output roundtrip");
+            assert_eq!(back.stages, prog.stages, "stages roundtrip\n{src}");
+        }
+    }
+
+    #[test]
+    fn all_programs_parse_and_typecheck() {
+        graph_to_class_program();
+        class_to_graph_program();
+        unnest_program();
+        nest_program();
+        powerset_program();
+        powerset_unrestricted_program();
+        union_encode_program();
+        union_decode_program();
+        transitive_closure_program();
+        unreachable_program();
+        quadrangle_program();
+        quadrangle_choose_program();
+        quadrangle_ordered_program();
+    }
+
+    #[test]
+    fn quadrangle_ordered_selects_without_choose() {
+        // Section 4.4 solution 2: an explicit order on the constants makes
+        // copy elimination expressible in plain IQL.
+        let cfg = EvalConfig::default();
+        let prog = quadrangle_ordered_program();
+        assert!(!prog.uses_choose());
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        for v in ["a", "b"] {
+            input
+                .insert(RelName::new("R"), OValue::tuple([("a", OValue::str(v))]))
+                .unwrap();
+        }
+        input
+            .insert(
+                RelName::new("Lt"),
+                OValue::tuple([("lo", OValue::str("a")), ("hi", OValue::str("b"))]),
+            )
+            .unwrap();
+        let out = run(&prog, &input, &cfg).unwrap();
+        assert_eq!(out.output.class(ClassName::new("Qout")).unwrap().len(), 4);
+        assert_eq!(out.output.relation(RelName::new("OutRp")).unwrap().len(), 8);
+        // Same Figure-1 structure the choose version produces.
+        let full = quadrangle_choose_program();
+        let mut input2 = Instance::new(Arc::clone(&full.input));
+        for v in ["a", "b"] {
+            input2
+                .insert(RelName::new("R"), OValue::tuple([("a", OValue::str(v))]))
+                .unwrap();
+        }
+        let out2 = run(&full, &input2, &cfg).unwrap();
+        // Compare the arc structures after aligning schemas: both outputs
+        // are 4 fresh objects in a quadrangle; check counts and validate.
+        out.output.validate().unwrap();
+        out2.output.validate().unwrap();
+        assert_eq!(
+            out.output.relation(RelName::new("OutRp")).unwrap().len(),
+            out2.output.relation(RelName::new("OutRp")).unwrap().len()
+        );
+    }
+
+    #[test]
+    fn quadrangle_choose_selects_one_generic_copy() {
+        // Theorem 4.4.1 end-to-end: copies → IQL* cleanup → generic choose
+        // → extraction. The output is exactly the Figure-1 instance.
+        let cfg = EvalConfig::default();
+        let prog = quadrangle_choose_program();
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        for v in ["a", "b"] {
+            input
+                .insert(RelName::new("R"), OValue::tuple([("a", OValue::str(v))]))
+                .unwrap();
+        }
+        let out = run(&prog, &input, &cfg).unwrap();
+        assert_eq!(out.output.class(ClassName::new("Qout")).unwrap().len(), 4);
+        let rp = out.output.relation(RelName::new("OutRp")).unwrap();
+        assert_eq!(rp.len(), 8);
+
+        // Build the expected Figure-1 instance and compare up to O-iso.
+        let mut expected = Instance::new(Arc::clone(&prog.output));
+        let q = ClassName::new("Qout");
+        let o1 = expected.create_oid(q).unwrap();
+        let o2 = expected.create_oid(q).unwrap();
+        let o3 = expected.create_oid(q).unwrap();
+        let o4 = expected.create_oid(q).unwrap();
+        let outrp = RelName::new("OutRp");
+        let arcs: Vec<(iql_model::Oid, OValue)> = vec![
+            (o1, OValue::str("a")),
+            (o3, OValue::str("a")),
+            (o2, OValue::str("b")),
+            (o4, OValue::str("b")),
+            (o4, OValue::oid(o1)),
+            (o3, OValue::oid(o4)),
+            (o2, OValue::oid(o3)),
+            (o1, OValue::oid(o2)),
+        ];
+        for (src, dst) in arcs {
+            expected
+                .insert(outrp, OValue::tuple([("b", OValue::oid(src)), ("c", dst)]))
+                .unwrap();
+        }
+        assert!(
+            iql_model::iso::are_o_isomorphic(&out.output, &expected),
+            "IQL⁺ computes the Figure-1 query that plain IQL cannot (Thm 4.3.1/4.4.1)"
+        );
+    }
+
+    #[test]
+    fn powerset_constructive_matches_unrestricted() {
+        let cfg = EvalConfig::default();
+        let p1 = powerset_program();
+        let p2 = powerset_unrestricted_program();
+        for n in 0..5usize {
+            let vals: Vec<String> = (0..n).map(|i| format!("d{i}")).collect();
+            let refs: Vec<&str> = vals.iter().map(String::as_str).collect();
+            let i1 = unary_input(&p1, "R", "a", &refs);
+            let i2 = unary_input(&p2, "R", "a", &refs);
+            let o1 = run(&p1, &i1, &cfg).unwrap();
+            let o2 = run(&p2, &i2, &cfg).unwrap();
+            let r1 = o1.output.relation(RelName::new("R1")).unwrap();
+            let r2 = o2.output.relation(RelName::new("R1")).unwrap();
+            assert_eq!(r1.len(), 1 << n, "2^{n} subsets");
+            assert_eq!(r1, r2, "both powerset programs agree at n={n}");
+        }
+    }
+
+    #[test]
+    fn nest_unnest_roundtrip() {
+        let cfg = EvalConfig::default();
+        // Start from flat pairs, nest, then unnest back.
+        let nest = nest_program();
+        let mut input = Instance::new(Arc::clone(&nest.input));
+        let r2 = RelName::new("R2");
+        for (a, b) in [("k1", "v1"), ("k1", "v2"), ("k2", "v3")] {
+            input
+                .insert(
+                    r2,
+                    OValue::tuple([("a", OValue::str(a)), ("b", OValue::str(b))]),
+                )
+                .unwrap();
+        }
+        let nested = run(&nest, &input, &cfg).unwrap();
+        let r3 = nested.output.relation(RelName::new("R3")).unwrap();
+        assert_eq!(r3.len(), 2, "one group per key");
+        assert!(r3.contains(&OValue::tuple([
+            ("a", OValue::str("k1")),
+            ("b", OValue::set([OValue::str("v1"), OValue::str("v2")])),
+        ])));
+
+        // Unnest the nested output (schema renaming: R3 plays R1).
+        let unnest = unnest_program();
+        let mut back_in = Instance::new(Arc::clone(&unnest.input));
+        for v in r3 {
+            back_in.insert(RelName::new("R1"), v.clone()).unwrap();
+        }
+        let flat = run(&unnest, &back_in, &cfg).unwrap();
+        let out = flat.output.relation(RelName::new("R2")).unwrap();
+        assert_eq!(out, input.relation(r2).unwrap());
+    }
+
+    #[test]
+    fn graph_roundtrip_via_classes() {
+        let cfg = EvalConfig::default();
+        let enc = graph_to_class_program();
+        let mut input = Instance::new(Arc::clone(&enc.input));
+        let r = RelName::new("R");
+        let edges = [("a", "b"), ("b", "c"), ("c", "a"), ("b", "a")];
+        for (s, d) in edges {
+            input
+                .insert(
+                    r,
+                    OValue::tuple([("src", OValue::str(s)), ("dst", OValue::str(d))]),
+                )
+                .unwrap();
+        }
+        let cyclic = run(&enc, &input, &cfg).unwrap();
+        cyclic.output.validate().unwrap();
+        assert_eq!(cyclic.output.class(ClassName::new("P")).unwrap().len(), 3);
+
+        let dec = class_to_graph_program();
+        let back_in = cyclic.output.clone();
+        // The decoder's input schema is exactly {P}; reproject.
+        let back_in = back_in.project(&dec.input).unwrap();
+        let flat = run(&dec, &back_in, &cfg).unwrap();
+        let out = flat.output.relation(RelName::new("Out")).unwrap();
+        let expect: std::collections::BTreeSet<OValue> = edges
+            .iter()
+            .map(|(s, d)| OValue::tuple([("src", OValue::str(s)), ("dst", OValue::str(d))]))
+            .collect();
+        assert_eq!(*out, expect);
+    }
+
+    #[test]
+    fn union_encode_decode_roundtrip() {
+        use iql_model::iso::are_o_isomorphic;
+        let cfg = EvalConfig::default();
+        let enc = union_encode_program();
+        // Build a P-instance: o0 ↦ o1 (union branch 1), o1 ↦ [o0, o1]
+        // (branch 2) — cyclic, exercising both union branches.
+        let mut input = Instance::new(Arc::clone(&enc.input));
+        let p = ClassName::new("P");
+        let o0 = input.create_oid(p).unwrap();
+        let o1 = input.create_oid(p).unwrap();
+        input.define_value(o0, OValue::oid(o1)).unwrap();
+        input
+            .define_value(
+                o1,
+                OValue::tuple([("A1", OValue::oid(o0)), ("A2", OValue::oid(o1))]),
+            )
+            .unwrap();
+        input.validate().unwrap();
+
+        let encoded = run(&enc, &input, &cfg).unwrap();
+        encoded.output.validate().unwrap();
+        assert_eq!(encoded.output.class(ClassName::new("Pp")).unwrap().len(), 2);
+
+        let dec = union_decode_program();
+        let back_in = encoded.output.project(&dec.input).unwrap();
+        let decoded = run(&dec, &back_in, &cfg).unwrap();
+        decoded.output.validate().unwrap();
+        assert!(
+            are_o_isomorphic(&decoded.output, &input),
+            "decode(encode(I)) ≅ I — no information lost (Example 3.4.3)"
+        );
+    }
+
+    #[test]
+    fn unreachable_uses_stratified_negation() {
+        let cfg = EvalConfig::default();
+        let prog = unreachable_program();
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        let e = RelName::new("Edge");
+        for (s, d) in [("a", "b"), ("b", "c"), ("x", "y")] {
+            input
+                .insert(
+                    e,
+                    OValue::tuple([("src", OValue::str(s)), ("dst", OValue::str(d))]),
+                )
+                .unwrap();
+        }
+        input
+            .insert(
+                RelName::new("Source"),
+                OValue::tuple([("node", OValue::str("a"))]),
+            )
+            .unwrap();
+        let out = run(&prog, &input, &cfg).unwrap();
+        let un = out.output.relation(RelName::new("Unreach")).unwrap();
+        assert_eq!(un.len(), 2); // x and y
+    }
+
+    #[test]
+    fn quadrangle_produces_copies_then_choose_would_select() {
+        let cfg = EvalConfig::default();
+        let prog = quadrangle_program();
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        for v in ["a", "b"] {
+            input
+                .insert(RelName::new("R"), OValue::tuple([("a", OValue::str(v))]))
+                .unwrap();
+        }
+        let out = run(&prog, &input, &cfg).unwrap();
+        // Pair has (a,b) and (b,a): two copies of the quadrangle are built —
+        // the copy phenomenon of Theorem 4.2.4.
+        assert_eq!(out.output.class(ClassName::new("Q")).unwrap().len(), 8);
+        assert_eq!(out.output.relation(RelName::new("Rp")).unwrap().len(), 16);
+    }
+}

@@ -1,0 +1,442 @@
+//! Syntactic sublanguages of IQL with PTIME data complexity (Section 5).
+//!
+//! Two per-rule restrictions control the *search space* of valuations:
+//!
+//! * **ptime-restriction** (Definition 5.1): seeds with variables whose type
+//!   contains no set constructor, and propagates through positive literals —
+//!   set-free type interpretations over the active domain are polynomial;
+//! * **range-restriction** (Definition 5.2): seeds with class-typed
+//!   variables — a practical strengthening where every variable's range is
+//!   reachable from stored data.
+//!
+//! Two per-stage restrictions control *invention*:
+//!
+//! * **invention-freedom**: no head-only variables;
+//! * **recursion-freedom**: the dependency graph `G(G)` — arcs from names
+//!   read by a rule to names written by it (including the classes of
+//!   invented oids and of dereferenced variables) — is acyclic, so invention
+//!   cannot feed itself (contrast the diverging `R3(y,z) ← R3(x,y)` of
+//!   Example 3.4.2).
+//!
+//! A program is **IQLrr** (resp. **IQLpr**) when it is a composition
+//! `G1; …; Gk` of stages, each range-restricted (resp. ptime-restricted) and
+//! either recursion-free or invention-free (Definition 5.3). Theorem 5.4:
+//! every IQLpr query evaluates in time polynomial in the instance size; the
+//! `ptime_shape` benchmark validates the shape empirically.
+
+use crate::ast::{Head, Literal, Program, Rule, Stage, Term, VarName};
+use iql_model::{ClassName, RelName, Schema, TypeExpr};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The classification lattice IQLrr ⊂ IQLpr ⊂ IQL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SubLanguage {
+    /// Range-restricted composition (Definition 5.3) — the practical,
+    /// PTIME-evaluable fragment.
+    Iqlrr,
+    /// Ptime-restricted composition — PTIME data complexity (Theorem 5.4).
+    Iqlpr,
+    /// Full IQL — all computable db-transformations up to copy.
+    FullIql,
+}
+
+impl std::fmt::Display for SubLanguage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubLanguage::Iqlrr => write!(f, "IQLrr"),
+            SubLanguage::Iqlpr => write!(f, "IQLpr"),
+            SubLanguage::FullIql => write!(f, "IQL"),
+        }
+    }
+}
+
+/// Does the type contain a set constructor anywhere?
+fn has_set_constructor(t: &TypeExpr) -> bool {
+    match t {
+        TypeExpr::Empty | TypeExpr::Base | TypeExpr::Class(_) => false,
+        TypeExpr::Set(_) => true,
+        TypeExpr::Tuple(fields) => fields.values().any(has_set_constructor),
+        TypeExpr::Union(a, b) | TypeExpr::Intersect(a, b) => {
+            has_set_constructor(a) || has_set_constructor(b)
+        }
+    }
+}
+
+/// Which variables a restriction seeds as restricted.
+fn seed_vars(rule: &Rule, range_restricted: bool) -> BTreeSet<VarName> {
+    rule.var_types
+        .iter()
+        .filter(|(_, t)| {
+            if range_restricted {
+                matches!(t, TypeExpr::Class(_))
+            } else {
+                !has_set_constructor(t)
+            }
+        })
+        .map(|(v, _)| v.clone())
+        .collect()
+}
+
+/// The shared propagation of Definitions 5.1 and 5.2: through a positive
+/// literal `t1(t2)`, `t1 = t2`, or `t2 = t1`, restrictedness of all of
+/// `t1`'s variables extends to all of `t2`'s.
+fn propagate(rule: &Rule, mut restricted: BTreeSet<VarName>) -> BTreeSet<VarName> {
+    let term_vars = |t: &Term| {
+        let mut vs = BTreeSet::new();
+        t.vars(&mut vs);
+        vs
+    };
+    loop {
+        let before = restricted.len();
+        for lit in &rule.body {
+            let pairs: Vec<(&Term, &Term)> = match lit {
+                Literal::Member {
+                    set,
+                    elem,
+                    positive: true,
+                } => {
+                    vec![(set, elem)]
+                }
+                Literal::Eq {
+                    left,
+                    right,
+                    positive: true,
+                } => {
+                    vec![(left, right), (right, left)]
+                }
+                _ => Vec::new(),
+            };
+            for (t1, t2) in pairs {
+                if term_vars(t1).iter().all(|v| restricted.contains(v)) {
+                    restricted.extend(term_vars(t2));
+                }
+            }
+        }
+        if restricted.len() == before {
+            return restricted;
+        }
+    }
+}
+
+/// Is the rule range-restricted (Definition 5.2)?
+pub fn rule_range_restricted(rule: &Rule) -> bool {
+    let restricted = propagate(rule, seed_vars(rule, true));
+    rule.body_vars().iter().all(|v| restricted.contains(v))
+}
+
+/// Is the rule ptime-restricted (Definition 5.1)?
+pub fn rule_ptime_restricted(rule: &Rule) -> bool {
+    let restricted = propagate(rule, seed_vars(rule, false));
+    rule.body_vars().iter().all(|v| restricted.contains(v))
+}
+
+/// Is the stage invention-free (no head-only variables in any rule)?
+pub fn stage_invention_free(stage: &Stage) -> bool {
+    stage.rules.iter().all(|r| r.invention_vars().is_empty())
+}
+
+/// A node of the dependency graph `G(G)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Node {
+    Rel(RelName),
+    Class(ClassName),
+}
+
+/// Names *read* by a rule: relation/class names in body literals, plus the
+/// class names appearing in the types of body variables (condition 1).
+fn read_set(rule: &Rule) -> BTreeSet<Node> {
+    let mut out = BTreeSet::new();
+    fn term_names(t: &Term, out: &mut BTreeSet<Node>) {
+        match t {
+            Term::Rel(r) => {
+                out.insert(Node::Rel(*r));
+            }
+            Term::Class(p) => {
+                out.insert(Node::Class(*p));
+            }
+            Term::Set(elems) => elems.iter().for_each(|t| term_names(t, out)),
+            Term::Tuple(fields) => fields.values().for_each(|t| term_names(t, out)),
+            Term::Var(_) | Term::Const(_) | Term::Deref(_) => {}
+        }
+    }
+    for lit in &rule.body {
+        match lit {
+            Literal::Member { set, elem, .. } => {
+                term_names(set, &mut out);
+                term_names(elem, &mut out);
+            }
+            Literal::Eq { left, right, .. } => {
+                term_names(left, &mut out);
+                term_names(right, &mut out);
+            }
+            Literal::Choose => {}
+        }
+    }
+    let body_vars = rule.body_vars();
+    for v in &body_vars {
+        if let Some(t) = rule.var_types.get(v) {
+            let mut classes = BTreeSet::new();
+            t.classes_mentioned(&mut classes);
+            for c in classes {
+                out.insert(Node::Class(c));
+            }
+        }
+    }
+    out
+}
+
+/// Names *written* by a rule: the head's relation or class (condition 2-a,
+/// generalized to dereference heads), plus the classes of invention
+/// variables (condition 2-b).
+fn write_set(rule: &Rule) -> BTreeSet<Node> {
+    let mut out = BTreeSet::new();
+    match &rule.head {
+        Head::Rel(r, _) | Head::DeleteRel(r, _) => {
+            out.insert(Node::Rel(*r));
+        }
+        Head::Class(p, _) | Head::DeleteOid(p, _) => {
+            out.insert(Node::Class(*p));
+        }
+        Head::SetMember(v, _) | Head::Assign(v, _) | Head::DeleteSetMember(v, _) => {
+            if let Some(TypeExpr::Class(p)) = rule.var_types.get(v) {
+                out.insert(Node::Class(*p));
+            }
+        }
+    }
+    for v in rule.invention_vars() {
+        if let Some(TypeExpr::Class(p)) = rule.var_types.get(&v) {
+            out.insert(Node::Class(*p));
+        }
+    }
+    out
+}
+
+/// Is the stage recursion-free: is the read→write dependency graph acyclic?
+pub fn stage_recursion_free(stage: &Stage, _schema: &Schema) -> bool {
+    // Build adjacency.
+    let mut edges: BTreeMap<Node, BTreeSet<Node>> = BTreeMap::new();
+    for rule in &stage.rules {
+        let reads = read_set(rule);
+        let writes = write_set(rule);
+        for r in &reads {
+            edges.entry(*r).or_default().extend(writes.iter().copied());
+        }
+        for w in &writes {
+            edges.entry(*w).or_default();
+        }
+    }
+    // DFS cycle check.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks: BTreeMap<Node, Mark> = BTreeMap::new();
+    fn visit(
+        n: Node,
+        edges: &BTreeMap<Node, BTreeSet<Node>>,
+        marks: &mut BTreeMap<Node, Mark>,
+    ) -> bool {
+        match marks.get(&n).copied().unwrap_or(Mark::White) {
+            Mark::Grey => return false,
+            Mark::Black => return true,
+            Mark::White => {}
+        }
+        marks.insert(n, Mark::Grey);
+        if let Some(next) = edges.get(&n) {
+            for &m in next {
+                if !visit(m, edges, marks) {
+                    return false;
+                }
+            }
+        }
+        marks.insert(n, Mark::Black);
+        true
+    }
+    let nodes: Vec<Node> = edges.keys().copied().collect();
+    nodes.into_iter().all(|n| visit(n, &edges, &mut marks))
+}
+
+/// Per-stage analysis summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageAnalysis {
+    /// Every rule range-restricted?
+    pub range_restricted: bool,
+    /// Every rule ptime-restricted?
+    pub ptime_restricted: bool,
+    /// No invention anywhere?
+    pub invention_free: bool,
+    /// Dependency graph acyclic?
+    pub recursion_free: bool,
+}
+
+/// Analyzes one stage.
+pub fn analyze_stage(stage: &Stage, schema: &Schema) -> StageAnalysis {
+    StageAnalysis {
+        range_restricted: stage.rules.iter().all(rule_range_restricted),
+        ptime_restricted: stage.rules.iter().all(rule_ptime_restricted),
+        invention_free: stage_invention_free(stage),
+        recursion_free: stage_recursion_free(stage, schema),
+    }
+}
+
+/// Classifies a program into the IQLrr ⊂ IQLpr ⊂ IQL lattice
+/// (Definition 5.3). Programs using `choose` or deletions are conservatively
+/// full IQL (they are IQL⁺/IQL\* extensions).
+pub fn classify(prog: &Program) -> SubLanguage {
+    if prog.uses_choose() || prog.uses_deletion() {
+        return SubLanguage::FullIql;
+    }
+    let mut rr = true;
+    let mut pr = true;
+    for stage in &prog.stages {
+        let a = analyze_stage(stage, &prog.schema);
+        let controlled = a.invention_free || a.recursion_free;
+        if !(a.range_restricted && controlled) {
+            rr = false;
+        }
+        if !(a.ptime_restricted && controlled) {
+            pr = false;
+        }
+    }
+    if rr {
+        SubLanguage::Iqlrr
+    } else if pr {
+        SubLanguage::Iqlpr
+    } else {
+        SubLanguage::FullIql
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_unit;
+
+    #[test]
+    fn datalog_is_iqlrr() {
+        let unit = parse_unit(
+            r#"
+            schema {
+              relation Edge: [a: D, b: D];
+              relation Tc:  [a: D, b: D];
+            }
+            program {
+              input Edge;
+              output Tc;
+              Tc(x, y) :- Edge(x, y);
+              Tc(x, z) :- Tc(x, y), Edge(y, z);
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(classify(&unit.program.unwrap()), SubLanguage::Iqlrr);
+    }
+
+    #[test]
+    fn powerset_xx_is_full_iql() {
+        let unit = parse_unit(
+            r#"
+            schema {
+              relation R:  [a: D];
+              relation R1: [s: {D}];
+            }
+            program {
+              input R;
+              output R1;
+              var X: {D};
+              R1(X) :- X = X;
+            }
+            "#,
+        )
+        .unwrap();
+        // X has a set type and is seeded by nothing: not ptime-restricted.
+        assert_eq!(classify(&unit.program.unwrap()), SubLanguage::FullIql);
+    }
+
+    #[test]
+    fn powerset_with_oids_is_recursive_invention() {
+        // The range-restricted powerset (Example 3.4.2) is range-restricted
+        // but *not* recursion-free (invention feeds R1 feeds invention), so
+        // it stays full IQL — exactly the paper's point that such recursion
+        // escapes PTIME.
+        let prog = crate::programs::powerset_program();
+        for stage in &prog.stages {
+            let a = analyze_stage(stage, &prog.schema);
+            assert!(a.range_restricted || a.ptime_restricted || !a.recursion_free);
+        }
+        assert_eq!(classify(&prog), SubLanguage::FullIql);
+    }
+
+    #[test]
+    fn graph_transform_is_iqlrr() {
+        // Example 1.2 decomposes into stages each either invention-free or
+        // recursion-free, all range-restricted: the flagship IQLrr program.
+        let prog = crate::programs::graph_to_class_program();
+        assert_eq!(classify(&prog), SubLanguage::Iqlrr);
+    }
+
+    #[test]
+    fn diverging_rule_is_not_recursion_free() {
+        let unit = parse_unit(
+            r#"
+            schema {
+              relation R3: [a: P, b: P];
+              class P: [];
+            }
+            program {
+              input R3, P;
+              output R3;
+              R3(y, z) :- R3(x, y);
+            }
+            "#,
+        )
+        .unwrap();
+        let prog = unit.program.unwrap();
+        let a = analyze_stage(&prog.stages[0], &prog.schema);
+        assert!(!a.recursion_free);
+        assert!(!a.invention_free);
+        assert_eq!(classify(&prog), SubLanguage::FullIql);
+    }
+
+    #[test]
+    fn set_typed_var_bound_by_relation_is_ptime() {
+        // Unnest: R2(x,y) :- R1(x,Y), Y(y). Y is set-typed but bound from a
+        // stored relation, so the rule is range- and ptime-restricted.
+        let unit = parse_unit(
+            r#"
+            schema {
+              relation R1: [a: D, b: {D}];
+              relation R2: [a: D, b: D];
+            }
+            program {
+              input R1;
+              output R2;
+              R2(x, y) :- R1(x, Y), Y(y);
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(classify(&unit.program.unwrap()), SubLanguage::Iqlrr);
+    }
+
+    #[test]
+    fn choose_and_delete_are_extensions() {
+        let unit = parse_unit(
+            r#"
+            schema {
+              relation R: [a: D];
+              relation Kill: [a: D];
+            }
+            program {
+              input R, Kill;
+              output R;
+              del R(x) :- Kill(x);
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(classify(&unit.program.unwrap()), SubLanguage::FullIql);
+    }
+}

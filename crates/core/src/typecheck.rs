@@ -1,0 +1,735 @@
+//! Type checking and partial type inference (Section 3.3).
+//!
+//! All IQL terms are typed, but "having to declare the type information for
+//! each term would make the programs tedious to write" — the paper calls for
+//! *automatic partial type inference based on a number of shorthand
+//! conventions*. We implement exactly that:
+//!
+//! 1. **Inference**: variable types are seeded from explicit `var x: T`
+//!    declarations and propagated to a fixpoint from positions in positive
+//!    literals (`R(t)` gives `t : T(R)`, `P(x)` gives `x : P`, `X(y)` with
+//!    `X : {t}` gives `y : t`, `x̂(y)` with `x : P`, `T(P) = {t}` gives
+//!    `y : t`, and equalities propagate synthesizable types), and from head
+//!    positions (so the invention variables of Example 1.2 need no
+//!    annotations).
+//! 2. **Checking**: heads must be *typed facts*; body literals must be typed,
+//!    except that positive equalities admit union coercion — `t1 = t2` with
+//!    `t1 : t` and `t2 : t ∨ t'` is legal (rule condition 2, used in the
+//!    union encode/decode programs of Example 3.4.3).
+//! 3. **Invention discipline**: variables in the head but not the body must
+//!    have a class type (rule condition 3).
+//!
+//! Checking is bidirectional: terms that cannot synthesize a type (`{}`, or
+//! heterogeneous set literals) are checked against the expected type, which
+//! handles the empty set's polymorphism soundly.
+
+use crate::ast::{Head, Literal, Program, Rule, Term, VarName};
+use crate::error::{IqlError, Result};
+use iql_model::{Schema, TypeExpr};
+use std::collections::BTreeMap;
+
+/// Type-checks (and completes the typing of) every rule in the program.
+/// On success, each rule's [`Rule::var_types`] covers all its variables.
+pub fn check_program(prog: &mut Program) -> Result<()> {
+    let schema = prog.schema.clone();
+    for stage in &mut prog.stages {
+        for rule in &mut stage.rules {
+            infer_rule(rule, &schema)?;
+            check_rule(rule, &schema)?;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Inference
+// ---------------------------------------------------------------------
+
+/// Infers types for all variables of `rule`, honoring explicit declarations.
+pub fn infer_rule(rule: &mut Rule, schema: &Schema) -> Result<()> {
+    let mut types = rule.var_types.clone();
+    // Fixpoint propagation.
+    loop {
+        let before = types.len();
+        for lit in &rule.body {
+            propagate_literal(lit, schema, &mut types);
+        }
+        propagate_head(&rule.head, schema, &mut types);
+        if types.len() == before {
+            break;
+        }
+    }
+    // Every occurring variable must now be typed.
+    let mut all_vars = rule.body_vars();
+    rule.head.vars(&mut all_vars);
+    for v in &all_vars {
+        if !types.contains_key(v) {
+            return Err(IqlError::CannotInfer {
+                var: v.clone(),
+                rule: rule.to_string(),
+            });
+        }
+    }
+    // Invention variables must be class-typed (rule condition 3).
+    for v in rule.invention_vars() {
+        if !matches!(types.get(&v), Some(TypeExpr::Class(_))) {
+            return Err(IqlError::InventionNotClassTyped {
+                var: v,
+                rule: rule.to_string(),
+            });
+        }
+    }
+    rule.var_types = types;
+    Ok(())
+}
+
+fn propagate_literal(lit: &Literal, schema: &Schema, types: &mut BTreeMap<VarName, TypeExpr>) {
+    match lit {
+        Literal::Member {
+            set,
+            elem,
+            positive: _,
+        } => {
+            if let Ok(TypeExpr::Set(elem_ty)) = synth(set, schema, types) {
+                assign_pattern(elem, &elem_ty, types);
+            }
+        }
+        Literal::Eq {
+            left,
+            right,
+            positive: true,
+        } => {
+            if let Ok(t) = synth(left, schema, types) {
+                assign_pattern(right, &t, types);
+            } else if let Ok(t) = synth(right, schema, types) {
+                assign_pattern(left, &t, types);
+            }
+        }
+        Literal::Eq {
+            positive: false, ..
+        }
+        | Literal::Choose => {}
+    }
+}
+
+fn propagate_head(head: &Head, schema: &Schema, types: &mut BTreeMap<VarName, TypeExpr>) {
+    match head {
+        Head::Rel(r, t) | Head::DeleteRel(r, t) => {
+            if let Ok(ty) = schema.relation_type(*r) {
+                assign_pattern(t, &ty.clone(), types);
+            }
+        }
+        Head::Class(p, v) | Head::DeleteOid(p, v) => {
+            types.entry(v.clone()).or_insert(TypeExpr::Class(*p));
+        }
+        Head::SetMember(v, t) | Head::DeleteSetMember(v, t) => {
+            if let Some(TypeExpr::Class(p)) = types.get(v).cloned() {
+                if let Ok(TypeExpr::Set(elem_ty)) = schema.class_type(p) {
+                    assign_pattern(t, &elem_ty.clone(), types);
+                }
+            }
+        }
+        Head::Assign(v, t) => {
+            if let Some(TypeExpr::Class(p)) = types.get(v).cloned() {
+                if let Ok(ty) = schema.class_type(p) {
+                    assign_pattern(t, &ty.clone(), types);
+                }
+            }
+        }
+    }
+}
+
+/// Pushes an expected type down a term pattern, assigning types to
+/// as-yet-untyped variables. Never overwrites an existing assignment.
+fn assign_pattern(term: &Term, ty: &TypeExpr, types: &mut BTreeMap<VarName, TypeExpr>) {
+    match (term, ty) {
+        (Term::Var(v), _) => {
+            types.entry(v.clone()).or_insert_with(|| ty.clone());
+        }
+        (Term::Tuple(fields), TypeExpr::Tuple(ftys)) => {
+            for (a, t) in fields {
+                if let Some(fty) = ftys.get(a) {
+                    assign_pattern(t, fty, types);
+                }
+            }
+        }
+        (Term::Set(elems), TypeExpr::Set(ety)) => {
+            for e in elems {
+                assign_pattern(e, ety, types);
+            }
+        }
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// Synthesis
+// ---------------------------------------------------------------------
+
+/// Synthesizes the type of a term from variable types, or fails for terms
+/// that need an expected type (e.g. the polymorphic `{}`).
+pub fn synth(
+    term: &Term,
+    schema: &Schema,
+    types: &BTreeMap<VarName, TypeExpr>,
+) -> Result<TypeExpr> {
+    match term {
+        Term::Var(v) => types
+            .get(v)
+            .cloned()
+            .ok_or_else(|| IqlError::Invalid(format!("untyped variable {v}"))),
+        Term::Const(_) => Ok(TypeExpr::Base),
+        Term::Rel(r) => Ok(TypeExpr::set_of(schema.relation_type(*r)?.clone())),
+        Term::Class(p) => {
+            // `P` as a term has type {P}.
+            schema.class_type(*p)?; // existence check
+            Ok(TypeExpr::set_of(TypeExpr::Class(*p)))
+        }
+        Term::Deref(v) => match types.get(v) {
+            Some(TypeExpr::Class(p)) => Ok(schema.class_type(*p)?.clone()),
+            Some(other) => Err(IqlError::Invalid(format!(
+                "{v}^ requires {v} to have a class type, found {other}"
+            ))),
+            None => Err(IqlError::Invalid(format!("untyped variable {v}"))),
+        },
+        Term::Set(elems) => {
+            if elems.is_empty() {
+                return Err(IqlError::Invalid("cannot synthesize a type for {}".into()));
+            }
+            let mut tys: Vec<TypeExpr> = Vec::new();
+            for e in elems {
+                let t = synth(e, schema, types)?;
+                if !tys.contains(&t) {
+                    tys.push(t);
+                }
+            }
+            Ok(TypeExpr::set_of(TypeExpr::union_all(tys)))
+        }
+        Term::Tuple(fields) => {
+            let mut out = BTreeMap::new();
+            for (a, t) in fields {
+                out.insert(*a, synth(t, schema, types)?);
+            }
+            Ok(TypeExpr::Tuple(out))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Subtyping (syntactic, over disjoint assignments)
+// ---------------------------------------------------------------------
+
+/// Sound syntactic subtyping over disjoint oid assignments: `a ≤ b` implies
+/// `⟦a⟧π ⊆ ⟦b⟧π` for every disjoint `π`. Decided on canonical normal forms;
+/// in particular `t ≤ t ∨ t'` (the coercion of rule condition 2).
+pub fn subtype(a: &TypeExpr, b: &TypeExpr) -> bool {
+    use iql_model::types::TypeAtom;
+    fn atom_le(x: &TypeAtom, y: &TypeAtom) -> bool {
+        match (x, y) {
+            (TypeAtom::Base, TypeAtom::Base) => true,
+            (TypeAtom::Class(p), TypeAtom::Class(q)) => p == q,
+            (TypeAtom::Tuple(fx), TypeAtom::Tuple(fy)) => {
+                fx.len() == fy.len()
+                    && fx.keys().eq(fy.keys())
+                    && fx.iter().all(|(a, tx)| atom_le(tx, &fy[a]))
+            }
+            (TypeAtom::Set(nx), TypeAtom::Set(ny)) => {
+                // Sets are covariant in the union of their element atoms.
+                nx.iter().all(|ax| ny.iter().any(|ay| atom_le(ax, ay)))
+            }
+            _ => false,
+        }
+    }
+    let na = a.normalize_disjoint();
+    let nb = b.normalize_disjoint();
+    na.iter().all(|x| nb.iter().any(|y| atom_le(x, y)))
+}
+
+/// `a` and `b` are *coercible* when one is a subtype of the other — the
+/// liberal typing allowed in positive equality literals.
+pub fn coercible(a: &TypeExpr, b: &TypeExpr) -> bool {
+    subtype(a, b) || subtype(b, a)
+}
+
+// ---------------------------------------------------------------------
+// Checking
+// ---------------------------------------------------------------------
+
+/// Checks a term against an expected type (bidirectional).
+pub fn check_term(
+    term: &Term,
+    expected: &TypeExpr,
+    schema: &Schema,
+    types: &BTreeMap<VarName, TypeExpr>,
+) -> Result<()> {
+    // Fast path: synthesizable terms just need a subtype check.
+    if let Ok(t) = synth(term, schema, types) {
+        if subtype(&t, expected) {
+            return Ok(());
+        }
+        return Err(IqlError::Invalid(format!(
+            "term {term} has type {t}, expected {expected}"
+        )));
+    }
+    // Structure-directed checking for non-synthesizable terms ({} inside).
+    match term {
+        Term::Set(elems) => {
+            // Find a set component of the expected type and check elements
+            // against its element type.
+            let candidates = set_components(expected);
+            if candidates.is_empty() {
+                return Err(IqlError::Invalid(format!(
+                    "set term {term} checked against non-set type {expected}"
+                )));
+            }
+            'cands: for ety in &candidates {
+                for e in elems {
+                    if check_term(e, ety, schema, types).is_err() {
+                        continue 'cands;
+                    }
+                }
+                return Ok(());
+            }
+            Err(IqlError::Invalid(format!(
+                "set term {term} does not fit any set component of {expected}"
+            )))
+        }
+        Term::Tuple(fields) => {
+            let candidates = tuple_components(expected);
+            'cands: for ftys in &candidates {
+                if ftys.len() != fields.len() || !ftys.keys().eq(fields.keys()) {
+                    continue;
+                }
+                for (a, t) in fields {
+                    if check_term(t, &ftys[a], schema, types).is_err() {
+                        continue 'cands;
+                    }
+                }
+                return Ok(());
+            }
+            Err(IqlError::Invalid(format!(
+                "tuple term {term} does not fit any tuple component of {expected}"
+            )))
+        }
+        _ => Err(IqlError::Invalid(format!(
+            "cannot type term {term} against {expected}"
+        ))),
+    }
+}
+
+/// The element types of the set components of a (possibly union) type.
+fn set_components(t: &TypeExpr) -> Vec<TypeExpr> {
+    match t {
+        TypeExpr::Set(e) => vec![(**e).clone()],
+        TypeExpr::Union(a, b) => {
+            let mut out = set_components(a);
+            out.extend(set_components(b));
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// The field maps of the tuple components of a (possibly union) type.
+fn tuple_components(t: &TypeExpr) -> Vec<BTreeMap<iql_model::AttrName, TypeExpr>> {
+    match t {
+        TypeExpr::Tuple(f) => vec![f.clone()],
+        TypeExpr::Union(a, b) => {
+            let mut out = tuple_components(a);
+            out.extend(tuple_components(b));
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Checks one fully-inferred rule.
+pub fn check_rule(rule: &Rule, schema: &Schema) -> Result<()> {
+    let types = &rule.var_types;
+    let err = |msg: String| IqlError::TypeError {
+        msg,
+        rule: rule.to_string(),
+    };
+
+    // Body literals.
+    for lit in &rule.body {
+        match lit {
+            Literal::Member { set, elem, .. } => {
+                let set_ty = synth(set, schema, types).map_err(|e| err(e.to_string()))?;
+                match set_ty {
+                    TypeExpr::Set(ety) => {
+                        check_term(elem, &ety, schema, types).map_err(|e| err(e.to_string()))?;
+                    }
+                    other => {
+                        return Err(err(format!(
+                            "membership over non-set term {set} of type {other}"
+                        )))
+                    }
+                }
+            }
+            Literal::Eq {
+                left,
+                right,
+                positive,
+            } => {
+                let lt = synth(left, schema, types);
+                let rt = synth(right, schema, types);
+                match (lt, rt) {
+                    (Ok(a), Ok(b)) => {
+                        if *positive {
+                            // Coercion across unions allowed (condition 2).
+                            if !coercible(&a, &b) {
+                                return Err(err(format!(
+                                    "equality between incompatible types {a} and {b}"
+                                )));
+                            }
+                        } else if !coercible(&a, &b) {
+                            return Err(err(format!(
+                                "inequality between incompatible types {a} and {b}"
+                            )));
+                        }
+                    }
+                    (Ok(a), Err(_)) => {
+                        check_term(right, &a, schema, types).map_err(|e| err(e.to_string()))?;
+                    }
+                    (Err(_), Ok(b)) => {
+                        check_term(left, &b, schema, types).map_err(|e| err(e.to_string()))?;
+                    }
+                    (Err(e1), Err(_)) => {
+                        return Err(err(format!("neither side of {lit} can be typed: {e1}")))
+                    }
+                }
+            }
+            Literal::Choose => {}
+        }
+    }
+
+    // Head.
+    match &rule.head {
+        Head::Rel(r, t) | Head::DeleteRel(r, t) => {
+            let ty = schema.relation_type(*r)?.clone();
+            check_term(t, &ty, schema, types).map_err(|e| err(e.to_string()))?;
+        }
+        Head::Class(p, v) | Head::DeleteOid(p, v) => {
+            match types.get(v) {
+                Some(TypeExpr::Class(q)) if q == p => {}
+                Some(other) => {
+                    return Err(err(format!(
+                        "class fact {p}({v}) needs {v}: {p}, found {other}"
+                    )))
+                }
+                None => return Err(err(format!("untyped variable {v}"))),
+            }
+            schema.class_type(*p)?;
+        }
+        Head::SetMember(v, t) | Head::DeleteSetMember(v, t) => {
+            let p = match types.get(v) {
+                Some(TypeExpr::Class(p)) => *p,
+                other => {
+                    return Err(err(format!(
+                        "{v}^ needs {v} to have a class type, found {other:?}"
+                    )))
+                }
+            };
+            match schema.class_type(p)? {
+                TypeExpr::Set(ety) => {
+                    let ety = ety.clone();
+                    check_term(t, &ety, schema, types).map_err(|e| err(e.to_string()))?;
+                }
+                other => {
+                    return Err(err(format!(
+                        "{v}^(t) head requires set-valued class, but T({p}) = {other}"
+                    )))
+                }
+            }
+        }
+        Head::Assign(v, t) => {
+            let p = match types.get(v) {
+                Some(TypeExpr::Class(p)) => *p,
+                other => {
+                    return Err(err(format!(
+                        "{v}^ needs {v} to have a class type, found {other:?}"
+                    )))
+                }
+            };
+            let ty = schema.class_type(p)?.clone();
+            if matches!(ty, TypeExpr::Set(_)) {
+                return Err(err(format!(
+                    "{v}^ = t head requires non-set-valued class, but T({p}) is a set type"
+                )));
+            }
+            check_term(t, &ty, schema, types).map_err(|e| err(e.to_string()))?;
+        }
+    }
+
+    // Deletion heads may not invent.
+    if rule.head.is_deletion() && !rule.invention_vars().is_empty() {
+        return Err(err(
+            "deletion heads cannot contain invention variables".into()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Head, Literal, Rule, Term};
+    use iql_model::{ClassName, RelName, SchemaBuilder};
+
+    fn schema_graph() -> Schema {
+        use TypeExpr as T;
+        SchemaBuilder::new()
+            .relation("R", T::tuple([("A1", T::base()), ("A2", T::base())]))
+            .relation("R0", T::tuple([("A1", T::base())]))
+            .relation(
+                "Rp",
+                T::tuple([
+                    ("A1", T::base()),
+                    ("A2", T::class("P")),
+                    ("A3", T::class("Pp")),
+                ]),
+            )
+            .class(
+                "P",
+                T::tuple([("A1", T::base()), ("A2", T::set_of(T::class("P")))]),
+            )
+            .class("Pp", T::set_of(T::class("P")))
+            .build()
+            .unwrap()
+    }
+
+    fn tup2(a: Term, b: Term) -> Term {
+        Term::tuple([("A1", a), ("A2", b)])
+    }
+
+    #[test]
+    fn infers_from_body_relation() {
+        let schema = schema_graph();
+        let mut rule = Rule::new(
+            Head::Rel(RelName::new("R0"), Term::tuple([("A1", Term::var("x"))])),
+            vec![Literal::member(
+                Term::Rel(RelName::new("R")),
+                tup2(Term::var("x"), Term::var("y")),
+            )],
+        );
+        infer_rule(&mut rule, &schema).unwrap();
+        assert_eq!(rule.var_types[&"x".into()], TypeExpr::Base);
+        assert_eq!(rule.var_types[&"y".into()], TypeExpr::Base);
+        check_rule(&rule, &schema).unwrap();
+    }
+
+    #[test]
+    fn infers_invention_vars_from_head() {
+        // Example 1.2 stage 2: R'(x, p, p') :- R0(x). p, p' inferred from
+        // the head type of Rp.
+        let schema = schema_graph();
+        let mut rule = Rule::new(
+            Head::Rel(
+                RelName::new("Rp"),
+                Term::tuple([
+                    ("A1", Term::var("x")),
+                    ("A2", Term::var("p")),
+                    ("A3", Term::var("pp")),
+                ]),
+            ),
+            vec![Literal::member(
+                Term::Rel(RelName::new("R0")),
+                Term::tuple([("A1", Term::var("x"))]),
+            )],
+        );
+        infer_rule(&mut rule, &schema).unwrap();
+        assert_eq!(rule.var_types[&"p".into()], TypeExpr::class("P"));
+        assert_eq!(rule.var_types[&"pp".into()], TypeExpr::class("Pp"));
+        assert_eq!(rule.invention_vars().len(), 2);
+        check_rule(&rule, &schema).unwrap();
+    }
+
+    #[test]
+    fn invention_must_be_class_typed() {
+        let schema = schema_graph();
+        // R0(x) :- with x head-only of base type: rejected.
+        let mut rule = Rule::new(
+            Head::Rel(RelName::new("R0"), Term::tuple([("A1", Term::var("x"))])),
+            vec![],
+        );
+        let err = infer_rule(&mut rule, &schema).unwrap_err();
+        assert!(matches!(err, IqlError::InventionNotClassTyped { .. }));
+    }
+
+    #[test]
+    fn deref_set_member_head_types() {
+        // p'^(q) :- Rp(x,p,p'), Rp(y,q,q'), R(x,y).   (Example 1.2 stage 3)
+        let schema = schema_graph();
+        let rp = RelName::new("Rp");
+        let mut rule = Rule::new(
+            Head::SetMember("pp".into(), Term::var("q")),
+            vec![
+                Literal::member(
+                    Term::Rel(rp),
+                    Term::tuple([
+                        ("A1", Term::var("x")),
+                        ("A2", Term::var("p")),
+                        ("A3", Term::var("pp")),
+                    ]),
+                ),
+                Literal::member(
+                    Term::Rel(rp),
+                    Term::tuple([
+                        ("A1", Term::var("y")),
+                        ("A2", Term::var("q")),
+                        ("A3", Term::var("qq")),
+                    ]),
+                ),
+                Literal::member(
+                    Term::Rel(RelName::new("R")),
+                    tup2(Term::var("x"), Term::var("y")),
+                ),
+            ],
+        );
+        infer_rule(&mut rule, &schema).unwrap();
+        check_rule(&rule, &schema).unwrap();
+        assert_eq!(rule.var_types[&"pp".into()], TypeExpr::class("Pp"));
+    }
+
+    #[test]
+    fn assign_head_with_deref_term() {
+        // p^ = [x, p'^] :- Rp(x, p, p').   (Example 1.2 stage 4)
+        let schema = schema_graph();
+        let mut rule = Rule::new(
+            Head::Assign(
+                "p".into(),
+                Term::tuple([("A1", Term::var("x")), ("A2", Term::deref("pp"))]),
+            ),
+            vec![Literal::member(
+                Term::Rel(RelName::new("Rp")),
+                Term::tuple([
+                    ("A1", Term::var("x")),
+                    ("A2", Term::var("p")),
+                    ("A3", Term::var("pp")),
+                ]),
+            )],
+        );
+        infer_rule(&mut rule, &schema).unwrap();
+        check_rule(&rule, &schema).unwrap();
+    }
+
+    #[test]
+    fn empty_set_checks_against_set_type() {
+        let schema = SchemaBuilder::new()
+            .relation("S", TypeExpr::set_of(TypeExpr::base()))
+            .build()
+            .unwrap();
+        // S({}) :- .  — {} is checkable though not synthesizable.
+        let mut rule = Rule::new(Head::Rel(RelName::new("S"), Term::set([])), vec![]);
+        infer_rule(&mut rule, &schema).unwrap();
+        check_rule(&rule, &schema).unwrap();
+    }
+
+    #[test]
+    fn union_coercion_in_equality() {
+        use TypeExpr as T;
+        let schema = SchemaBuilder::new()
+            .class(
+                "PU",
+                T::union(
+                    T::class("PU"),
+                    T::tuple([("A1", T::class("PU")), ("A2", T::class("PU"))]),
+                ),
+            )
+            .relation("RU", T::tuple([("C1", T::class("PU"))]))
+            .build()
+            .unwrap();
+        // y = x^ with y: PU and x^: PU ∨ [A1:PU,A2:PU] — legal by coercion.
+        let mut rule = Rule::new(
+            Head::Rel(RelName::new("RU"), Term::tuple([("C1", Term::var("y"))])),
+            vec![
+                Literal::member(Term::Class(ClassName::new("PU")), Term::var("x")),
+                Literal::member(Term::Class(ClassName::new("PU")), Term::var("y")),
+                Literal::eq(Term::var("y"), Term::deref("x")),
+            ],
+        );
+        infer_rule(&mut rule, &schema).unwrap();
+        check_rule(&rule, &schema).unwrap();
+    }
+
+    #[test]
+    fn ill_typed_head_rejected() {
+        let schema = schema_graph();
+        // R0(x) :- P(x).  — x: P but T(R0) wants [A1: D].
+        let mut rule = Rule::new(
+            Head::Rel(RelName::new("R0"), Term::tuple([("A1", Term::var("x"))])),
+            vec![Literal::member(
+                Term::Class(ClassName::new("P")),
+                Term::var("x"),
+            )],
+        );
+        infer_rule(&mut rule, &schema).unwrap();
+        assert!(check_rule(&rule, &schema).is_err());
+    }
+
+    #[test]
+    fn cannot_infer_is_reported() {
+        let schema = schema_graph();
+        // R0(x) :- R0(x), y = y.  — nothing pins down y (x is inferred from
+        // both head and body positions).
+        let mut rule = Rule::new(
+            Head::Rel(RelName::new("R0"), Term::tuple([("A1", Term::var("x"))])),
+            vec![
+                Literal::member(
+                    Term::Rel(RelName::new("R0")),
+                    Term::tuple([("A1", Term::var("x"))]),
+                ),
+                Literal::eq(Term::var("y"), Term::var("y")),
+            ],
+        );
+        let err = infer_rule(&mut rule, &schema).unwrap_err();
+        assert!(matches!(err, IqlError::CannotInfer { .. }));
+    }
+
+    #[test]
+    fn explicit_declaration_enables_checking() {
+        let schema = schema_graph();
+        // Same rule, with var declarations: the powerset-style X = X idiom.
+        let mut rule = Rule::new(
+            Head::Rel(RelName::new("R0"), Term::tuple([("A1", Term::var("x"))])),
+            vec![Literal::eq(Term::var("x"), Term::var("x"))],
+        )
+        .with_var("x", TypeExpr::Base);
+        infer_rule(&mut rule, &schema).unwrap();
+        check_rule(&rule, &schema).unwrap();
+    }
+
+    #[test]
+    fn subtype_union_components() {
+        use TypeExpr as T;
+        assert!(subtype(&T::base(), &T::union(T::base(), T::class("SubP"))));
+        assert!(!subtype(&T::union(T::base(), T::class("SubP")), &T::base()));
+        assert!(subtype(
+            &T::set_of(T::base()),
+            &T::set_of(T::union(T::base(), T::class("SubP")))
+        ));
+        assert!(subtype(&T::empty(), &T::base()));
+    }
+
+    #[test]
+    fn deletion_head_cannot_invent() {
+        let schema = schema_graph();
+        let mut rule = Rule::new(
+            Head::DeleteRel(
+                RelName::new("Rp"),
+                Term::tuple([
+                    ("A1", Term::var("x")),
+                    ("A2", Term::var("p")),
+                    ("A3", Term::var("pp")),
+                ]),
+            ),
+            vec![Literal::member(
+                Term::Rel(RelName::new("R0")),
+                Term::tuple([("A1", Term::var("x"))]),
+            )],
+        );
+        infer_rule(&mut rule, &schema).unwrap();
+        assert!(check_rule(&rule, &schema).is_err());
+    }
+}

@@ -1,0 +1,570 @@
+//! Flat Datalog: tuples of constants, atoms, rules, databases — with a
+//! small text parser.
+//!
+//! Conventions of the textual syntax:
+//!
+//! * relation names start with an uppercase letter (`Edge`, `Tc`);
+//! * variables start with a lowercase letter (`x`, `y2`);
+//! * constants are quoted strings or integers;
+//! * rules end with `.`; negation is `!Atom(...)`.
+//!
+//! ```text
+//! Tc(x, y) :- Edge(x, y).
+//! Tc(x, z) :- Tc(x, y), Edge(y, z).
+//! ```
+
+use crate::{DlError, Result};
+use iql_model::Constant;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// A Datalog tuple.
+pub type Tuple = Vec<Constant>;
+
+/// A named, duplicate-free set of tuples of fixed arity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Relation {
+    /// Arity; 0 until the first insert fixes it.
+    arity: Option<usize>,
+    tuples: HashSet<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation (arity fixed on first insert).
+    pub fn new() -> Relation {
+        Relation::default()
+    }
+
+    /// Inserts a tuple; returns whether it was new.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool> {
+        match self.arity {
+            None => self.arity = Some(t.len()),
+            Some(a) if a != t.len() => {
+                return Err(DlError::Arity {
+                    rel: String::new(),
+                    expected: a,
+                    found: t.len(),
+                })
+            }
+            _ => {}
+        }
+        Ok(self.tuples.insert(t))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Iterates the tuples (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Builds a hash index on column `col`.
+    pub fn index(&self, col: usize) -> HashMap<&Constant, Vec<&Tuple>> {
+        let mut idx: HashMap<&Constant, Vec<&Tuple>> = HashMap::new();
+        for t in &self.tuples {
+            if let Some(c) = t.get(col) {
+                idx.entry(c).or_default().push(t);
+            }
+        }
+        idx
+    }
+}
+
+/// A database: named relations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// The relation named `r` (empty if absent).
+    pub fn relation(&self, r: &str) -> Option<&Relation> {
+        self.relations.get(r)
+    }
+
+    /// Mutable access, creating the relation if needed.
+    pub fn relation_mut(&mut self, r: &str) -> &mut Relation {
+        self.relations.entry(r.to_string()).or_default()
+    }
+
+    /// Inserts a tuple into relation `r`.
+    pub fn insert(&mut self, r: &str, t: Tuple) -> Result<bool> {
+        self.relation_mut(r).insert(t).map_err(|e| match e {
+            DlError::Arity {
+                expected, found, ..
+            } => DlError::Arity {
+                rel: r.to_string(),
+                expected,
+                found,
+            },
+            other => other,
+        })
+    }
+
+    /// All relation names present.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Total tuple count.
+    pub fn size(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+}
+
+/// A term: variable or constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DlTerm {
+    /// A variable.
+    Var(String),
+    /// A constant.
+    Const(Constant),
+}
+
+impl fmt::Display for DlTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlTerm::Var(v) => write!(f, "{v}"),
+            DlTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// An atom `R(t1, …, tk)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The relation name.
+    pub rel: String,
+    /// The argument terms.
+    pub args: Vec<DlTerm>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(rel: &str, args: Vec<DlTerm>) -> Atom {
+        Atom {
+            rel: rel.to_string(),
+            args,
+        }
+    }
+
+    /// The variables of the atom.
+    pub fn vars(&self) -> BTreeSet<&str> {
+        self.args
+            .iter()
+            .filter_map(|t| match t {
+                DlTerm::Var(v) => Some(v.as_str()),
+                DlTerm::Const(_) => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A body literal: an atom, possibly negated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lit {
+    /// The atom.
+    pub atom: Atom,
+    /// `false` for `!R(…)`.
+    pub positive: bool,
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.positive {
+            write!(f, "!")?;
+        }
+        write!(f, "{}", self.atom)
+    }
+}
+
+/// A rule `H :- L1, …, Lk.`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// The body literals.
+    pub body: Vec<Lit>,
+}
+
+impl Rule {
+    /// Safety: every head variable and every negated-atom variable must
+    /// occur in a positive body atom.
+    pub fn check_safe(&self) -> Result<()> {
+        let positive: BTreeSet<&str> = self
+            .body
+            .iter()
+            .filter(|l| l.positive)
+            .flat_map(|l| l.atom.vars())
+            .collect();
+        for v in self.head.vars() {
+            if !positive.contains(v) {
+                return Err(DlError::Unsafe {
+                    var: v.to_string(),
+                    rule: self.to_string(),
+                });
+            }
+        }
+        for l in &self.body {
+            if !l.positive {
+                for v in l.atom.vars() {
+                    if !positive.contains(v) {
+                        return Err(DlError::Unsafe {
+                            var: v.to_string(),
+                            rule: self.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A Datalog program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Builds a program, checking rule safety and arity consistency.
+    pub fn new(rules: Vec<Rule>) -> Result<Program> {
+        let mut arities: BTreeMap<&str, usize> = BTreeMap::new();
+        for r in &rules {
+            r.check_safe()?;
+            for atom in std::iter::once(&r.head).chain(r.body.iter().map(|l| &l.atom)) {
+                match arities.get(atom.rel.as_str()) {
+                    Some(&a) if a != atom.args.len() => {
+                        return Err(DlError::Arity {
+                            rel: atom.rel.clone(),
+                            expected: a,
+                            found: atom.args.len(),
+                        })
+                    }
+                    _ => {
+                        arities.insert(&atom.rel, atom.args.len());
+                    }
+                }
+            }
+        }
+        Ok(Program { rules })
+    }
+
+    /// Relation names written by some rule (the IDB).
+    pub fn idb(&self) -> BTreeSet<&str> {
+        self.rules.iter().map(|r| r.head.rel.as_str()).collect()
+    }
+
+    /// Relation names only read (the EDB).
+    pub fn edb(&self) -> BTreeSet<&str> {
+        let idb = self.idb();
+        self.rules
+            .iter()
+            .flat_map(|r| r.body.iter())
+            .map(|l| l.atom.rel.as_str())
+            .filter(|r| !idb.contains(r))
+            .collect()
+    }
+
+    /// Does any rule use negation?
+    pub fn has_negation(&self) -> bool {
+        self.rules
+            .iter()
+            .any(|r| r.body.iter().any(|l| !l.positive))
+    }
+
+    /// Arity of each relation mentioned.
+    pub fn arities(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for r in &self.rules {
+            for atom in std::iter::once(&r.head).chain(r.body.iter().map(|l| &l.atom)) {
+                out.insert(atom.rel.clone(), atom.args.len());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+/// Parses a textual Datalog program (see module docs for the conventions).
+pub fn parse_program(src: &str) -> Result<Program> {
+    let mut rules = Vec::new();
+    let mut rest = src.trim_start();
+    // Strip comments line-wise first.
+    let cleaned: String = rest
+        .lines()
+        .map(|l| match l.find("//") {
+            Some(i) => &l[..i],
+            None => l,
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    rest = cleaned.trim_start();
+    while !rest.is_empty() {
+        let Some(dot) = find_rule_end(rest) else {
+            return Err(DlError::Parse(format!(
+                "missing `.` after `{}`",
+                truncate(rest)
+            )));
+        };
+        let (rule_src, tail) = rest.split_at(dot);
+        rules.push(parse_rule(rule_src.trim())?);
+        rest = tail[1..].trim_start();
+    }
+    Program::new(rules)
+}
+
+fn find_rule_end(s: &str) -> Option<usize> {
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '.' if !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn truncate(s: &str) -> String {
+    s.chars().take(30).collect()
+}
+
+fn parse_rule(src: &str) -> Result<Rule> {
+    let (head_src, body_src) = match src.find(":-") {
+        Some(i) => (&src[..i], Some(&src[i + 2..])),
+        None => (src, None),
+    };
+    let head = parse_atom(head_src.trim())?;
+    let mut body = Vec::new();
+    if let Some(b) = body_src {
+        for part in split_atoms(b) {
+            let part = part.trim();
+            let (positive, atom_src) = match part.strip_prefix('!') {
+                Some(rest) => (false, rest.trim()),
+                None => (true, part),
+            };
+            body.push(Lit {
+                atom: parse_atom(atom_src)?,
+                positive,
+            });
+        }
+    }
+    Ok(Rule { head, body })
+}
+
+/// Splits body atoms at top-level commas (not inside parens/strings).
+fn split_atoms(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0;
+    let mut in_str = false;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '(' if !in_str => depth += 1,
+            ')' if !in_str => depth -= 1,
+            ',' if !in_str && depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+fn parse_atom(src: &str) -> Result<Atom> {
+    let Some(open) = src.find('(') else {
+        return Err(DlError::Parse(format!(
+            "expected `(` in atom `{}`",
+            truncate(src)
+        )));
+    };
+    if !src.ends_with(')') {
+        return Err(DlError::Parse(format!(
+            "expected `)` at end of atom `{}`",
+            truncate(src)
+        )));
+    }
+    let rel = src[..open].trim();
+    if rel.is_empty() || !rel.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+        return Err(DlError::Parse(format!(
+            "relation names start uppercase; got `{}`",
+            truncate(rel)
+        )));
+    }
+    let args_src = &src[open + 1..src.len() - 1];
+    let mut args = Vec::new();
+    if !args_src.trim().is_empty() {
+        for part in split_atoms(args_src) {
+            args.push(parse_term(part.trim())?);
+        }
+    }
+    Ok(Atom::new(rel, args))
+}
+
+fn parse_term(src: &str) -> Result<DlTerm> {
+    if src.starts_with('"') && src.ends_with('"') && src.len() >= 2 {
+        return Ok(DlTerm::Const(Constant::str(&src[1..src.len() - 1])));
+    }
+    if let Ok(n) = src.parse::<i64>() {
+        return Ok(DlTerm::Const(Constant::int(n)));
+    }
+    if src
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+        && src.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        return Ok(DlTerm::Var(src.to_string()));
+    }
+    Err(DlError::Parse(format!("bad term `{}`", truncate(src))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_tc() {
+        let p = parse_program(
+            r#"
+            Tc(x, y) :- Edge(x, y).
+            Tc(x, z) :- Tc(x, y), Edge(y, z).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.idb(), BTreeSet::from(["Tc"]));
+        assert_eq!(p.edb(), BTreeSet::from(["Edge"]));
+        assert!(!p.has_negation());
+    }
+
+    #[test]
+    fn parse_negation_and_constants() {
+        let p = parse_program(r#"Out(x) :- Node(x), !Bad(x), Tag(x, "keep", 42)."#).unwrap();
+        assert!(p.has_negation());
+        let r = &p.rules[0];
+        assert_eq!(r.body.len(), 3);
+        assert!(!r.body[1].positive);
+        assert_eq!(r.body[2].atom.args[1], DlTerm::Const(Constant::str("keep")));
+        assert_eq!(r.body[2].atom.args[2], DlTerm::Const(Constant::int(42)));
+    }
+
+    #[test]
+    fn unsafe_rules_rejected() {
+        let err = parse_program("Out(x, y) :- Node(x).").unwrap_err();
+        assert!(matches!(err, DlError::Unsafe { .. }));
+        let err2 = parse_program("Out(x) :- Node(x), !Bad(y).").unwrap_err();
+        assert!(matches!(err2, DlError::Unsafe { .. }));
+    }
+
+    #[test]
+    fn arity_conflicts_rejected() {
+        let err = parse_program("Out(x) :- Edge(x, y). Out(x, y) :- Edge(x, y).").unwrap_err();
+        assert!(matches!(err, DlError::Arity { .. }));
+    }
+
+    #[test]
+    fn facts_parse() {
+        let p = parse_program(r#"Start("a")."#).unwrap();
+        assert_eq!(p.rules[0].body.len(), 0);
+    }
+
+    #[test]
+    fn relation_and_database_basics() {
+        let mut db = Database::new();
+        db.insert("R", vec![Constant::int(1), Constant::int(2)])
+            .unwrap();
+        assert!(!db
+            .insert("R", vec![Constant::int(1), Constant::int(2)])
+            .unwrap());
+        let err = db.insert("R", vec![Constant::int(1)]).unwrap_err();
+        assert!(matches!(err, DlError::Arity { .. }));
+        assert_eq!(db.size(), 1);
+        let idx = db.relation("R").unwrap().index(0);
+        assert_eq!(idx[&Constant::int(1)].len(), 1);
+    }
+
+    #[test]
+    fn idb_edb_and_arities() {
+        let p = parse_program("Tc(x, y) :- Edge(x, y). Out(x) :- Tc(x, y), !Block(x).").unwrap();
+        assert_eq!(p.idb(), BTreeSet::from(["Out", "Tc"]));
+        assert_eq!(p.edb(), BTreeSet::from(["Block", "Edge"]));
+        let ar = p.arities();
+        assert_eq!(ar["Tc"], 2);
+        assert_eq!(ar["Out"], 1);
+        assert_eq!(ar["Block"], 1);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let p = parse_program("Tc(x, z) :- Tc(x, y), Edge(y, z).").unwrap();
+        let txt = p.to_string();
+        let p2 = parse_program(&txt).unwrap();
+        assert_eq!(p, p2);
+    }
+}

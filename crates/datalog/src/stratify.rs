@@ -1,0 +1,96 @@
+//! Stratification of Datalog¬ programs.
+//!
+//! A program is stratifiable iff no relation depends negatively on itself
+//! through recursion. We compute strata with the classic iterative
+//! level-assignment algorithm: `level(h) ≥ level(b)` for positive body
+//! atoms, `level(h) ≥ level(b) + 1` for negative ones; divergence beyond
+//! the relation count proves a negative cycle.
+
+use crate::ast::Program;
+use crate::{DlError, Result};
+use std::collections::BTreeMap;
+
+/// Splits `prog` into strata, each a sub-program whose rules may be
+/// evaluated together (negation only references lower strata).
+pub fn stratify(prog: &Program) -> Result<Vec<Program>> {
+    let mut level: BTreeMap<&str, usize> = BTreeMap::new();
+    for r in &prog.rules {
+        level.entry(r.head.rel.as_str()).or_insert(0);
+        for l in &r.body {
+            level.entry(l.atom.rel.as_str()).or_insert(0);
+        }
+    }
+    let nrels = level.len();
+    loop {
+        let mut changed = false;
+        for r in &prog.rules {
+            let head = r.head.rel.as_str();
+            for l in &r.body {
+                let need = level[l.atom.rel.as_str()] + usize::from(!l.positive);
+                if level[head] < need {
+                    if need > nrels {
+                        return Err(DlError::NotStratifiable(head.to_string()));
+                    }
+                    level.insert(head, need);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let max = level.values().copied().max().unwrap_or(0);
+    let mut strata: Vec<Program> = vec![Program::default(); max + 1];
+    for r in &prog.rules {
+        let lvl = level[r.head.rel.as_str()];
+        strata[lvl].rules.push(r.clone());
+    }
+    Ok(strata.into_iter().filter(|s| !s.rules.is_empty()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_program;
+
+    #[test]
+    fn positive_program_is_one_stratum() {
+        let p = parse_program("Tc(x, y) :- Edge(x, y). Tc(x, z) :- Tc(x, y), Edge(y, z).").unwrap();
+        assert_eq!(stratify(&p).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn negation_splits_strata() {
+        let p = parse_program(
+            r#"
+            Reach(y) :- Start(y).
+            Reach(y) :- Reach(x), Edge(x, y).
+            Un(x) :- Node(x), !Reach(x).
+            "#,
+        )
+        .unwrap();
+        let strata = stratify(&p).unwrap();
+        assert_eq!(strata.len(), 2);
+        assert_eq!(strata[1].rules.len(), 1);
+        assert_eq!(strata[1].rules[0].head.rel, "Un");
+    }
+
+    #[test]
+    fn negative_cycle_rejected() {
+        let p = parse_program(
+            r#"
+            A(x) :- Node(x), !B(x).
+            B(x) :- Node(x), !A(x).
+            "#,
+        )
+        .unwrap();
+        assert!(matches!(stratify(&p), Err(DlError::NotStratifiable(_))));
+    }
+
+    #[test]
+    fn self_negation_rejected() {
+        let p = parse_program("W(x) :- M(x, y), !W(y).").unwrap();
+        assert!(matches!(stratify(&p), Err(DlError::NotStratifiable(_))));
+    }
+}

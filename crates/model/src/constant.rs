@@ -1,0 +1,116 @@
+//! Constants — the base domain `D` of atomic, uninterpreted elements.
+//!
+//! The paper postulates one countably infinite set of constants
+//! `D = {d1, d2, …}` (Section 2.1). Constants are *uninterpreted*: a generic
+//! query may test them only for equality. For engineering convenience we
+//! admit three spellings of constants — strings, integers, and booleans — but
+//! they all inhabit the single base type [`crate::TypeExpr::Base`]; no
+//! operation in the model or in IQL interprets them beyond equality, so
+//! genericity (Section 4.1) is preserved.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An element of the base domain `D`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Constant {
+    /// A boolean spelling of a constant.
+    Bool(bool),
+    /// An integer spelling of a constant.
+    Int(i64),
+    /// A string spelling of a constant. `Arc<str>` keeps clones cheap — an
+    /// o-value tree may repeat the same constant many times.
+    Str(Arc<str>),
+}
+
+impl Constant {
+    /// Builds a string constant.
+    pub fn str(s: &str) -> Self {
+        Constant::Str(Arc::from(s))
+    }
+
+    /// Builds an integer constant.
+    pub fn int(i: i64) -> Self {
+        Constant::Int(i)
+    }
+
+    /// Builds a boolean constant.
+    pub fn bool(b: bool) -> Self {
+        Constant::Bool(b)
+    }
+}
+
+impl fmt::Debug for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Bool(b) => write!(f, "{b}"),
+            Constant::Int(i) => write!(f, "{i}"),
+            Constant::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Bool(b) => write!(f, "{b}"),
+            Constant::Int(i) => write!(f, "{i}"),
+            Constant::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<&str> for Constant {
+    fn from(s: &str) -> Self {
+        Constant::str(s)
+    }
+}
+
+impl From<i64> for Constant {
+    fn from(i: i64) -> Self {
+        Constant::Int(i)
+    }
+}
+
+impl From<bool> for Constant {
+    fn from(b: bool) -> Self {
+        Constant::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_is_by_content() {
+        assert_eq!(Constant::str("Adam"), Constant::str("Adam"));
+        assert_ne!(Constant::str("Adam"), Constant::str("adam"));
+        assert_ne!(Constant::int(1), Constant::str("1"));
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut v = vec![
+            Constant::str("b"),
+            Constant::int(3),
+            Constant::bool(true),
+            Constant::str("a"),
+            Constant::int(-1),
+        ];
+        v.sort();
+        let w = v.clone();
+        v.sort();
+        assert_eq!(v, w);
+        // Booleans < ints < strings by variant order; strings lexicographic.
+        assert_eq!(v[0], Constant::bool(true));
+        assert_eq!(v.last().unwrap(), &Constant::str("b"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Constant::str("x").to_string(), "\"x\"");
+        assert_eq!(Constant::int(42).to_string(), "42");
+        assert_eq!(Constant::bool(false).to_string(), "false");
+    }
+}

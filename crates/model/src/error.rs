@@ -1,0 +1,127 @@
+//! Error types for the model crate.
+
+use crate::names::{ClassName, RelName};
+use std::fmt;
+
+/// Errors raised by schema construction, instance validation, and the type
+/// algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A schema mentions a class name it does not declare.
+    UndeclaredClass(ClassName),
+    /// A relation/class name is declared twice in one schema.
+    DuplicateName(String),
+    /// A relation's contents violate its declared type (Def 2.3.2 cond 1).
+    IllTypedRelation {
+        /// Offending relation.
+        rel: RelName,
+        /// Rendering of the offending o-value.
+        value: String,
+    },
+    /// An oid's value violates its class's type (Def 2.3.2 cond 2).
+    IllTypedOid {
+        /// The class of the offending oid.
+        class: ClassName,
+        /// The offending oid (its numeric id).
+        oid: u64,
+        /// Rendering of the offending value.
+        value: String,
+    },
+    /// An oid appears in two distinct classes — the oid assignment must be
+    /// disjoint (Definition 2.1.2).
+    NonDisjointClasses {
+        /// First class containing the oid.
+        first: ClassName,
+        /// Second class containing the oid.
+        second: ClassName,
+        /// The shared oid's numeric id.
+        oid: u64,
+    },
+    /// A set-valued oid has an undefined value (violates Def 2.3.2 cond 3 —
+    /// `ν` must be total on classes of set type).
+    UndefinedSetValuedOid {
+        /// The class of the offending oid.
+        class: ClassName,
+        /// The offending oid's numeric id.
+        oid: u64,
+    },
+    /// An oid occurs in the instance but belongs to no class.
+    StrayOid(u64),
+    /// An operation referenced a relation name absent from the schema.
+    UnknownRelation(RelName),
+    /// An operation referenced a class name absent from the schema.
+    UnknownClass(ClassName),
+    /// The `isa` declaration does not form a partial order (cycle).
+    IsaCycle(ClassName),
+    /// Type enumeration exceeded its configured budget.
+    EnumerationBudget {
+        /// The configured budget that was exceeded.
+        budget: usize,
+    },
+    /// A projection asked for names not in the base schema.
+    NotASubschema(String),
+    /// Catch-all for invariant violations with context.
+    Invalid(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UndeclaredClass(c) => {
+                write!(f, "type mentions undeclared class {c}")
+            }
+            ModelError::DuplicateName(n) => write!(f, "duplicate schema name {n}"),
+            ModelError::IllTypedRelation { rel, value } => {
+                write!(f, "relation {rel} contains ill-typed o-value {value}")
+            }
+            ModelError::IllTypedOid { class, oid, value } => {
+                write!(f, "oid o{oid} of class {class} has ill-typed value {value}")
+            }
+            ModelError::NonDisjointClasses { first, second, oid } => write!(
+                f,
+                "oid o{oid} belongs to both {first} and {second}; oid assignments must be disjoint"
+            ),
+            ModelError::UndefinedSetValuedOid { class, oid } => write!(
+                f,
+                "set-valued oid o{oid} of class {class} has undefined value; ν must be total on set-typed classes"
+            ),
+            ModelError::StrayOid(o) => {
+                write!(f, "oid o{o} occurs in the instance but belongs to no class")
+            }
+            ModelError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            ModelError::UnknownClass(c) => write!(f, "unknown class {c}"),
+            ModelError::IsaCycle(c) => write!(f, "isa hierarchy has a cycle through {c}"),
+            ModelError::EnumerationBudget { budget } => {
+                write!(f, "type enumeration exceeded budget of {budget} values")
+            }
+            ModelError::NotASubschema(what) => {
+                write!(f, "projection target is not a subschema: {what}")
+            }
+            ModelError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::NonDisjointClasses {
+            first: ClassName::new("P1"),
+            second: ClassName::new("P2"),
+            oid: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("o7") && s.contains("P1") && s.contains("P2"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(ModelError::StrayOid(3));
+        assert!(e.to_string().contains("o3"));
+    }
+}

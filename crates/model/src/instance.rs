@@ -1,0 +1,1058 @@
+//! Instances (Definition 2.3.2) and their ground-fact representation.
+//!
+//! An instance of schema `(R, P, T)` is a triple `(ρ, π, ν)`:
+//!
+//! * `ρ` assigns each relation name a finite set of o-values of type `T(R)`;
+//! * `π` assigns each class name a finite, pairwise-disjoint set of oids;
+//! * `ν` partially maps the oids of the instance to o-values of their
+//!   class's type, and is **total** on set-valued classes (condition 3) —
+//!   "knowing nothing about a set" is represented as the empty set
+//!   (Remark 2.3.3).
+//!
+//! Oids with undefined `ν` model incomplete information (like `other` in the
+//! Genesis example) and, crucially, the intermediate stages of IQL
+//! evaluation, where objects are built incrementally.
+//!
+//! Cyclicity lives entirely in `ν`: o-values are finite trees, and following
+//! `ν` through oids may loop (e.g. `adam ↦ [spouse: eve, …]`,
+//! `eve ↦ [spouse: adam, …]`).
+
+use crate::constant::Constant;
+use crate::error::ModelError;
+use crate::idgen::{Oid, OidGen};
+use crate::names::{ClassName, RelName};
+use crate::ovalue::OValue;
+use crate::schema::Schema;
+use crate::types::{ClassMap, EnumUniverse, OidClasses};
+use crate::Result;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// One ground fact of the logic-programming representation of an instance
+/// (Section 2.3):
+///
+/// ```text
+/// R(v)      for v ∈ ρ(R)
+/// P(o)      for o ∈ π(P)
+/// ô(v)      for v ∈ ν(o), o set-valued
+/// ô = v     for v = ν(o), o non-set-valued
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum GroundFact {
+    /// `R(v)` — membership of an o-value in a relation.
+    Rel(RelName, OValue),
+    /// `P(o)` — membership of an oid in a class.
+    Class(ClassName, Oid),
+    /// `ô(v)` — membership in the value of a set-valued oid.
+    SetMember(Oid, OValue),
+    /// `ô = v` — the value of a non-set-valued oid.
+    Value(Oid, OValue),
+}
+
+impl fmt::Display for GroundFact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroundFact::Rel(r, v) => write!(f, "{r}({v})"),
+            GroundFact::Class(p, o) => write!(f, "{p}({o})"),
+            GroundFact::SetMember(o, v) => write!(f, "{o}^({v})"),
+            GroundFact::Value(o, v) => write!(f, "{o}^ = {v}"),
+        }
+    }
+}
+
+/// An instance `(ρ, π, ν)` of a schema.
+#[derive(Clone)]
+pub struct Instance {
+    schema: Arc<Schema>,
+    relations: BTreeMap<RelName, BTreeSet<OValue>>,
+    classes: BTreeMap<ClassName, BTreeSet<Oid>>,
+    nu: BTreeMap<Oid, OValue>,
+    /// Inverse of `π` — enforces disjointness and gives O(log n) class-of.
+    oid_class: BTreeMap<Oid, ClassName>,
+    gen: OidGen,
+}
+
+impl Instance {
+    /// An empty instance of `schema`: all relations and classes empty.
+    pub fn new(schema: Arc<Schema>) -> Instance {
+        let relations = schema.relations().map(|r| (r, BTreeSet::new())).collect();
+        let classes = schema.classes().map(|c| (c, BTreeSet::new())).collect();
+        Instance {
+            schema,
+            relations,
+            classes,
+            nu: BTreeMap::new(),
+            oid_class: BTreeMap::new(),
+            gen: OidGen::new(),
+        }
+    }
+
+    /// The instance's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    // ------------------------------------------------------------------
+    // ρ — relations
+    // ------------------------------------------------------------------
+
+    /// `ρ(R)` — the contents of relation `r`.
+    pub fn relation(&self, r: RelName) -> Result<&BTreeSet<OValue>> {
+        self.relations.get(&r).ok_or(ModelError::UnknownRelation(r))
+    }
+
+    /// Inserts `v` into `ρ(R)` after type-checking it against `T(R)`.
+    /// Returns `true` if the fact was new (relations are duplicate-free).
+    pub fn insert(&mut self, r: RelName, v: OValue) -> Result<bool> {
+        let ty = self.schema.relation_type(r)?.clone();
+        if !ty.member(&v, self) {
+            return Err(ModelError::IllTypedRelation {
+                rel: r,
+                value: v.to_string(),
+            });
+        }
+        self.insert_unchecked(r, v)
+    }
+
+    /// Inserts without type-checking — the IQL evaluator uses this on facts
+    /// whose well-typedness is guaranteed statically by rule-head typing
+    /// (Section 3.3).
+    pub fn insert_unchecked(&mut self, r: RelName, v: OValue) -> Result<bool> {
+        self.note_oids_of(&v);
+        let set = self
+            .relations
+            .get_mut(&r)
+            .ok_or(ModelError::UnknownRelation(r))?;
+        Ok(set.insert(v))
+    }
+
+    /// Removes `v` from `ρ(R)`; returns whether it was present.
+    pub fn remove(&mut self, r: RelName, v: &OValue) -> Result<bool> {
+        let set = self
+            .relations
+            .get_mut(&r)
+            .ok_or(ModelError::UnknownRelation(r))?;
+        Ok(set.remove(v))
+    }
+
+    // ------------------------------------------------------------------
+    // π — classes and oid invention
+    // ------------------------------------------------------------------
+
+    /// `π(P)` — the extent of class `p`.
+    pub fn class(&self, p: ClassName) -> Result<&BTreeSet<Oid>> {
+        self.classes.get(&p).ok_or(ModelError::UnknownClass(p))
+    }
+
+    /// Invents a fresh oid in class `p` (the IQL invention primitive). The
+    /// new oid receives the paper's default value: the empty set for
+    /// set-valued classes, undefined otherwise.
+    pub fn create_oid(&mut self, p: ClassName) -> Result<Oid> {
+        if !self.schema.has_class(p) {
+            return Err(ModelError::UnknownClass(p));
+        }
+        let oid = self.gen.fresh();
+        self.register_oid(p, oid)?;
+        Ok(oid)
+    }
+
+    /// Adopts a caller-chosen oid into class `p` — used by tests and by the
+    /// φ translation from the value-based model. Fails if the oid already
+    /// belongs to a class (disjointness, Definition 2.1.2).
+    pub fn adopt_oid(&mut self, p: ClassName, oid: Oid) -> Result<()> {
+        if !self.schema.has_class(p) {
+            return Err(ModelError::UnknownClass(p));
+        }
+        self.gen.reserve_above(oid);
+        self.register_oid(p, oid)
+    }
+
+    fn register_oid(&mut self, p: ClassName, oid: Oid) -> Result<()> {
+        if let Some(existing) = self.oid_class.get(&oid) {
+            if *existing == p {
+                return Ok(()); // idempotent
+            }
+            return Err(ModelError::NonDisjointClasses {
+                first: *existing,
+                second: p,
+                oid: oid.raw(),
+            });
+        }
+        self.oid_class.insert(oid, p);
+        self.classes
+            .get_mut(&p)
+            .expect("class present by construction")
+            .insert(oid);
+        if self.schema.is_set_valued_class(p)? {
+            self.nu.insert(oid, OValue::empty_set());
+        }
+        Ok(())
+    }
+
+    /// The class an oid belongs to, if any.
+    pub fn class_of(&self, oid: Oid) -> Option<ClassName> {
+        self.oid_class.get(&oid).copied()
+    }
+
+    /// Is `oid` set-valued (its class's type is `{t}`)?
+    pub fn is_set_valued(&self, oid: Oid) -> bool {
+        self.class_of(oid)
+            .and_then(|p| self.schema.is_set_valued_class(p).ok())
+            .unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // ν — values
+    // ------------------------------------------------------------------
+
+    /// `ν(o)` — the value of `oid` if defined. Set-valued oids always have a
+    /// value (possibly `{}`).
+    pub fn value(&self, oid: Oid) -> Option<&OValue> {
+        self.nu.get(&oid)
+    }
+
+    /// The *weak assignment* `ô = v` (Section 3.2, condition (†)): succeeds
+    /// only if `ν(oid)` is currently undefined. Use on non-set-valued oids;
+    /// the caller (the evaluator) handles per-step conflict resolution.
+    pub fn define_value(&mut self, oid: Oid, v: OValue) -> Result<bool> {
+        let class = self.class_of(oid).ok_or(ModelError::StrayOid(oid.raw()))?;
+        if self.schema.is_set_valued_class(class)? {
+            return Err(ModelError::Invalid(format!(
+                "oid {oid} of class {class} is set-valued; use add_set_member"
+            )));
+        }
+        if self.nu.contains_key(&oid) {
+            return Ok(false);
+        }
+        self.note_oids_of(&v);
+        self.nu.insert(oid, v);
+        Ok(true)
+    }
+
+    /// Adds `v` to the set value of a set-valued oid (`ô(v)` facts are
+    /// inflationary: the set only grows). Returns whether it was new.
+    pub fn add_set_member(&mut self, oid: Oid, v: OValue) -> Result<bool> {
+        let class = self.class_of(oid).ok_or(ModelError::StrayOid(oid.raw()))?;
+        if !self.schema.is_set_valued_class(class)? {
+            return Err(ModelError::Invalid(format!(
+                "oid {oid} of class {class} is not set-valued; use define_value"
+            )));
+        }
+        self.note_oids_of(&v);
+        match self.nu.get_mut(&oid) {
+            Some(OValue::Set(s)) => Ok(s.insert(v)),
+            _ => unreachable!("set-valued oids always carry a set value"),
+        }
+    }
+
+    /// Overwrites `ν(oid)` unconditionally. Not part of IQL's semantics
+    /// (which is inflationary); provided for instance construction and for
+    /// IQL\* deletion cascades.
+    pub fn overwrite_value(&mut self, oid: Oid, v: OValue) -> Result<()> {
+        if self.class_of(oid).is_none() {
+            return Err(ModelError::StrayOid(oid.raw()));
+        }
+        self.note_oids_of(&v);
+        self.nu.insert(oid, v);
+        Ok(())
+    }
+
+    /// Makes `ν(oid)` undefined (only legal for non-set-valued oids; used by
+    /// deletion cascades).
+    pub fn undefine_value(&mut self, oid: Oid) -> Result<()> {
+        if self.is_set_valued(oid) {
+            self.nu.insert(oid, OValue::empty_set());
+        } else {
+            self.nu.remove(&oid);
+        }
+        Ok(())
+    }
+
+    /// Deletes an oid entirely: removes it from its class, drops `ν(oid)`,
+    /// and cascades through the instance (IQL\*, Section 4.5): relation
+    /// tuples mentioning it outside set positions are removed; set members
+    /// mentioning it are removed; non-set values mentioning it become
+    /// undefined.
+    pub fn delete_oid(&mut self, oid: Oid) -> Result<()> {
+        let Some(class) = self.class_of(oid) else {
+            return Ok(());
+        };
+        self.classes
+            .get_mut(&class)
+            .expect("class exists")
+            .remove(&oid);
+        self.oid_class.remove(&oid);
+        self.nu.remove(&oid);
+        // Cascade through relations.
+        for set in self.relations.values_mut() {
+            let retained: BTreeSet<OValue> =
+                set.iter().filter_map(|v| v.without_oid(oid)).collect();
+            *set = retained;
+        }
+        // Cascade through ν.
+        let oids: Vec<Oid> = self.nu.keys().copied().collect();
+        for o in oids {
+            let v = self.nu[&o].clone();
+            if !v.mentions_oid(oid) {
+                continue;
+            }
+            match v.without_oid(oid) {
+                Some(clean) => {
+                    self.nu.insert(o, clean);
+                }
+                None => {
+                    // Value irreparably mentions the dead oid.
+                    if self.is_set_valued(o) {
+                        self.nu.insert(o, OValue::empty_set());
+                    } else {
+                        self.nu.remove(&o);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn note_oids_of(&mut self, v: &OValue) {
+        // Keep the generator above any oid that enters the instance, so
+        // invention can never collide with adopted oids.
+        let mut oids = BTreeSet::new();
+        v.collect_oids(&mut oids);
+        for o in oids {
+            self.gen.reserve_above(o);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Derived views
+    // ------------------------------------------------------------------
+
+    /// `objects(I)` — every oid occurring in the instance.
+    pub fn objects(&self) -> BTreeSet<Oid> {
+        let mut out: BTreeSet<Oid> = self.oid_class.keys().copied().collect();
+        for set in self.relations.values() {
+            for v in set {
+                v.collect_oids(&mut out);
+            }
+        }
+        for v in self.nu.values() {
+            v.collect_oids(&mut out);
+        }
+        out
+    }
+
+    /// `constants(I)` — every constant occurring in the instance.
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        let mut out = BTreeSet::new();
+        for set in self.relations.values() {
+            for v in set {
+                v.collect_constants(&mut out);
+            }
+        }
+        for v in self.nu.values() {
+            v.collect_constants(&mut out);
+        }
+        out
+    }
+
+    /// `ground-facts(I)` — the logic-programming representation
+    /// (Section 2.3). Per the paper's convention, set-valued oids with empty
+    /// value and non-set oids with undefined value produce no `ô` facts.
+    pub fn ground_facts(&self) -> Vec<GroundFact> {
+        let mut out = Vec::new();
+        for (r, set) in &self.relations {
+            for v in set {
+                out.push(GroundFact::Rel(*r, v.clone()));
+            }
+        }
+        for (p, oids) in &self.classes {
+            for o in oids {
+                out.push(GroundFact::Class(*p, *o));
+            }
+        }
+        for (o, v) in &self.nu {
+            if self.is_set_valued(*o) {
+                if let OValue::Set(elems) = v {
+                    for e in elems {
+                        out.push(GroundFact::SetMember(*o, e.clone()));
+                    }
+                }
+            } else {
+                out.push(GroundFact::Value(*o, v.clone()));
+            }
+        }
+        out
+    }
+
+    /// Total number of ground facts — the instance "size" used for
+    /// data-complexity statements (Section 5).
+    pub fn fact_count(&self) -> usize {
+        let rel: usize = self.relations.values().map(BTreeSet::len).sum();
+        let cls: usize = self.classes.values().map(BTreeSet::len).sum();
+        let vals: usize = self
+            .nu
+            .iter()
+            .map(|(o, v)| {
+                if self.is_set_valued(*o) {
+                    match v {
+                        OValue::Set(s) => s.len(),
+                        _ => 0,
+                    }
+                } else {
+                    1
+                }
+            })
+            .sum();
+        rel + cls + vals
+    }
+
+    /// The maximum branching factor over `o-values(I)` (Lemma 5.7).
+    pub fn branching_factor(&self) -> usize {
+        let rel = self
+            .relations
+            .values()
+            .flatten()
+            .map(OValue::branching_factor)
+            .max()
+            .unwrap_or(0);
+        let vals = self
+            .nu
+            .values()
+            .map(OValue::branching_factor)
+            .max()
+            .unwrap_or(0);
+        rel.max(vals)
+    }
+
+    /// A [`ClassMap`] view of `π`, for type enumeration.
+    pub fn class_map(&self) -> ClassMap {
+        ClassMap {
+            classes: self.classes.clone(),
+        }
+    }
+
+    /// Builds an [`EnumUniverse`] over this instance's active domain.
+    /// The returned pair borrows nothing from `self`; pass references into
+    /// [`crate::TypeExpr::enumerate`].
+    pub fn enum_universe(&self) -> (Vec<Constant>, ClassMap) {
+        (self.constants().into_iter().collect(), self.class_map())
+    }
+
+    /// Convenience wrapper around [`crate::TypeExpr::enumerate`] over this
+    /// instance's active domain.
+    pub fn enumerate_type(
+        &self,
+        ty: &crate::types::TypeExpr,
+        budget: usize,
+    ) -> Result<Vec<OValue>> {
+        let (consts, cm) = self.enum_universe();
+        ty.enumerate(&EnumUniverse {
+            constants: &consts,
+            classes: &cm,
+            budget,
+        })
+    }
+
+    /// Ground-fact difference against another instance of the same schema:
+    /// `(added, removed)` — the facts in `self` but not `other`, and vice
+    /// versa. A debugging/testing aid (e.g. comparing evaluator modes).
+    pub fn diff(&self, other: &Instance) -> (Vec<GroundFact>, Vec<GroundFact>) {
+        let mine: BTreeSet<GroundFact> = self.ground_facts().into_iter().collect();
+        let theirs: BTreeSet<GroundFact> = other.ground_facts().into_iter().collect();
+        (
+            mine.difference(&theirs).cloned().collect(),
+            theirs.difference(&mine).cloned().collect(),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Validation (Definition 2.3.2)
+    // ------------------------------------------------------------------
+
+    /// Checks all conditions of Definition 2.3.2 plus the closure condition
+    /// that every occurring oid belongs to some class.
+    pub fn validate(&self) -> Result<()> {
+        // Condition 1: ρ(R) ⊆ ⟦T(R)⟧π.
+        for (r, set) in &self.relations {
+            let ty = self.schema.relation_type(*r)?;
+            for v in set {
+                if !ty.member(v, self) {
+                    return Err(ModelError::IllTypedRelation {
+                        rel: *r,
+                        value: v.to_string(),
+                    });
+                }
+            }
+        }
+        // Condition 2: ν(o) ∈ ⟦T(P)⟧π for o ∈ π(P);
+        // Condition 3: ν total on set-valued classes.
+        for (p, oids) in &self.classes {
+            let ty = self.schema.class_type(*p)?;
+            let set_valued = self.schema.is_set_valued_class(*p)?;
+            for o in oids {
+                match self.nu.get(o) {
+                    Some(v) => {
+                        if !ty.member(v, self) {
+                            return Err(ModelError::IllTypedOid {
+                                class: *p,
+                                oid: o.raw(),
+                                value: v.to_string(),
+                            });
+                        }
+                    }
+                    None => {
+                        if set_valued {
+                            return Err(ModelError::UndefinedSetValuedOid {
+                                class: *p,
+                                oid: o.raw(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Closure: every occurring oid is in some class.
+        for o in self.objects() {
+            if self.class_of(o).is_none() {
+                return Err(ModelError::StrayOid(o.raw()));
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Projection and renaming
+    // ------------------------------------------------------------------
+
+    /// `I[S']` — the projection of the instance onto a projection `sub` of
+    /// its schema (Section 3).
+    pub fn project(&self, sub: &Arc<Schema>) -> Result<Instance> {
+        if !self.schema.is_projection_of(sub) {
+            return Err(ModelError::NotASubschema(format!("{sub}")));
+        }
+        let mut out = Instance::new(Arc::clone(sub));
+        for r in sub.relations() {
+            for v in self.relation(r)? {
+                out.insert_unchecked(r, v.clone())?;
+            }
+        }
+        for p in sub.classes() {
+            for o in self.class(p)? {
+                out.adopt_oid(p, *o)?;
+                if let Some(v) = self.value(*o) {
+                    out.overwrite_value(*o, v.clone())?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies a constant renaming to the whole instance; `map` must be
+    /// injective on `constants(I)` (checked). Composing with
+    /// [`Instance::rename_oids`] realizes an arbitrary DO-isomorphism
+    /// (Section 4.1) — the transformation group under which
+    /// db-transformations are generic (Definition 4.1.1, condition 3).
+    pub fn rename_constants(&self, map: &BTreeMap<Constant, Constant>) -> Result<Instance> {
+        let consts = self.constants();
+        let mut seen = BTreeSet::new();
+        for c in &consts {
+            let target = map.get(c).cloned().unwrap_or_else(|| c.clone());
+            if !seen.insert(target) {
+                return Err(ModelError::Invalid(
+                    "constant renaming is not injective".into(),
+                ));
+            }
+        }
+        let mut out = Instance::new(Arc::clone(&self.schema));
+        for r in self.schema.relations() {
+            for v in self.relation(r)? {
+                out.insert_unchecked(r, v.rename_constants(map))?;
+            }
+        }
+        for p in self.schema.classes() {
+            for o in self.class(p)? {
+                out.adopt_oid(p, *o)?;
+                if let Some(v) = self.value(*o) {
+                    out.overwrite_value(*o, v.rename_constants(map))?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rebuilds an instance from ground facts over `schema` — the inverse
+    /// of [`Instance::ground_facts`] (the paper's alternative
+    /// representation, Section 2.3).
+    pub fn from_ground_facts<I>(schema: Arc<Schema>, facts: I) -> Result<Instance>
+    where
+        I: IntoIterator<Item = GroundFact>,
+    {
+        let mut out = Instance::new(schema);
+        let mut deferred: Vec<GroundFact> = Vec::new();
+        // First pass: class facts (so oids exist for value facts).
+        for fact in facts {
+            match fact {
+                GroundFact::Class(p, o) => out.adopt_oid(p, o)?,
+                other => deferred.push(other),
+            }
+        }
+        for fact in deferred {
+            match fact {
+                GroundFact::Rel(r, v) => {
+                    out.insert_unchecked(r, v)?;
+                }
+                GroundFact::SetMember(o, v) => {
+                    out.add_set_member(o, v)?;
+                }
+                GroundFact::Value(o, v) => {
+                    if !out.define_value(o, v)? {
+                        return Err(ModelError::Invalid(format!(
+                            "conflicting value facts for {o}"
+                        )));
+                    }
+                }
+                GroundFact::Class(..) => unreachable!("handled in first pass"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies an oid renaming to the whole instance; `map` must be
+    /// injective on `objects(I)` (checked). The result is O-isomorphic to
+    /// `self` when `map` is a bijection (Section 4.1).
+    pub fn rename_oids(&self, map: &BTreeMap<Oid, Oid>) -> Result<Instance> {
+        let objects = self.objects();
+        let mut seen = BTreeSet::new();
+        for o in &objects {
+            let target = map.get(o).copied().unwrap_or(*o);
+            if !seen.insert(target) {
+                return Err(ModelError::Invalid(format!(
+                    "oid renaming is not injective at {target}"
+                )));
+            }
+        }
+        let mut out = Instance::new(Arc::clone(&self.schema));
+        for r in self.schema.relations() {
+            for v in self.relation(r)? {
+                out.insert_unchecked(r, v.rename_oids(map))?;
+            }
+        }
+        for p in self.schema.classes() {
+            for o in self.class(p)? {
+                let o2 = map.get(o).copied().unwrap_or(*o);
+                out.adopt_oid(p, o2)?;
+                if let Some(v) = self.value(*o) {
+                    out.overwrite_value(o2, v.rename_oids(map))?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl OidClasses for Instance {
+    fn oid_in_class(&self, oid: Oid, class: ClassName) -> bool {
+        self.class_of(oid) == Some(class)
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        // Equality of data, not of generators: two instances are equal iff
+        // they have the same schema contents, ρ, π, and ν.
+        *self.schema == *other.schema
+            && self.relations == other.relations
+            && self.classes == other.classes
+            && self.nu == other.nu
+    }
+}
+
+impl Eq for Instance {}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instance {{")?;
+        for fact in self.ground_facts() {
+            writeln!(f, "  {fact}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Builds the Genesis instance of Example 1.1 over [`genesis_schema`].
+/// Returns the instance together with the oids
+/// `(adam, eve, cain, abel, seth, other)`.
+///
+/// [`genesis_schema`]: crate::schema::genesis_schema
+pub fn genesis_instance() -> (Instance, [Oid; 6]) {
+    use crate::schema::genesis_schema;
+    let schema = genesis_schema().into_shared();
+    let mut i = Instance::new(Arc::clone(&schema));
+    let gen1 = ClassName::new("Gen1");
+    let gen2 = ClassName::new("Gen2");
+    let adam = i.create_oid(gen1).unwrap();
+    let eve = i.create_oid(gen1).unwrap();
+    let cain = i.create_oid(gen2).unwrap();
+    let abel = i.create_oid(gen2).unwrap();
+    let seth = i.create_oid(gen2).unwrap();
+    let other = i.create_oid(gen2).unwrap();
+
+    let children = OValue::set([
+        OValue::oid(cain),
+        OValue::oid(abel),
+        OValue::oid(seth),
+        OValue::oid(other),
+    ]);
+    i.define_value(
+        adam,
+        OValue::tuple([
+            ("name", OValue::str("Adam")),
+            ("spouse", OValue::oid(eve)),
+            ("children", children.clone()),
+        ]),
+    )
+    .unwrap();
+    i.define_value(
+        eve,
+        OValue::tuple([
+            ("name", OValue::str("Eve")),
+            ("spouse", OValue::oid(adam)),
+            ("children", children),
+        ]),
+    )
+    .unwrap();
+    i.define_value(
+        cain,
+        OValue::tuple([
+            ("name", OValue::str("Cain")),
+            (
+                "occupations",
+                OValue::set([
+                    OValue::str("Farmer"),
+                    OValue::str("Nomad"),
+                    OValue::str("Artisan"),
+                ]),
+            ),
+        ]),
+    )
+    .unwrap();
+    i.define_value(
+        abel,
+        OValue::tuple([
+            ("name", OValue::str("Abel")),
+            ("occupations", OValue::set([OValue::str("Shepherd")])),
+        ]),
+    )
+    .unwrap();
+    i.define_value(
+        seth,
+        OValue::tuple([
+            ("name", OValue::str("Seth")),
+            ("occupations", OValue::empty_set()),
+        ]),
+    )
+    .unwrap();
+    // ν(other) stays undefined — Genesis is vague on this point.
+
+    let founded = RelName::new("FoundedLineage");
+    i.insert(founded, OValue::oid(cain)).unwrap();
+    i.insert(founded, OValue::oid(seth)).unwrap();
+    i.insert(founded, OValue::oid(other)).unwrap();
+
+    let anc = RelName::new("AncestorOfCelebrity");
+    i.insert(
+        anc,
+        OValue::tuple([("anc", OValue::oid(seth)), ("desc", OValue::str("Noah"))]),
+    )
+    .unwrap();
+    i.insert(
+        anc,
+        OValue::tuple([
+            ("anc", OValue::oid(cain)),
+            ("desc", OValue::tuple([("spouse", OValue::str("Ada"))])),
+        ]),
+    )
+    .unwrap();
+
+    (i, [adam, eve, cain, abel, seth, other])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::types::TypeExpr;
+
+    #[test]
+    fn genesis_instance_validates() {
+        let (i, oids) = genesis_instance();
+        i.validate().unwrap();
+        let [adam, _, cain, _, _, other] = oids;
+        assert_eq!(i.class_of(adam), Some(ClassName::new("Gen1")));
+        assert_eq!(i.class_of(cain), Some(ClassName::new("Gen2")));
+        assert!(i.value(other).is_none(), "ν(other) is undefined");
+        assert!(i.constants().contains(&Constant::str("Noah")));
+        // Cyclicity: adam's value mentions eve and vice versa.
+        let adam_val = i.value(adam).unwrap();
+        assert!(adam_val.mentions_oid(oids[1]));
+    }
+
+    #[test]
+    fn ground_facts_roundtrip_shape() {
+        let (i, _) = genesis_instance();
+        let facts = i.ground_facts();
+        // 2 gen1 + 4 gen2 class facts, 3 + 2 relation facts, 5 value facts.
+        let classes = facts
+            .iter()
+            .filter(|f| matches!(f, GroundFact::Class(..)))
+            .count();
+        let rels = facts
+            .iter()
+            .filter(|f| matches!(f, GroundFact::Rel(..)))
+            .count();
+        let vals = facts
+            .iter()
+            .filter(|f| matches!(f, GroundFact::Value(..)))
+            .count();
+        assert_eq!(classes, 6);
+        assert_eq!(rels, 5);
+        assert_eq!(vals, 5);
+        assert_eq!(i.fact_count(), facts.len());
+    }
+
+    #[test]
+    fn disjointness_is_enforced() {
+        let schema = SchemaBuilder::new()
+            .class("P1", TypeExpr::set_of(TypeExpr::base()))
+            .class("P2", TypeExpr::set_of(TypeExpr::base()))
+            .build()
+            .unwrap()
+            .into_shared();
+        let mut i = Instance::new(schema);
+        let o = i.create_oid(ClassName::new("P1")).unwrap();
+        let err = i.adopt_oid(ClassName::new("P2"), o).unwrap_err();
+        assert!(matches!(err, ModelError::NonDisjointClasses { .. }));
+    }
+
+    #[test]
+    fn set_valued_default_is_empty_set() {
+        let schema = SchemaBuilder::new()
+            .class("PS", TypeExpr::set_of(TypeExpr::base()))
+            .build()
+            .unwrap()
+            .into_shared();
+        let mut i = Instance::new(schema);
+        let o = i.create_oid(ClassName::new("PS")).unwrap();
+        assert_eq!(i.value(o), Some(&OValue::empty_set()));
+        i.validate().unwrap();
+        assert!(i.add_set_member(o, OValue::int(1)).unwrap());
+        assert!(!i.add_set_member(o, OValue::int(1)).unwrap());
+    }
+
+    #[test]
+    fn weak_assignment_only_once() {
+        let schema = SchemaBuilder::new()
+            .class("PT", TypeExpr::tuple([("a", TypeExpr::base())]))
+            .build()
+            .unwrap()
+            .into_shared();
+        let mut i = Instance::new(schema);
+        let o = i.create_oid(ClassName::new("PT")).unwrap();
+        assert!(i
+            .define_value(o, OValue::tuple([("a", OValue::int(1))]))
+            .unwrap());
+        // Second definition is refused (weak assignment).
+        assert!(!i
+            .define_value(o, OValue::tuple([("a", OValue::int(2))]))
+            .unwrap());
+        assert_eq!(i.value(o), Some(&OValue::tuple([("a", OValue::int(1))])));
+    }
+
+    #[test]
+    fn ill_typed_insert_rejected() {
+        let schema = SchemaBuilder::new()
+            .relation("R", TypeExpr::base())
+            .build()
+            .unwrap()
+            .into_shared();
+        let mut i = Instance::new(schema);
+        assert!(matches!(
+            i.insert(RelName::new("R"), OValue::empty_set()),
+            Err(ModelError::IllTypedRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn stray_oid_detected_by_validate() {
+        let schema = SchemaBuilder::new()
+            .relation(
+                "R",
+                TypeExpr::union(TypeExpr::base(), TypeExpr::class("PX")),
+            )
+            .class("PX", TypeExpr::unit())
+            .build()
+            .unwrap()
+            .into_shared();
+        let mut i = Instance::new(schema);
+        // Insert an oid that belongs to no class, bypassing checks. Since
+        // class membership is part of typing, this is caught as an ill-typed
+        // relation fact (the StrayOid check is a belt-and-braces backstop
+        // for values that escape typing altogether).
+        i.insert_unchecked(RelName::new("R"), OValue::oid(Oid::from_raw(99)))
+            .unwrap();
+        assert!(matches!(
+            i.validate(),
+            Err(ModelError::IllTypedRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_keeps_only_subschema() {
+        let (i, _) = genesis_instance();
+        let sub = i
+            .schema()
+            .project(
+                &BTreeSet::from([RelName::new("FoundedLineage")]),
+                &BTreeSet::from([ClassName::new("Gen2"), ClassName::new("Gen1")]),
+            )
+            .unwrap()
+            .into_shared();
+        let j = i.project(&sub).unwrap();
+        j.validate().unwrap();
+        assert_eq!(j.relation(RelName::new("FoundedLineage")).unwrap().len(), 3);
+        assert!(j.relation(RelName::new("AncestorOfCelebrity")).is_err());
+    }
+
+    #[test]
+    fn rename_oids_produces_equal_structure() {
+        let (i, oids) = genesis_instance();
+        let map: BTreeMap<Oid, Oid> = oids
+            .iter()
+            .enumerate()
+            .map(|(k, o)| (*o, Oid::from_raw(100 + k as u64)))
+            .collect();
+        let j = i.rename_oids(&map).unwrap();
+        j.validate().unwrap();
+        assert_ne!(i, j);
+        // Renaming back gives the original.
+        let back: BTreeMap<Oid, Oid> = map.iter().map(|(a, b)| (*b, *a)).collect();
+        assert_eq!(j.rename_oids(&back).unwrap(), i);
+    }
+
+    #[test]
+    fn non_injective_rename_rejected() {
+        let (i, oids) = genesis_instance();
+        let map = BTreeMap::from([(oids[2], oids[3])]); // cain ↦ abel (collision)
+        assert!(i.rename_oids(&map).is_err());
+    }
+
+    #[test]
+    fn delete_oid_cascades() {
+        let (mut i, oids) = genesis_instance();
+        let cain = oids[2];
+        i.delete_oid(cain).unwrap();
+        // cain left his class, FoundedLineage, adam/eve's children sets, and
+        // the AncestorOfCelebrity tuple mentioning him is gone.
+        assert_eq!(i.class_of(cain), None);
+        assert!(!i
+            .relation(RelName::new("FoundedLineage"))
+            .unwrap()
+            .contains(&OValue::oid(cain)));
+        assert_eq!(
+            i.relation(RelName::new("AncestorOfCelebrity"))
+                .unwrap()
+                .len(),
+            1
+        );
+        for o in i.objects() {
+            assert_ne!(o, cain);
+        }
+        i.validate().unwrap();
+    }
+
+    #[test]
+    fn invention_avoids_adopted_oids() {
+        let schema = SchemaBuilder::new()
+            .class("PA", TypeExpr::unit())
+            .build()
+            .unwrap()
+            .into_shared();
+        let mut i = Instance::new(schema);
+        i.adopt_oid(ClassName::new("PA"), Oid::from_raw(10))
+            .unwrap();
+        let fresh = i.create_oid(ClassName::new("PA")).unwrap();
+        assert!(fresh.raw() > 10);
+    }
+
+    #[test]
+    fn branching_factor_tracks_widest_node() {
+        let (i, _) = genesis_instance();
+        // adam's children set has 4 elements — the widest node around
+        // (tuples have 3 fields).
+        assert_eq!(i.branching_factor(), 4);
+        let empty = Instance::new(Arc::clone(i.schema()));
+        assert_eq!(empty.branching_factor(), 0);
+    }
+
+    #[test]
+    fn diff_reports_fact_changes() {
+        let (a, oids) = genesis_instance();
+        let (mut b, _) = genesis_instance();
+        b.remove(RelName::new("FoundedLineage"), &OValue::oid(oids[2]))
+            .unwrap();
+        b.insert(RelName::new("FoundedLineage"), OValue::oid(oids[3]))
+            .unwrap();
+        let (added, removed) = a.diff(&b);
+        assert_eq!(added.len(), 1);
+        assert_eq!(removed.len(), 1);
+        let (a2, r2) = a.diff(&a);
+        assert!(a2.is_empty() && r2.is_empty());
+    }
+
+    #[test]
+    fn ground_facts_reconstruct_the_instance() {
+        let (i, _) = genesis_instance();
+        let j = Instance::from_ground_facts(Arc::clone(i.schema()), i.ground_facts()).unwrap();
+        assert_eq!(i, j);
+        j.validate().unwrap();
+    }
+
+    #[test]
+    fn rename_constants_is_invertible() {
+        let (i, _) = genesis_instance();
+        let map = BTreeMap::from([
+            (Constant::str("Adam"), Constant::str("Adamo")),
+            (Constant::str("Noah"), Constant::str("Noe")),
+        ]);
+        let j = i.rename_constants(&map).unwrap();
+        assert!(j.constants().contains(&Constant::str("Adamo")));
+        assert!(!j.constants().contains(&Constant::str("Adam")));
+        let back = BTreeMap::from([
+            (Constant::str("Adamo"), Constant::str("Adam")),
+            (Constant::str("Noe"), Constant::str("Noah")),
+        ]);
+        assert_eq!(j.rename_constants(&back).unwrap(), i);
+    }
+
+    #[test]
+    fn non_injective_constant_rename_rejected() {
+        let (i, _) = genesis_instance();
+        let map = BTreeMap::from([(Constant::str("Adam"), Constant::str("Eve"))]);
+        assert!(i.rename_constants(&map).is_err());
+    }
+
+    #[test]
+    fn enumerate_type_over_instance() {
+        let (i, _) = genesis_instance();
+        let gen2 = TypeExpr::class("Gen2");
+        let vals = i.enumerate_type(&gen2, 1000).unwrap();
+        assert_eq!(vals.len(), 4);
+    }
+}

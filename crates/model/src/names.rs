@@ -1,0 +1,138 @@
+//! Interned names for relations, classes, and attributes.
+//!
+//! The paper assumes countably infinite, pairwise disjoint sets of relation
+//! names, class names, and attributes (Section 2.1). We intern each kind in a
+//! process-global table so that names are `Copy` references with cheap
+//! comparison; ordering and hashing are by string content, so canonical forms
+//! (e.g. attribute order inside tuple o-values) are deterministic across runs.
+//!
+//! Interned strings are leaked; the set of schema-level names in any run is
+//! small and bounded, so this is the standard trade-off.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// A process-global string interner for one namespace.
+struct Interner {
+    set: Mutex<HashSet<&'static str>>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner {
+            set: Mutex::new(HashSet::new()),
+        }
+    }
+
+    fn intern(&self, s: &str) -> &'static str {
+        let mut set = self.set.lock().expect("interner poisoned");
+        if let Some(&existing) = set.get(s) {
+            return existing;
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        set.insert(leaked);
+        leaked
+    }
+}
+
+macro_rules! interned_name {
+    ($(#[$doc:meta])* $name:ident, $table:ident) => {
+        static $table: OnceLock<Interner> = OnceLock::new();
+
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(&'static str);
+
+        impl $name {
+            /// Interns `s` in this namespace.
+            pub fn new(s: &str) -> Self {
+                $name($table.get_or_init(Interner::new).intern(s))
+            }
+
+            /// The string this name was interned from.
+            pub fn as_str(&self) -> &'static str {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({:?})", stringify!($name), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                $name::new(s)
+            }
+        }
+    };
+}
+
+interned_name!(
+    /// An interned relation name `R` (Section 2.1, atomic element kind 1).
+    RelName,
+    REL_TABLE
+);
+interned_name!(
+    /// An interned class name `P` (Section 2.1, atomic element kind 2).
+    ClassName,
+    CLASS_TABLE
+);
+interned_name!(
+    /// An interned attribute `A` (Section 2.1, atomic element kind 3).
+    AttrName,
+    ATTR_TABLE
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = RelName::new("R");
+        let b = RelName::new("R");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "R");
+        // Dedup means pointer equality too.
+        assert_eq!(a.as_str().as_ptr(), b.as_str().as_ptr());
+    }
+
+    #[test]
+    fn distinct_strings_distinct_names() {
+        let a = ClassName::new("P1");
+        let b = ClassName::new("P2");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let z = AttrName::new("zeta");
+        let a = AttrName::new("alpha");
+        assert!(a < z);
+    }
+
+    #[test]
+    fn namespaces_are_disjoint_types() {
+        // Same spelling in different namespaces is fine; they are different
+        // Rust types, mirroring the paper's pairwise-disjoint name sets.
+        let r = RelName::new("X");
+        let c = ClassName::new("X");
+        assert_eq!(r.as_str(), c.as_str());
+    }
+
+    #[test]
+    fn display_matches_source() {
+        let a = AttrName::new("children");
+        assert_eq!(format!("{a}"), "children");
+        assert!(format!("{a:?}").contains("children"));
+    }
+}

@@ -1,0 +1,417 @@
+//! O-values (Definition 2.1.1).
+//!
+//! The set of o-values is the smallest set containing `D ∪ O` closed under
+//! finite tupling `[A1:v1, …, Ak:vk]` and finite setting `{v1, …, vk}`.
+//!
+//! We represent an o-value as a finite tree, exactly as the paper does
+//! (Section 2.1): leaf nodes carry a constant or an oid, `×`-nodes carry
+//! attribute-labelled children, and `⋆`-nodes carry an unordered,
+//! duplicate-free collection of children. Using `BTreeMap`/`BTreeSet` makes
+//! duplicate elimination and attribute canonicalization *structural*: two
+//! o-values are equal iff their trees are, with set children compared as
+//! sets. This is the canonical-form idiom used throughout database engines —
+//! normalization at construction, `O(1)`-comparable thereafter.
+
+use crate::constant::Constant;
+use crate::idgen::Oid;
+use crate::names::AttrName;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An o-value: constant, oid, tuple, or set (Definition 2.1.1).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OValue {
+    /// A constant from the base domain `D`.
+    Const(Constant),
+    /// An object identity from `O`.
+    Oid(Oid),
+    /// A finite tuple with distinct attributes; `[]` is the empty tuple.
+    Tuple(BTreeMap<AttrName, OValue>),
+    /// A finite, duplicate-free set; `{}` is the empty set.
+    Set(BTreeSet<OValue>),
+}
+
+impl OValue {
+    /// The empty tuple `[]`.
+    pub fn unit() -> Self {
+        OValue::Tuple(BTreeMap::new())
+    }
+
+    /// The empty set `{}`.
+    pub fn empty_set() -> Self {
+        OValue::Set(BTreeSet::new())
+    }
+
+    /// Builds a tuple from attribute/value pairs. Later duplicates of an
+    /// attribute overwrite earlier ones (callers building from parsed syntax
+    /// should reject duplicates before this point).
+    pub fn tuple<I, A>(fields: I) -> Self
+    where
+        I: IntoIterator<Item = (A, OValue)>,
+        A: Into<AttrName>,
+    {
+        OValue::Tuple(fields.into_iter().map(|(a, v)| (a.into(), v)).collect())
+    }
+
+    /// Builds a set; duplicates are eliminated structurally.
+    pub fn set<I>(elems: I) -> Self
+    where
+        I: IntoIterator<Item = OValue>,
+    {
+        OValue::Set(elems.into_iter().collect())
+    }
+
+    /// A string constant leaf.
+    pub fn str(s: &str) -> Self {
+        OValue::Const(Constant::str(s))
+    }
+
+    /// An integer constant leaf.
+    pub fn int(i: i64) -> Self {
+        OValue::Const(Constant::int(i))
+    }
+
+    /// An oid leaf.
+    pub fn oid(o: Oid) -> Self {
+        OValue::Oid(o)
+    }
+
+    /// Is this a set o-value?
+    pub fn is_set(&self) -> bool {
+        matches!(self, OValue::Set(_))
+    }
+
+    /// Set membership test; `None` if `self` is not a set.
+    pub fn set_contains(&self, v: &OValue) -> Option<bool> {
+        match self {
+            OValue::Set(s) => Some(s.contains(v)),
+            _ => None,
+        }
+    }
+
+    /// All oids occurring anywhere in this tree, collected into `out`.
+    pub fn collect_oids(&self, out: &mut BTreeSet<Oid>) {
+        match self {
+            OValue::Const(_) => {}
+            OValue::Oid(o) => {
+                out.insert(*o);
+            }
+            OValue::Tuple(fields) => {
+                for v in fields.values() {
+                    v.collect_oids(out);
+                }
+            }
+            OValue::Set(elems) => {
+                for v in elems {
+                    v.collect_oids(out);
+                }
+            }
+        }
+    }
+
+    /// All constants occurring anywhere in this tree, collected into `out`.
+    pub fn collect_constants(&self, out: &mut BTreeSet<Constant>) {
+        match self {
+            OValue::Const(c) => {
+                out.insert(c.clone());
+            }
+            OValue::Oid(_) => {}
+            OValue::Tuple(fields) => {
+                for v in fields.values() {
+                    v.collect_constants(out);
+                }
+            }
+            OValue::Set(elems) => {
+                for v in elems {
+                    v.collect_constants(out);
+                }
+            }
+        }
+    }
+
+    /// Does any oid occur in this tree?
+    pub fn mentions_oid(&self, oid: Oid) -> bool {
+        match self {
+            OValue::Const(_) => false,
+            OValue::Oid(o) => *o == oid,
+            OValue::Tuple(fields) => fields.values().any(|v| v.mentions_oid(oid)),
+            OValue::Set(elems) => elems.iter().any(|v| v.mentions_oid(oid)),
+        }
+    }
+
+    /// Number of nodes in the tree representation.
+    pub fn size(&self) -> usize {
+        match self {
+            OValue::Const(_) | OValue::Oid(_) => 1,
+            OValue::Tuple(fields) => 1 + fields.values().map(OValue::size).sum::<usize>(),
+            OValue::Set(elems) => 1 + elems.iter().map(OValue::size).sum::<usize>(),
+        }
+    }
+
+    /// Maximum out-degree of any node — the *branching factor* used in the
+    /// proof of Lemma 5.7 to bound invention-free programs.
+    pub fn branching_factor(&self) -> usize {
+        match self {
+            OValue::Const(_) | OValue::Oid(_) => 0,
+            OValue::Tuple(fields) => fields.len().max(
+                fields
+                    .values()
+                    .map(OValue::branching_factor)
+                    .max()
+                    .unwrap_or(0),
+            ),
+            OValue::Set(elems) => elems.len().max(
+                elems
+                    .iter()
+                    .map(OValue::branching_factor)
+                    .max()
+                    .unwrap_or(0),
+            ),
+        }
+    }
+
+    /// Applies an oid renaming to this tree, leaving unmapped oids in place.
+    /// This is the action of an O-isomorphism on o-values (Section 4.1).
+    pub fn rename_oids(&self, map: &BTreeMap<Oid, Oid>) -> OValue {
+        match self {
+            OValue::Const(c) => OValue::Const(c.clone()),
+            OValue::Oid(o) => OValue::Oid(*map.get(o).unwrap_or(o)),
+            OValue::Tuple(fields) => OValue::Tuple(
+                fields
+                    .iter()
+                    .map(|(a, v)| (*a, v.rename_oids(map)))
+                    .collect(),
+            ),
+            OValue::Set(elems) => OValue::Set(elems.iter().map(|v| v.rename_oids(map)).collect()),
+        }
+    }
+
+    /// Applies a constant renaming to this tree, leaving unmapped constants
+    /// in place. Together with [`OValue::rename_oids`] this is the action
+    /// of a DO-isomorphism (Section 4.1).
+    pub fn rename_constants(&self, map: &BTreeMap<Constant, Constant>) -> OValue {
+        match self {
+            OValue::Const(c) => OValue::Const(map.get(c).cloned().unwrap_or_else(|| c.clone())),
+            OValue::Oid(o) => OValue::Oid(*o),
+            OValue::Tuple(fields) => OValue::Tuple(
+                fields
+                    .iter()
+                    .map(|(a, v)| (*a, v.rename_constants(map)))
+                    .collect(),
+            ),
+            OValue::Set(elems) => {
+                OValue::Set(elems.iter().map(|v| v.rename_constants(map)).collect())
+            }
+        }
+    }
+
+    /// Removes every (transitive) occurrence of `oid` from set elements in
+    /// this tree; returns `None` if the value itself becomes illegal because
+    /// `oid` occurs outside a set context (the cascade rule of IQL\*
+    /// deletions, Section 4.5).
+    pub fn without_oid(&self, oid: Oid) -> Option<OValue> {
+        match self {
+            OValue::Const(_) => Some(self.clone()),
+            OValue::Oid(o) => {
+                if *o == oid {
+                    None
+                } else {
+                    Some(self.clone())
+                }
+            }
+            OValue::Tuple(fields) => {
+                let mut out = BTreeMap::new();
+                for (a, v) in fields {
+                    out.insert(*a, v.without_oid(oid)?);
+                }
+                Some(OValue::Tuple(out))
+            }
+            OValue::Set(elems) => Some(OValue::Set(
+                elems.iter().filter_map(|v| v.without_oid(oid)).collect(),
+            )),
+        }
+    }
+}
+
+impl fmt::Debug for OValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for OValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OValue::Const(c) => write!(f, "{c}"),
+            OValue::Oid(o) => write!(f, "{o}"),
+            OValue::Tuple(fields) => {
+                write!(f, "[")?;
+                for (i, (a, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}: {v}")?;
+                }
+                write!(f, "]")
+            }
+            OValue::Set(elems) => {
+                write!(f, "{{")?;
+                for (i, v) in elems.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<Constant> for OValue {
+    fn from(c: Constant) -> Self {
+        OValue::Const(c)
+    }
+}
+
+impl From<Oid> for OValue {
+    fn from(o: Oid) -> Self {
+        OValue::Oid(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(n: u64) -> Oid {
+        Oid::from_raw(n)
+    }
+
+    #[test]
+    fn sets_eliminate_duplicates() {
+        let s = OValue::set([OValue::int(1), OValue::int(1), OValue::int(2)]);
+        match &s {
+            OValue::Set(elems) => assert_eq!(elems.len(), 2),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn set_equality_is_order_insensitive() {
+        let a = OValue::set([OValue::int(1), OValue::int(2)]);
+        let b = OValue::set([OValue::int(2), OValue::int(1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_set_vs_empty_tuple() {
+        // The paper stresses the difference between {} (empty set) and []
+        // (empty tuple): they are distinct o-values.
+        assert_ne!(OValue::empty_set(), OValue::unit());
+    }
+
+    #[test]
+    fn tuple_attribute_order_is_canonical() {
+        let a = OValue::tuple([("x", OValue::int(1)), ("y", OValue::int(2))]);
+        let b = OValue::tuple([("y", OValue::int(2)), ("x", OValue::int(1))]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collect_oids_and_constants() {
+        let v = OValue::tuple([
+            ("name", OValue::str("Adam")),
+            (
+                "children",
+                OValue::set([OValue::oid(o(1)), OValue::oid(o(2))]),
+            ),
+        ]);
+        let mut oids = BTreeSet::new();
+        v.collect_oids(&mut oids);
+        assert_eq!(oids.len(), 2);
+        let mut consts = BTreeSet::new();
+        v.collect_constants(&mut consts);
+        assert_eq!(consts, BTreeSet::from([Constant::str("Adam")]));
+    }
+
+    #[test]
+    fn size_and_branching() {
+        let v = OValue::set([
+            OValue::tuple([
+                ("a", OValue::int(1)),
+                ("b", OValue::int(2)),
+                ("c", OValue::int(3)),
+            ]),
+            OValue::int(9),
+        ]);
+        assert_eq!(v.size(), 1 + (1 + 3) + 1);
+        assert_eq!(v.branching_factor(), 3);
+        assert_eq!(OValue::int(1).branching_factor(), 0);
+    }
+
+    #[test]
+    fn rename_oids_acts_structurally() {
+        let v = OValue::set([OValue::oid(o(1)), OValue::oid(o(2))]);
+        let map = BTreeMap::from([(o(1), o(10)), (o(2), o(20))]);
+        assert_eq!(
+            v.rename_oids(&map),
+            OValue::set([OValue::oid(o(10)), OValue::oid(o(20))])
+        );
+    }
+
+    #[test]
+    fn rename_can_merge_is_callers_problem() {
+        // rename_oids applies an arbitrary map; bijectivity is checked by the
+        // iso layer. A non-injective map may merge set elements.
+        let v = OValue::set([OValue::oid(o(1)), OValue::oid(o(2))]);
+        let map = BTreeMap::from([(o(1), o(5)), (o(2), o(5))]);
+        match v.rename_oids(&map) {
+            OValue::Set(s) => assert_eq!(s.len(), 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn without_oid_cascades() {
+        let v = OValue::tuple([
+            ("keep", OValue::int(1)),
+            (
+                "members",
+                OValue::set([
+                    OValue::oid(o(1)),
+                    OValue::tuple([("inner", OValue::oid(o(1)))]),
+                    OValue::int(7),
+                ]),
+            ),
+        ]);
+        let cleaned = v.without_oid(o(1)).unwrap();
+        assert!(!cleaned.mentions_oid(o(1)));
+        // The tuple element containing o1 outside a set position inside it
+        // is dropped wholesale from the set.
+        match &cleaned {
+            OValue::Tuple(fields) => match &fields[&AttrName::new("members")] {
+                OValue::Set(s) => assert_eq!(s.len(), 1),
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        }
+        // A tuple whose field directly holds the oid is itself poisoned.
+        let direct = OValue::tuple([("f", OValue::oid(o(1)))]);
+        assert_eq!(direct.without_oid(o(1)), None);
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let v = OValue::tuple([
+            ("name", OValue::str("Cain")),
+            (
+                "occupations",
+                OValue::set([OValue::str("Farmer"), OValue::str("Nomad")]),
+            ),
+        ]);
+        let s = v.to_string();
+        assert!(s.starts_with('[') && s.ends_with(']'));
+        assert!(s.contains("\"Farmer\""));
+    }
+}

@@ -1,0 +1,443 @@
+//! Database schemas (Definition 2.3.1) and projections (Section 3).
+//!
+//! A schema is a triple `(R, P, T)`: finite sets of relation and class
+//! names, and a map `T` from `R ∪ P` to type expressions over `P`. Types may
+//! refer to class names (giving recursive/cyclic types, as in
+//! Example 1.1) but never to relation names.
+//!
+//! The optional isa hierarchy of Section 6 lives in [`crate::inherit`];
+//! a [`Schema`] here always has pairwise-disjoint classes.
+
+use crate::error::ModelError;
+use crate::names::{ClassName, RelName};
+use crate::types::TypeExpr;
+use crate::Result;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// A database schema `(R, P, T)`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Schema {
+    relations: BTreeMap<RelName, TypeExpr>,
+    classes: BTreeMap<ClassName, TypeExpr>,
+}
+
+impl Schema {
+    /// Builds and validates a schema: every class mentioned in any type must
+    /// be declared, and types must not be syntactically bottomless (a class
+    /// whose type is just another class name is permitted here — the
+    /// value-based model forbids it, see `iql-vtree`).
+    pub fn new<RI, CI>(relations: RI, classes: CI) -> Result<Schema>
+    where
+        RI: IntoIterator<Item = (RelName, TypeExpr)>,
+        CI: IntoIterator<Item = (ClassName, TypeExpr)>,
+    {
+        let mut rel_map = BTreeMap::new();
+        for (r, t) in relations {
+            if rel_map.insert(r, t).is_some() {
+                return Err(ModelError::DuplicateName(r.to_string()));
+            }
+        }
+        let mut class_map = BTreeMap::new();
+        for (c, t) in classes {
+            if class_map.insert(c, t).is_some() {
+                return Err(ModelError::DuplicateName(c.to_string()));
+            }
+        }
+        let schema = Schema {
+            relations: rel_map,
+            classes: class_map,
+        };
+        schema.check_class_refs()?;
+        Ok(schema)
+    }
+
+    /// An empty schema.
+    pub fn empty() -> Schema {
+        Schema {
+            relations: BTreeMap::new(),
+            classes: BTreeMap::new(),
+        }
+    }
+
+    fn check_class_refs(&self) -> Result<()> {
+        let declared: BTreeSet<ClassName> = self.classes.keys().copied().collect();
+        let mut mentioned = BTreeSet::new();
+        for t in self.relations.values().chain(self.classes.values()) {
+            t.classes_mentioned(&mut mentioned);
+        }
+        for c in mentioned {
+            if !declared.contains(&c) {
+                return Err(ModelError::UndeclaredClass(c));
+            }
+        }
+        Ok(())
+    }
+
+    /// The relation names `R`, in canonical order.
+    pub fn relations(&self) -> impl Iterator<Item = RelName> + '_ {
+        self.relations.keys().copied()
+    }
+
+    /// The class names `P`, in canonical order.
+    pub fn classes(&self) -> impl Iterator<Item = ClassName> + '_ {
+        self.classes.keys().copied()
+    }
+
+    /// `T(R)` — the element type of relation `R`.
+    pub fn relation_type(&self, r: RelName) -> Result<&TypeExpr> {
+        self.relations.get(&r).ok_or(ModelError::UnknownRelation(r))
+    }
+
+    /// `T(P)` — the value type of class `P`.
+    pub fn class_type(&self, p: ClassName) -> Result<&TypeExpr> {
+        self.classes.get(&p).ok_or(ModelError::UnknownClass(p))
+    }
+
+    /// Does the schema declare relation `r`?
+    pub fn has_relation(&self, r: RelName) -> bool {
+        self.relations.contains_key(&r)
+    }
+
+    /// Does the schema declare class `p`?
+    pub fn has_class(&self, p: ClassName) -> bool {
+        self.classes.contains_key(&p)
+    }
+
+    /// Is class `p` *set-valued*, i.e. `T(P) = {t}`? (`ν` must be total on
+    /// such classes, Def 2.3.2 condition 3.)
+    pub fn is_set_valued_class(&self, p: ClassName) -> Result<bool> {
+        Ok(matches!(self.class_type(p)?, TypeExpr::Set(_)))
+    }
+
+    /// Number of relations plus classes.
+    pub fn len(&self) -> usize {
+        self.relations.len() + self.classes.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty() && self.classes.is_empty()
+    }
+
+    /// The projection of this schema onto the given names (Section 3): the
+    /// result keeps the same `T` on a subset of `R ∪ P`. Classes referenced
+    /// by kept types must themselves be kept.
+    pub fn project(
+        &self,
+        rels: &BTreeSet<RelName>,
+        classes: &BTreeSet<ClassName>,
+    ) -> Result<Schema> {
+        for r in rels {
+            if !self.has_relation(*r) {
+                return Err(ModelError::NotASubschema(r.to_string()));
+            }
+        }
+        for c in classes {
+            if !self.has_class(*c) {
+                return Err(ModelError::NotASubschema(c.to_string()));
+            }
+        }
+        Schema::new(
+            rels.iter().map(|r| (*r, self.relations[r].clone())),
+            classes.iter().map(|c| (*c, self.classes[c].clone())),
+        )
+    }
+
+    /// Is `sub` a projection of `self` (same types on a subset of names)?
+    pub fn is_projection_of(&self, sub: &Schema) -> bool {
+        sub.relations
+            .iter()
+            .all(|(r, t)| self.relations.get(r) == Some(t))
+            && sub
+                .classes
+                .iter()
+                .all(|(c, t)| self.classes.get(c) == Some(t))
+    }
+
+    /// Merges two schemas with disjoint name sets — used to assemble a
+    /// program schema `S` from input/output/temporary parts.
+    pub fn disjoint_union(&self, other: &Schema) -> Result<Schema> {
+        for r in other.relations.keys() {
+            if self.has_relation(*r) {
+                return Err(ModelError::DuplicateName(r.to_string()));
+            }
+        }
+        for c in other.classes.keys() {
+            if self.has_class(*c) {
+                return Err(ModelError::DuplicateName(c.to_string()));
+            }
+        }
+        Schema::new(
+            self.relations
+                .iter()
+                .chain(other.relations.iter())
+                .map(|(r, t)| (*r, t.clone())),
+            self.classes
+                .iter()
+                .chain(other.classes.iter())
+                .map(|(c, t)| (*c, t.clone())),
+        )
+    }
+
+    /// Convenience `Arc` wrapper (instances share their schema).
+    pub fn into_shared(self) -> Arc<Schema> {
+        Arc::new(self)
+    }
+
+    /// The class-dependency graph: `P → Q` when `T(P)` mentions `Q`.
+    pub fn class_dependencies(&self) -> BTreeMap<ClassName, BTreeSet<ClassName>> {
+        self.classes
+            .iter()
+            .map(|(p, t)| {
+                let mut deps = BTreeSet::new();
+                t.classes_mentioned(&mut deps);
+                (*p, deps)
+            })
+            .collect()
+    }
+
+    /// Is class `p` *recursive* — reachable from itself through class
+    /// dependencies? Recursive classes are what oids exist to encode
+    /// (Section 1: "the traditional encoding of directed, perhaps cyclic,
+    /// graphs"); schemas of the complex-object models the paper
+    /// generalizes have none.
+    pub fn is_recursive_class(&self, p: ClassName) -> Result<bool> {
+        self.class_type(p)?; // existence check
+        let deps = self.class_dependencies();
+        // BFS from p's direct dependencies back to p.
+        let mut frontier: Vec<ClassName> = deps.get(&p).into_iter().flatten().copied().collect();
+        let mut seen: BTreeSet<ClassName> = frontier.iter().copied().collect();
+        while let Some(q) = frontier.pop() {
+            if q == p {
+                return Ok(true);
+            }
+            for r in deps.get(&q).into_iter().flatten() {
+                if seen.insert(*r) {
+                    frontier.push(*r);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Does the schema have any recursive class (a *cyclic schema*,
+    /// Section 1)?
+    pub fn is_cyclic(&self) -> bool {
+        self.classes
+            .keys()
+            .any(|p| self.is_recursive_class(*p).unwrap_or(false))
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schema {{")?;
+        for (r, t) in &self.relations {
+            writeln!(f, "  relation {r}: {t};")?;
+        }
+        for (c, t) in &self.classes {
+            writeln!(f, "  class {c}: {t};")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A fluent builder for schemas, used pervasively in tests and examples.
+#[derive(Default)]
+pub struct SchemaBuilder {
+    relations: Vec<(RelName, TypeExpr)>,
+    classes: Vec<(ClassName, TypeExpr)>,
+}
+
+impl SchemaBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        SchemaBuilder::default()
+    }
+
+    /// Declares `relation name: {ty}` (the element type is `ty`).
+    pub fn relation<N: Into<RelName>>(mut self, name: N, ty: TypeExpr) -> Self {
+        self.relations.push((name.into(), ty));
+        self
+    }
+
+    /// Declares `class name: ty`.
+    pub fn class<N: Into<ClassName>>(mut self, name: N, ty: TypeExpr) -> Self {
+        self.classes.push((name.into(), ty));
+        self
+    }
+
+    /// Finishes and validates the schema.
+    pub fn build(self) -> Result<Schema> {
+        Schema::new(self.relations, self.classes)
+    }
+}
+
+/// The Genesis schema of Example 1.1, used throughout tests, docs, and the
+/// E1 experiment.
+pub fn genesis_schema() -> Schema {
+    use TypeExpr as T;
+    SchemaBuilder::new()
+        .class(
+            "Gen1",
+            T::tuple([
+                ("name", T::base()),
+                ("spouse", T::class("Gen1")),
+                ("children", T::set_of(T::class("Gen2"))),
+            ]),
+        )
+        .class(
+            "Gen2",
+            T::tuple([("name", T::base()), ("occupations", T::set_of(T::base()))]),
+        )
+        .relation("FoundedLineage", T::class("Gen2"))
+        .relation(
+            "AncestorOfCelebrity",
+            T::tuple([
+                ("anc", T::class("Gen2")),
+                (
+                    "desc",
+                    T::union(T::base(), T::tuple([("spouse", T::base())])),
+                ),
+            ]),
+        )
+        .build()
+        .expect("genesis schema is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genesis_schema_builds() {
+        let s = genesis_schema();
+        assert_eq!(s.relations().count(), 2);
+        assert_eq!(s.classes().count(), 2);
+        assert!(s.has_class(ClassName::new("Gen1")));
+        // Gen1 is cyclic: its type mentions Gen1 itself.
+        let mut mentioned = BTreeSet::new();
+        s.class_type(ClassName::new("Gen1"))
+            .unwrap()
+            .classes_mentioned(&mut mentioned);
+        assert!(mentioned.contains(&ClassName::new("Gen1")));
+    }
+
+    #[test]
+    fn undeclared_class_is_rejected() {
+        let err = SchemaBuilder::new()
+            .relation("R", TypeExpr::class("Ghost"))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UndeclaredClass(_)));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = SchemaBuilder::new()
+            .relation("R", TypeExpr::base())
+            .relation("R", TypeExpr::base())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn projection_roundtrip() {
+        let s = genesis_schema();
+        let rels = BTreeSet::from([RelName::new("FoundedLineage")]);
+        let classes = BTreeSet::from([ClassName::new("Gen2")]);
+        let sub = s.project(&rels, &classes).unwrap();
+        assert!(s.is_projection_of(&sub));
+        assert_eq!(sub.len(), 2);
+    }
+
+    #[test]
+    fn projection_must_keep_referenced_classes() {
+        let s = genesis_schema();
+        // FoundedLineage's type references Gen2, so projecting it without
+        // Gen2 produces a schema mentioning an undeclared class.
+        let rels = BTreeSet::from([RelName::new("FoundedLineage")]);
+        let err = s.project(&rels, &BTreeSet::new()).unwrap_err();
+        assert!(matches!(err, ModelError::UndeclaredClass(_)));
+    }
+
+    #[test]
+    fn projection_of_unknown_name_fails() {
+        let s = genesis_schema();
+        let rels = BTreeSet::from([RelName::new("Nope")]);
+        assert!(matches!(
+            s.project(&rels, &BTreeSet::new()),
+            Err(ModelError::NotASubschema(_))
+        ));
+    }
+
+    #[test]
+    fn set_valued_class_detection() {
+        let s = SchemaBuilder::new()
+            .class("Pset", TypeExpr::set_of(TypeExpr::base()))
+            .class("Ptup", TypeExpr::tuple([("a", TypeExpr::base())]))
+            .build()
+            .unwrap();
+        assert!(s.is_set_valued_class(ClassName::new("Pset")).unwrap());
+        assert!(!s.is_set_valued_class(ClassName::new("Ptup")).unwrap());
+    }
+
+    #[test]
+    fn disjoint_union_and_conflicts() {
+        let a = SchemaBuilder::new()
+            .relation("A", TypeExpr::base())
+            .build()
+            .unwrap();
+        let b = SchemaBuilder::new()
+            .relation("B", TypeExpr::base())
+            .build()
+            .unwrap();
+        let ab = a.disjoint_union(&b).unwrap();
+        assert_eq!(ab.relations().count(), 2);
+        assert!(a.disjoint_union(&a).is_err());
+    }
+
+    #[test]
+    fn recursion_analysis() {
+        let s = genesis_schema();
+        // Gen1 mentions itself (spouse) — recursive; Gen2 is flat.
+        assert!(s.is_recursive_class(ClassName::new("Gen1")).unwrap());
+        assert!(!s.is_recursive_class(ClassName::new("Gen2")).unwrap());
+        assert!(s.is_cyclic());
+        // A mutual recursion A → B → A: both recursive.
+        let m = SchemaBuilder::new()
+            .class("MrA", TypeExpr::tuple([("b", TypeExpr::class("MrB"))]))
+            .class("MrB", TypeExpr::set_of(TypeExpr::class("MrA")))
+            .build()
+            .unwrap();
+        assert!(m.is_recursive_class(ClassName::new("MrA")).unwrap());
+        assert!(m.is_recursive_class(ClassName::new("MrB")).unwrap());
+        // A DAG of classes is not cyclic.
+        let d = SchemaBuilder::new()
+            .class("DagA", TypeExpr::tuple([("b", TypeExpr::class("DagB"))]))
+            .class("DagB", TypeExpr::base())
+            .build()
+            .unwrap();
+        assert!(!d.is_cyclic());
+        assert!(d
+            .is_recursive_class(ClassName::new("Ghost".into()))
+            .is_err());
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = genesis_schema();
+        let txt = s.to_string();
+        assert!(txt.contains("class Gen1"));
+        assert!(txt.contains("relation FoundedLineage"));
+    }
+}

@@ -1,0 +1,887 @@
+//! The type language and its interpretations (Sections 2.2 and 6.2).
+//!
+//! Type expressions over a set of class names `P`:
+//!
+//! ```text
+//! t ::= ∅ | D | P | [A1:t, …, Ak:t] | {t} | (t ∨ t) | (t ∧ t)
+//! ```
+//!
+//! Given an oid assignment `π`, each type expression denotes a set of
+//! o-values `⟦t⟧π` (Section 2.2). This module provides:
+//!
+//! * membership testing [`TypeExpr::member`] (and the `*`-interpretation
+//!   [`TypeExpr::member_star`] of Section 6.2, where tuple types describe
+//!   records with *at least* the listed fields);
+//! * intersection **reduction** and intersection **elimination**
+//!   (Proposition 2.2.1) via a canonical disjunctive normal form;
+//! * equivalence over disjoint oid assignments;
+//! * **active-domain enumeration** [`TypeExpr::enumerate`] — the
+//!   interpretation of a type restricted to given constants and oids, which
+//!   is exactly the range of a non-range-restricted IQL variable
+//!   (Section 3.2, "Valuations") and the engine behind the powerset program
+//!   of Example 3.4.2.
+
+use crate::constant::Constant;
+use crate::error::ModelError;
+use crate::idgen::Oid;
+use crate::names::{AttrName, ClassName};
+use crate::ovalue::OValue;
+use crate::Result;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A type expression (Section 2.2).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TypeExpr {
+    /// `∅` — the empty type, denoting the empty set of o-values.
+    Empty,
+    /// `D` — the base domain of constants.
+    Base,
+    /// A class name `P`, denoting `π(P)` (a set of oids).
+    Class(ClassName),
+    /// A tuple type `[A1:t1, …, Ak:tk]` with distinct attributes.
+    Tuple(BTreeMap<AttrName, TypeExpr>),
+    /// A finite-set type `{t}`.
+    Set(Box<TypeExpr>),
+    /// Union `t1 ∨ t2`.
+    Union(Box<TypeExpr>, Box<TypeExpr>),
+    /// Intersection `t1 ∧ t2`.
+    Intersect(Box<TypeExpr>, Box<TypeExpr>),
+}
+
+/// Resolves which classes an oid belongs to when testing `v ∈ ⟦P⟧π`.
+///
+/// Plain instances implement this with the disjoint assignment `π`;
+/// inheritance (Section 6.1) implements it with the *inherited* assignment
+/// `π̄(P) = ∪{π(P') | P' ≤ P}`.
+pub trait OidClasses {
+    /// Does `oid` belong to (the possibly inherited extension of) `class`?
+    fn oid_in_class(&self, oid: Oid, class: ClassName) -> bool;
+}
+
+/// An [`OidClasses`] view backed by an explicit map — handy for tests and
+/// for enumeration contexts.
+#[derive(Debug, Clone, Default)]
+pub struct ClassMap {
+    /// Class extent per class name.
+    pub classes: BTreeMap<ClassName, BTreeSet<Oid>>,
+}
+
+impl OidClasses for ClassMap {
+    fn oid_in_class(&self, oid: Oid, class: ClassName) -> bool {
+        self.classes.get(&class).is_some_and(|s| s.contains(&oid))
+    }
+}
+
+impl TypeExpr {
+    // ------------------------------------------------------------------
+    // Builders
+    // ------------------------------------------------------------------
+
+    /// The base type `D`.
+    pub fn base() -> Self {
+        TypeExpr::Base
+    }
+
+    /// The empty type `∅`.
+    pub fn empty() -> Self {
+        TypeExpr::Empty
+    }
+
+    /// A class reference `P`.
+    pub fn class<C: Into<ClassName>>(c: C) -> Self {
+        TypeExpr::Class(c.into())
+    }
+
+    /// A tuple type from attribute/type pairs.
+    pub fn tuple<I, A>(fields: I) -> Self
+    where
+        I: IntoIterator<Item = (A, TypeExpr)>,
+        A: Into<AttrName>,
+    {
+        TypeExpr::Tuple(fields.into_iter().map(|(a, t)| (a.into(), t)).collect())
+    }
+
+    /// The empty-tuple type `[]` (whose only inhabitant is `[]`).
+    pub fn unit() -> Self {
+        TypeExpr::Tuple(BTreeMap::new())
+    }
+
+    /// A set type `{t}`.
+    pub fn set_of(t: TypeExpr) -> Self {
+        TypeExpr::Set(Box::new(t))
+    }
+
+    /// Union `t1 ∨ t2`.
+    pub fn union(a: TypeExpr, b: TypeExpr) -> Self {
+        TypeExpr::Union(Box::new(a), Box::new(b))
+    }
+
+    /// N-ary union; the empty union is `∅`.
+    pub fn union_all<I: IntoIterator<Item = TypeExpr>>(parts: I) -> Self {
+        let mut iter = parts.into_iter();
+        match iter.next() {
+            None => TypeExpr::Empty,
+            Some(first) => iter.fold(first, TypeExpr::union),
+        }
+    }
+
+    /// Intersection `t1 ∧ t2`.
+    pub fn inter(a: TypeExpr, b: TypeExpr) -> Self {
+        TypeExpr::Intersect(Box::new(a), Box::new(b))
+    }
+
+    // ------------------------------------------------------------------
+    // Structure
+    // ------------------------------------------------------------------
+
+    /// All class names mentioned in this type.
+    pub fn classes_mentioned(&self, out: &mut BTreeSet<ClassName>) {
+        match self {
+            TypeExpr::Empty | TypeExpr::Base => {}
+            TypeExpr::Class(c) => {
+                out.insert(*c);
+            }
+            TypeExpr::Tuple(fields) => {
+                for t in fields.values() {
+                    t.classes_mentioned(out);
+                }
+            }
+            TypeExpr::Set(t) => t.classes_mentioned(out),
+            TypeExpr::Union(a, b) | TypeExpr::Intersect(a, b) => {
+                a.classes_mentioned(out);
+                b.classes_mentioned(out);
+            }
+        }
+    }
+
+    /// Is this type's parse tree free of `∧`-nodes?
+    pub fn is_intersection_free(&self) -> bool {
+        match self {
+            TypeExpr::Empty | TypeExpr::Base | TypeExpr::Class(_) => true,
+            TypeExpr::Tuple(fields) => fields.values().all(TypeExpr::is_intersection_free),
+            TypeExpr::Set(t) => t.is_intersection_free(),
+            TypeExpr::Union(a, b) => a.is_intersection_free() && b.is_intersection_free(),
+            TypeExpr::Intersect(_, _) => false,
+        }
+    }
+
+    /// Is this type *intersection reduced* — no `∧`-node an ancestor of a
+    /// `×`, `⋆`, or `∨` node (Section 2.2)?
+    pub fn is_intersection_reduced(&self) -> bool {
+        fn leafish(t: &TypeExpr) -> bool {
+            // Under an ∧-node only ∅, D, class names, and further ∧ of those
+            // may appear.
+            match t {
+                TypeExpr::Empty | TypeExpr::Base | TypeExpr::Class(_) => true,
+                TypeExpr::Intersect(a, b) => leafish(a) && leafish(b),
+                _ => false,
+            }
+        }
+        match self {
+            TypeExpr::Empty | TypeExpr::Base | TypeExpr::Class(_) => true,
+            TypeExpr::Tuple(fields) => fields.values().all(TypeExpr::is_intersection_reduced),
+            TypeExpr::Set(t) => t.is_intersection_reduced(),
+            TypeExpr::Union(a, b) => a.is_intersection_reduced() && b.is_intersection_reduced(),
+            TypeExpr::Intersect(a, b) => leafish(a) && leafish(b),
+        }
+    }
+
+    /// Replaces every occurrence of class `from` with the type `to`.
+    /// Used by the inheritance translation (Def 6.2.2) and by the
+    /// completeness constructions of Section 4.2.
+    pub fn substitute_class(&self, from: ClassName, to: &TypeExpr) -> TypeExpr {
+        match self {
+            TypeExpr::Empty | TypeExpr::Base => self.clone(),
+            TypeExpr::Class(c) => {
+                if *c == from {
+                    to.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            TypeExpr::Tuple(fields) => TypeExpr::Tuple(
+                fields
+                    .iter()
+                    .map(|(a, t)| (*a, t.substitute_class(from, to)))
+                    .collect(),
+            ),
+            TypeExpr::Set(t) => TypeExpr::set_of(t.substitute_class(from, to)),
+            TypeExpr::Union(a, b) => {
+                TypeExpr::union(a.substitute_class(from, to), b.substitute_class(from, to))
+            }
+            TypeExpr::Intersect(a, b) => {
+                TypeExpr::inter(a.substitute_class(from, to), b.substitute_class(from, to))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Interpretation: membership
+    // ------------------------------------------------------------------
+
+    /// `v ∈ ⟦t⟧π` — standard interpretation (Section 2.2).
+    ///
+    /// ```
+    /// use iql_model::{ClassMap, OValue, TypeExpr};
+    /// let t = TypeExpr::set_of(TypeExpr::base());
+    /// let cm = ClassMap::default();
+    /// assert!(t.member(&OValue::set([OValue::int(1)]), &cm));
+    /// assert!(!t.member(&OValue::int(1), &cm));
+    /// ```
+    pub fn member<C: OidClasses + ?Sized>(&self, v: &OValue, ctx: &C) -> bool {
+        match self {
+            TypeExpr::Empty => false,
+            TypeExpr::Base => matches!(v, OValue::Const(_)),
+            TypeExpr::Class(p) => match v {
+                OValue::Oid(o) => ctx.oid_in_class(*o, *p),
+                _ => false,
+            },
+            TypeExpr::Tuple(fields) => match v {
+                OValue::Tuple(vals) => {
+                    vals.len() == fields.len()
+                        && fields
+                            .iter()
+                            .all(|(a, t)| vals.get(a).is_some_and(|val| t.member(val, ctx)))
+                }
+                _ => false,
+            },
+            TypeExpr::Set(t) => match v {
+                OValue::Set(elems) => elems.iter().all(|e| t.member(e, ctx)),
+                _ => false,
+            },
+            TypeExpr::Union(a, b) => a.member(v, ctx) || b.member(v, ctx),
+            TypeExpr::Intersect(a, b) => a.member(v, ctx) && b.member(v, ctx),
+        }
+    }
+
+    /// `v ∈ ⟦t⟧*π` — the `*`-interpretation of Section 6.2, where a tuple
+    /// type `[A1:t1,…,Ak:tk]` denotes records with *at least* fields
+    /// `A1..Ak` (of the right `*`-types) plus arbitrary extra fields.
+    pub fn member_star<C: OidClasses + ?Sized>(&self, v: &OValue, ctx: &C) -> bool {
+        match self {
+            TypeExpr::Empty => false,
+            TypeExpr::Base => matches!(v, OValue::Const(_)),
+            TypeExpr::Class(p) => match v {
+                OValue::Oid(o) => ctx.oid_in_class(*o, *p),
+                _ => false,
+            },
+            TypeExpr::Tuple(fields) => match v {
+                OValue::Tuple(vals) => fields
+                    .iter()
+                    .all(|(a, t)| vals.get(a).is_some_and(|val| t.member_star(val, ctx))),
+                _ => false,
+            },
+            TypeExpr::Set(t) => match v {
+                OValue::Set(elems) => elems.iter().all(|e| t.member_star(e, ctx)),
+                _ => false,
+            },
+            TypeExpr::Union(a, b) => a.member_star(v, ctx) || b.member_star(v, ctx),
+            TypeExpr::Intersect(a, b) => a.member_star(v, ctx) && b.member_star(v, ctx),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Normal form (Proposition 2.2.1, over disjoint assignments)
+    // ------------------------------------------------------------------
+
+    /// Canonical disjunctive normal form over *disjoint* oid assignments:
+    /// a set of [`TypeAtom`]s whose union is equivalent to `self` for every
+    /// disjoint `π`. `∅` normalizes to the empty set of atoms.
+    pub fn normalize_disjoint(&self) -> BTreeSet<TypeAtom> {
+        match self {
+            TypeExpr::Empty => BTreeSet::new(),
+            TypeExpr::Base => BTreeSet::from([TypeAtom::Base]),
+            TypeExpr::Class(p) => BTreeSet::from([TypeAtom::Class(*p)]),
+            TypeExpr::Tuple(fields) => {
+                // Normalize each field, then distribute unions out of the
+                // tuple: [A: a∨b, B: c] ≡ [A:a,B:c] ∨ [A:b,B:c]. If any
+                // field has empty interpretation the tuple type is empty.
+                let mut acc: Vec<BTreeMap<AttrName, TypeAtom>> = vec![BTreeMap::new()];
+                for (a, t) in fields {
+                    let choices = t.normalize_disjoint();
+                    if choices.is_empty() {
+                        return BTreeSet::new();
+                    }
+                    let mut next = Vec::with_capacity(acc.len() * choices.len());
+                    for partial in &acc {
+                        for choice in &choices {
+                            let mut p = partial.clone();
+                            p.insert(*a, choice.clone());
+                            next.push(p);
+                        }
+                    }
+                    acc = next;
+                }
+                acc.into_iter().map(TypeAtom::Tuple).collect()
+            }
+            TypeExpr::Set(t) => {
+                // Unions do NOT distribute through sets: {a ∨ b} keeps the
+                // union inside. Note {∅} is non-empty (it contains {}).
+                BTreeSet::from([TypeAtom::Set(t.normalize_disjoint())])
+            }
+            TypeExpr::Union(a, b) => {
+                let mut s = a.normalize_disjoint();
+                s.extend(b.normalize_disjoint());
+                s
+            }
+            TypeExpr::Intersect(a, b) => {
+                let left = a.normalize_disjoint();
+                let right = b.normalize_disjoint();
+                let mut out = BTreeSet::new();
+                for x in &left {
+                    for y in &right {
+                        if let Some(z) = TypeAtom::intersect(x, y) {
+                            out.insert(z);
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// An intersection-free type equivalent to `self` over every *disjoint*
+    /// oid assignment (Proposition 2.2.1(2)). Also canonical: equivalent
+    /// inputs produce syntactically equal outputs for the fragment handled
+    /// by [`TypeExpr::normalize_disjoint`].
+    pub fn intersection_free_disjoint(&self) -> TypeExpr {
+        atoms_to_type(&self.normalize_disjoint())
+    }
+
+    /// Are `self` and `other` equivalent over every disjoint oid assignment?
+    /// Decided by comparing canonical normal forms.
+    pub fn equivalent_disjoint(&self, other: &TypeExpr) -> bool {
+        self.normalize_disjoint() == other.normalize_disjoint()
+    }
+
+    /// An *intersection reduced* equivalent over **all** (not necessarily
+    /// disjoint) assignments (Proposition 2.2.1(1)): pushes `∧` down until
+    /// no `∧`-node is an ancestor of a `×`, `⋆`, or `∨` node. Intersections
+    /// of class names are kept (they cannot be reduced without
+    /// disjointness).
+    pub fn intersection_reduce(&self) -> TypeExpr {
+        match self {
+            TypeExpr::Empty | TypeExpr::Base | TypeExpr::Class(_) => self.clone(),
+            TypeExpr::Tuple(fields) => TypeExpr::Tuple(
+                fields
+                    .iter()
+                    .map(|(a, t)| (*a, t.intersection_reduce()))
+                    .collect(),
+            ),
+            TypeExpr::Set(t) => TypeExpr::set_of(t.intersection_reduce()),
+            TypeExpr::Union(a, b) => {
+                TypeExpr::union(a.intersection_reduce(), b.intersection_reduce())
+            }
+            TypeExpr::Intersect(a, b) => {
+                reduce_inter(&a.intersection_reduce(), &b.intersection_reduce())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Active-domain enumeration
+    // ------------------------------------------------------------------
+
+    /// Enumerates `⟦t⟧` restricted to the given constants and class extents
+    /// — the range of an IQL variable of this type over an instance whose
+    /// constants are `universe.constants` (Section 3.2). Fails with
+    /// [`ModelError::EnumerationBudget`] once more than `universe.budget`
+    /// values would be produced (set types are powersets, so this is
+    /// exponential by design; see Example 3.4.2).
+    pub fn enumerate(&self, universe: &EnumUniverse<'_>) -> Result<Vec<OValue>> {
+        let vals = self.enum_inner(universe)?;
+        Ok(vals)
+    }
+
+    fn enum_inner(&self, u: &EnumUniverse<'_>) -> Result<Vec<OValue>> {
+        let check = |n: usize| -> Result<()> {
+            if n > u.budget {
+                Err(ModelError::EnumerationBudget { budget: u.budget })
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            TypeExpr::Empty => Ok(Vec::new()),
+            TypeExpr::Base => Ok(u.constants.iter().cloned().map(OValue::Const).collect()),
+            TypeExpr::Class(p) => Ok(u
+                .classes
+                .classes
+                .get(p)
+                .into_iter()
+                .flatten()
+                .copied()
+                .map(OValue::Oid)
+                .collect()),
+            TypeExpr::Tuple(fields) => {
+                let mut acc: Vec<BTreeMap<AttrName, OValue>> = vec![BTreeMap::new()];
+                for (a, t) in fields {
+                    let choices = t.enum_inner(u)?;
+                    check(acc.len().saturating_mul(choices.len()))?;
+                    let mut next = Vec::with_capacity(acc.len() * choices.len());
+                    for partial in &acc {
+                        for c in &choices {
+                            let mut p = partial.clone();
+                            p.insert(*a, c.clone());
+                            next.push(p);
+                        }
+                    }
+                    acc = next;
+                    if acc.is_empty() {
+                        return Ok(Vec::new());
+                    }
+                }
+                Ok(acc.into_iter().map(OValue::Tuple).collect())
+            }
+            TypeExpr::Set(t) => {
+                let elems = t.enum_inner(u)?;
+                if elems.len() >= usize::BITS as usize || (1usize << elems.len()) > u.budget {
+                    return Err(ModelError::EnumerationBudget { budget: u.budget });
+                }
+                let n = elems.len();
+                let mut out = Vec::with_capacity(1 << n);
+                for mask in 0..(1usize << n) {
+                    let subset: BTreeSet<OValue> = elems
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, v)| v.clone())
+                        .collect();
+                    out.push(OValue::Set(subset));
+                }
+                // Element duplicates (impossible here: elems are distinct)
+                // would collapse; dedup to be safe against equal enumerations
+                // from union types.
+                out.sort();
+                out.dedup();
+                Ok(out)
+            }
+            TypeExpr::Union(a, b) => {
+                let mut out = a.enum_inner(u)?;
+                out.extend(b.enum_inner(u)?);
+                out.sort();
+                out.dedup();
+                check(out.len())?;
+                Ok(out)
+            }
+            TypeExpr::Intersect(a, b) => {
+                let left = a.enum_inner(u)?;
+                Ok(left
+                    .into_iter()
+                    .filter(|v| b.member(v, u.classes))
+                    .collect())
+            }
+        }
+    }
+}
+
+/// The universe over which [`TypeExpr::enumerate`] interprets a type.
+#[derive(Debug, Clone, Copy)]
+pub struct EnumUniverse<'a> {
+    /// Constants allowed at `D` leaves (normally `constants(I)`).
+    pub constants: &'a [Constant],
+    /// Class extents (normally the instance's `π`).
+    pub classes: &'a ClassMap,
+    /// Hard cap on the number of values produced at any node.
+    pub budget: usize,
+}
+
+/// An atom of the canonical disjoint-assignment normal form: a type with no
+/// top-level union or intersection, with unions appearing only (possibly)
+/// directly under set constructors.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum TypeAtom {
+    /// `D`.
+    Base,
+    /// A class name.
+    Class(ClassName),
+    /// A tuple of atoms.
+    Tuple(BTreeMap<AttrName, TypeAtom>),
+    /// A set whose element type is a union of atoms (possibly empty: `{∅}`).
+    Set(BTreeSet<TypeAtom>),
+}
+
+impl TypeAtom {
+    /// Atom intersection under the disjointness assumption; `None` means the
+    /// intersection is empty.
+    fn intersect(a: &TypeAtom, b: &TypeAtom) -> Option<TypeAtom> {
+        match (a, b) {
+            (TypeAtom::Base, TypeAtom::Base) => Some(TypeAtom::Base),
+            (TypeAtom::Class(p), TypeAtom::Class(q)) => {
+                if p == q {
+                    Some(TypeAtom::Class(*p))
+                } else {
+                    // Disjoint oid assignments: distinct classes never share
+                    // oids, so P ∧ Q ≡ ∅.
+                    None
+                }
+            }
+            (TypeAtom::Tuple(fa), TypeAtom::Tuple(fb)) => {
+                if fa.len() != fb.len() || !fa.keys().eq(fb.keys()) {
+                    return None;
+                }
+                let mut out = BTreeMap::new();
+                for (attr, ta) in fa {
+                    let tb = &fb[attr];
+                    out.insert(*attr, TypeAtom::intersect(ta, tb)?);
+                }
+                Some(TypeAtom::Tuple(out))
+            }
+            (TypeAtom::Set(na), TypeAtom::Set(nb)) => {
+                // {t1} ∧ {t2} ≡ {t1 ∧ t2}; note this is non-empty even when
+                // the element type is empty ({∅} contains {}).
+                let mut out = BTreeSet::new();
+                for x in na {
+                    for y in nb {
+                        if let Some(z) = TypeAtom::intersect(x, y) {
+                            out.insert(z);
+                        }
+                    }
+                }
+                Some(TypeAtom::Set(out))
+            }
+            _ => None,
+        }
+    }
+
+    /// Converts the atom back to a [`TypeExpr`].
+    pub fn to_type(&self) -> TypeExpr {
+        match self {
+            TypeAtom::Base => TypeExpr::Base,
+            TypeAtom::Class(p) => TypeExpr::Class(*p),
+            TypeAtom::Tuple(fields) => {
+                TypeExpr::Tuple(fields.iter().map(|(a, t)| (*a, t.to_type())).collect())
+            }
+            TypeAtom::Set(atoms) => TypeExpr::set_of(atoms_to_type(atoms)),
+        }
+    }
+}
+
+fn atoms_to_type(atoms: &BTreeSet<TypeAtom>) -> TypeExpr {
+    TypeExpr::union_all(atoms.iter().map(TypeAtom::to_type))
+}
+
+/// `∧` pushed into two already-reduced types (over all assignments).
+fn reduce_inter(a: &TypeExpr, b: &TypeExpr) -> TypeExpr {
+    use TypeExpr as T;
+    match (a, b) {
+        (T::Empty, _) | (_, T::Empty) => T::Empty,
+        (T::Union(x, y), other) => T::union(reduce_inter(x, other), reduce_inter(y, other)),
+        (other, T::Union(x, y)) => T::union(reduce_inter(other, x), reduce_inter(other, y)),
+        (T::Base, T::Base) => T::Base,
+        (T::Tuple(fa), T::Tuple(fb)) => {
+            if fa.len() != fb.len() || !fa.keys().eq(fb.keys()) {
+                return T::Empty;
+            }
+            let mut out = BTreeMap::new();
+            for (attr, ta) in fa {
+                let field = reduce_inter(ta, &fb[attr]);
+                out.insert(*attr, field);
+            }
+            // A tuple with an empty-typed field is empty.
+            if out.values().any(|t| matches!(t, T::Empty)) {
+                T::Empty
+            } else {
+                T::Tuple(out)
+            }
+        }
+        (T::Set(ta), T::Set(tb)) => T::set_of(reduce_inter(ta, tb)),
+        (T::Class(p), T::Class(q)) => {
+            if p == q {
+                T::Class(*p)
+            } else {
+                // Over all (non-disjoint) assignments P ∧ Q is irreducible;
+                // keep the ∧ of class leaves, which is still "reduced".
+                T::inter(T::Class(*p), T::Class(*q))
+            }
+        }
+        // A class leaf intersected with an irreducible class intersection
+        // stays a leaf-level intersection.
+        (ca @ (T::Class(_) | T::Intersect(_, _)), cb @ (T::Class(_) | T::Intersect(_, _)))
+            if leafish_classes(ca) && leafish_classes(cb) =>
+        {
+            T::inter(ca.clone(), cb.clone())
+        }
+        // Mixed constructors denote disjoint value shapes.
+        _ => T::Empty,
+    }
+}
+
+fn leafish_classes(t: &TypeExpr) -> bool {
+    match t {
+        TypeExpr::Class(_) => true,
+        TypeExpr::Intersect(a, b) => leafish_classes(a) && leafish_classes(b),
+        _ => false,
+    }
+}
+
+impl fmt::Debug for TypeExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for TypeExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeExpr::Empty => write!(f, "empty"),
+            TypeExpr::Base => write!(f, "D"),
+            TypeExpr::Class(c) => write!(f, "{c}"),
+            TypeExpr::Tuple(fields) => {
+                write!(f, "[")?;
+                for (i, (a, t)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}: {t}")?;
+                }
+                write!(f, "]")
+            }
+            TypeExpr::Set(t) => write!(f, "{{{t}}}"),
+            TypeExpr::Union(a, b) => write!(f, "({a} | {b})"),
+            TypeExpr::Intersect(a, b) => write!(f, "({a} & {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d() -> TypeExpr {
+        TypeExpr::base()
+    }
+
+    fn class_map(entries: &[(&str, &[u64])]) -> ClassMap {
+        let mut cm = ClassMap::default();
+        for (name, oids) in entries {
+            cm.classes.insert(
+                ClassName::new(name),
+                oids.iter().map(|&n| Oid::from_raw(n)).collect(),
+            );
+        }
+        cm
+    }
+
+    #[test]
+    fn base_membership() {
+        let cm = ClassMap::default();
+        assert!(d().member(&OValue::str("x"), &cm));
+        assert!(!d().member(&OValue::oid(Oid::from_raw(1)), &cm));
+        assert!(!d().member(&OValue::empty_set(), &cm));
+    }
+
+    #[test]
+    fn class_membership_uses_assignment() {
+        let cm = class_map(&[("P", &[1, 2])]);
+        let t = TypeExpr::class("P");
+        assert!(t.member(&OValue::oid(Oid::from_raw(1)), &cm));
+        assert!(!t.member(&OValue::oid(Oid::from_raw(3)), &cm));
+        assert!(!t.member(&OValue::str("P"), &cm));
+    }
+
+    #[test]
+    fn tuple_membership_is_exact_width() {
+        let cm = ClassMap::default();
+        let t = TypeExpr::tuple([("a", d()), ("b", d())]);
+        let ok = OValue::tuple([("a", OValue::int(1)), ("b", OValue::int(2))]);
+        let extra = OValue::tuple([
+            ("a", OValue::int(1)),
+            ("b", OValue::int(2)),
+            ("c", OValue::int(3)),
+        ]);
+        let missing = OValue::tuple([("a", OValue::int(1))]);
+        assert!(t.member(&ok, &cm));
+        assert!(!t.member(&extra, &cm));
+        assert!(!t.member(&missing, &cm));
+        // But the *-interpretation admits extra fields (Section 6.2).
+        assert!(t.member_star(&extra, &cm));
+        assert!(!t.member_star(&missing, &cm));
+    }
+
+    #[test]
+    fn set_membership() {
+        let cm = ClassMap::default();
+        let t = TypeExpr::set_of(d());
+        assert!(t.member(&OValue::empty_set(), &cm));
+        assert!(t.member(&OValue::set([OValue::int(1), OValue::int(2)]), &cm));
+        assert!(!t.member(&OValue::set([OValue::unit()]), &cm));
+        // {∅} contains exactly the empty set.
+        let t_empty = TypeExpr::set_of(TypeExpr::empty());
+        assert!(t_empty.member(&OValue::empty_set(), &cm));
+        assert!(!t_empty.member(&OValue::set([OValue::int(1)]), &cm));
+    }
+
+    #[test]
+    fn union_and_intersection_membership() {
+        let cm = class_map(&[("P", &[1])]);
+        let t = TypeExpr::union(d(), TypeExpr::class("P"));
+        assert!(t.member(&OValue::str("x"), &cm));
+        assert!(t.member(&OValue::oid(Oid::from_raw(1)), &cm));
+        let t2 = TypeExpr::inter(d(), TypeExpr::class("P"));
+        assert!(!t2.member(&OValue::str("x"), &cm));
+        assert!(!t2.member(&OValue::oid(Oid::from_raw(1)), &cm));
+    }
+
+    #[test]
+    fn paper_example_intersection_of_tuples() {
+        // [A1:D, A2:{P1}] ∧ [A1:D, A2:{P2}]  ≡disjoint  [A1:D, A2:{∅}]
+        let p1 = TypeExpr::class("NP1");
+        let p2 = TypeExpr::class("NP2");
+        let lhs = TypeExpr::inter(
+            TypeExpr::tuple([("A1", d()), ("A2", TypeExpr::set_of(p1))]),
+            TypeExpr::tuple([("A1", d()), ("A2", TypeExpr::set_of(p2))]),
+        );
+        let rhs = TypeExpr::tuple([("A1", d()), ("A2", TypeExpr::set_of(TypeExpr::empty()))]);
+        assert!(lhs.equivalent_disjoint(&rhs));
+    }
+
+    #[test]
+    fn paper_example_mixed_intersection_is_empty() {
+        // ({D} ∨ P1) ∧ P2 ≡disjoint ∅  (for distinct P1, P2)
+        let t = TypeExpr::inter(
+            TypeExpr::union(TypeExpr::set_of(d()), TypeExpr::class("MP1")),
+            TypeExpr::class("MP2"),
+        );
+        assert!(t.equivalent_disjoint(&TypeExpr::empty()));
+    }
+
+    #[test]
+    fn empty_tuple_field_collapses() {
+        // [A1: ∅] ≡ ∅, but {∅} ≢ ∅.
+        let t = TypeExpr::tuple([("A1", TypeExpr::empty())]);
+        assert!(t.equivalent_disjoint(&TypeExpr::empty()));
+        assert!(!TypeExpr::set_of(TypeExpr::empty()).equivalent_disjoint(&TypeExpr::empty()));
+    }
+
+    #[test]
+    fn intersection_free_output_is_intersection_free() {
+        let t = TypeExpr::inter(
+            TypeExpr::union(d(), TypeExpr::class("QP")),
+            TypeExpr::union(d(), TypeExpr::set_of(d())),
+        );
+        let free = t.intersection_free_disjoint();
+        assert!(free.is_intersection_free());
+        assert!(free.equivalent_disjoint(&t));
+        assert!(free.equivalent_disjoint(&d()));
+    }
+
+    #[test]
+    fn intersection_reduce_structure() {
+        let t = TypeExpr::inter(
+            TypeExpr::tuple([("a", TypeExpr::inter(d(), d()))]),
+            TypeExpr::tuple([("a", d())]),
+        );
+        let r = t.intersection_reduce();
+        assert!(r.is_intersection_reduced());
+        assert_eq!(r, TypeExpr::tuple([("a", d())]));
+        // Class-class intersections stay (irreducible without disjointness).
+        let cc = TypeExpr::inter(TypeExpr::class("RA"), TypeExpr::class("RB"));
+        let rr = cc.intersection_reduce();
+        assert!(rr.is_intersection_reduced());
+        assert!(matches!(rr, TypeExpr::Intersect(_, _)));
+    }
+
+    #[test]
+    fn tuple_union_distribution_canonicalizes() {
+        // [A: a∨b] ≡ [A:a] ∨ [A:b]
+        let lhs = TypeExpr::tuple([("A", TypeExpr::union(d(), TypeExpr::class("DP")))]);
+        let rhs = TypeExpr::union(
+            TypeExpr::tuple([("A", d())]),
+            TypeExpr::tuple([("A", TypeExpr::class("DP"))]),
+        );
+        assert!(lhs.equivalent_disjoint(&rhs));
+    }
+
+    #[test]
+    fn set_union_does_not_distribute() {
+        // {a ∨ b} ≢ {a} ∨ {b}: a mixed set inhabits only the former.
+        let lhs = TypeExpr::set_of(TypeExpr::union(d(), TypeExpr::class("SP")));
+        let rhs = TypeExpr::union(
+            TypeExpr::set_of(d()),
+            TypeExpr::set_of(TypeExpr::class("SP")),
+        );
+        assert!(!lhs.equivalent_disjoint(&rhs));
+        let cm = class_map(&[("SP", &[1])]);
+        let mixed = OValue::set([OValue::str("x"), OValue::oid(Oid::from_raw(1))]);
+        assert!(lhs.member(&mixed, &cm));
+        assert!(!rhs.member(&mixed, &cm));
+    }
+
+    #[test]
+    fn enumerate_base_and_tuple() {
+        let consts = vec![Constant::int(1), Constant::int(2)];
+        let cm = ClassMap::default();
+        let u = EnumUniverse {
+            constants: &consts,
+            classes: &cm,
+            budget: 1000,
+        };
+        assert_eq!(d().enumerate(&u).unwrap().len(), 2);
+        let t = TypeExpr::tuple([("a", d()), ("b", d())]);
+        assert_eq!(t.enumerate(&u).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn enumerate_set_is_powerset() {
+        let consts = vec![Constant::int(1), Constant::int(2), Constant::int(3)];
+        let cm = ClassMap::default();
+        let u = EnumUniverse {
+            constants: &consts,
+            classes: &cm,
+            budget: 1000,
+        };
+        let vals = TypeExpr::set_of(d()).enumerate(&u).unwrap();
+        assert_eq!(vals.len(), 8); // 2^3 subsets
+        assert!(vals.contains(&OValue::empty_set()));
+    }
+
+    #[test]
+    fn enumerate_respects_budget() {
+        let consts: Vec<Constant> = (0..20).map(Constant::int).collect();
+        let cm = ClassMap::default();
+        let u = EnumUniverse {
+            constants: &consts,
+            classes: &cm,
+            budget: 100,
+        };
+        let err = TypeExpr::set_of(d()).enumerate(&u).unwrap_err();
+        assert!(matches!(err, ModelError::EnumerationBudget { .. }));
+    }
+
+    #[test]
+    fn enumerate_classes_and_union() {
+        let consts = vec![Constant::int(1)];
+        let cm = class_map(&[("EP", &[5, 6])]);
+        let u = EnumUniverse {
+            constants: &consts,
+            classes: &cm,
+            budget: 1000,
+        };
+        let t = TypeExpr::union(d(), TypeExpr::class("EP"));
+        let vals = t.enumerate(&u).unwrap();
+        assert_eq!(vals.len(), 3);
+    }
+
+    #[test]
+    fn substitute_class_rewrites_everywhere() {
+        let t = TypeExpr::tuple([
+            ("a", TypeExpr::class("Old")),
+            ("b", TypeExpr::set_of(TypeExpr::class("Old"))),
+        ]);
+        let s = t.substitute_class(ClassName::new("Old"), &TypeExpr::class("New"));
+        let mut seen = BTreeSet::new();
+        s.classes_mentioned(&mut seen);
+        assert_eq!(seen, BTreeSet::from([ClassName::new("New")]));
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = TypeExpr::tuple([
+            ("name", d()),
+            ("kids", TypeExpr::set_of(TypeExpr::class("Gen2"))),
+        ]);
+        assert_eq!(t.to_string(), "[kids: {Gen2}, name: D]");
+    }
+}

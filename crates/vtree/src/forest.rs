@@ -1,0 +1,496 @@
+//! Regular trees as (possibly cyclic) node graphs, with bisimulation.
+//!
+//! A *pure value* (Section 7.1) is an infinite tree with constant, tuple,
+//! and set nodes — no oids. Pure values occurring in v-instances are
+//! **regular** (finitely many distinct subtrees, Proposition 7.1.3), so
+//! they are exactly the trees presentable by a finite node graph: a
+//! [`Forest`] node plays the role of a tree, and two nodes denote the same
+//! tree iff they are **bisimilar** (with set children compared as sets of
+//! classes — duplicate elimination at the semantic level, matching
+//! Courcelle's regular-tree theory adapted to unordered set nodes).
+//!
+//! Bisimulation classes are computed by signature-based partition
+//! refinement; [`Forest::minimize`] quotients a forest to one node per
+//! class, which is the canonical representation used for equality.
+
+use iql_model::{AttrName, Constant, OValue};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+
+/// A node index within a [`Forest`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// One node of a regular-tree presentation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Node {
+    /// A constant leaf.
+    Const(Constant),
+    /// A tuple node with attribute-labelled children.
+    Tuple(BTreeMap<AttrName, NodeId>),
+    /// A set node with unordered children (duplicates collapse
+    /// semantically, via bisimulation).
+    Set(BTreeSet<NodeId>),
+}
+
+/// A finite presentation of a family of regular trees. Cycles are allowed —
+/// that is the point.
+#[derive(Clone, Default, Debug)]
+pub struct Forest {
+    nodes: Vec<Node>,
+}
+
+impl Forest {
+    /// An empty forest.
+    pub fn new() -> Forest {
+        Forest::default()
+    }
+
+    /// Number of nodes (not trees — nodes).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the forest empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a constant leaf.
+    pub fn add_const(&mut self, c: Constant) -> NodeId {
+        self.push(Node::Const(c))
+    }
+
+    /// Adds a tuple node.
+    pub fn add_tuple<I, A>(&mut self, fields: I) -> NodeId
+    where
+        I: IntoIterator<Item = (A, NodeId)>,
+        A: Into<AttrName>,
+    {
+        self.push(Node::Tuple(
+            fields.into_iter().map(|(a, n)| (a.into(), n)).collect(),
+        ))
+    }
+
+    /// Adds a set node.
+    pub fn add_set<I: IntoIterator<Item = NodeId>>(&mut self, elems: I) -> NodeId {
+        self.push(Node::Set(elems.into_iter().collect()))
+    }
+
+    /// Reserves an empty placeholder (filled later with [`Forest::set_node`])
+    /// — the way cyclic structures are built.
+    pub fn reserve(&mut self) -> NodeId {
+        self.push(Node::Set(BTreeSet::new()))
+    }
+
+    /// Overwrites a node (used to close cycles on reserved slots).
+    pub fn set_node(&mut self, id: NodeId, node: Node) {
+        self.nodes[id.0] = node;
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(node);
+        id
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// All node ids.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    // ------------------------------------------------------------------
+    // Bisimulation
+    // ------------------------------------------------------------------
+
+    /// Computes the coarsest bisimulation: returns a class id per node.
+    /// Two nodes get the same class iff they denote the same regular tree
+    /// (set children compared as *sets of classes*).
+    pub fn bisimulation_classes(&self) -> Vec<u64> {
+        let n = self.nodes.len();
+        // Initial colors: kind + constant payload.
+        let mut colors: Vec<u64> = self
+            .nodes
+            .iter()
+            .map(|node| {
+                let mut h = DefaultHasher::new();
+                match node {
+                    Node::Const(c) => {
+                        0u8.hash(&mut h);
+                        c.hash(&mut h);
+                    }
+                    Node::Tuple(f) => {
+                        1u8.hash(&mut h);
+                        for a in f.keys() {
+                            a.as_str().hash(&mut h);
+                        }
+                    }
+                    Node::Set(_) => 2u8.hash(&mut h),
+                }
+                h.finish()
+            })
+            .collect();
+        let mut distinct = count_distinct(&colors);
+        for _ in 0..n.max(1) {
+            let next: Vec<u64> = self
+                .nodes
+                .iter()
+                .map(|node| {
+                    let mut h = DefaultHasher::new();
+                    match node {
+                        Node::Const(c) => {
+                            0u8.hash(&mut h);
+                            c.hash(&mut h);
+                        }
+                        Node::Tuple(f) => {
+                            1u8.hash(&mut h);
+                            for (a, child) in f {
+                                a.as_str().hash(&mut h);
+                                colors[child.0].hash(&mut h);
+                            }
+                        }
+                        Node::Set(elems) => {
+                            2u8.hash(&mut h);
+                            // Duplicate elimination: the *set* of child
+                            // classes, not the multiset.
+                            let classes: BTreeSet<u64> =
+                                elems.iter().map(|e| colors[e.0]).collect();
+                            classes.hash(&mut h);
+                        }
+                    }
+                    h.finish()
+                })
+                .collect();
+            let next_distinct = count_distinct(&next);
+            let stable = next_distinct == distinct;
+            colors = next;
+            distinct = next_distinct;
+            if stable {
+                break;
+            }
+        }
+        colors
+    }
+
+    /// Are two trees (nodes of this forest) equal as regular trees?
+    pub fn equal(&self, a: NodeId, b: NodeId) -> bool {
+        let classes = self.bisimulation_classes();
+        classes[a.0] == classes[b.0]
+    }
+
+    /// Quotients the forest by bisimulation: returns the minimized forest
+    /// and the mapping old-node → new-node. The minimized forest has one
+    /// node per distinct regular tree — the canonical form.
+    pub fn minimize(&self) -> (Forest, Vec<NodeId>) {
+        let classes = self.bisimulation_classes();
+        // Representative per class: the smallest node id.
+        let mut rep: BTreeMap<u64, usize> = BTreeMap::new();
+        for (i, c) in classes.iter().enumerate() {
+            rep.entry(*c).or_insert(i);
+        }
+        // New ids in representative order (deterministic).
+        let mut new_id: BTreeMap<u64, NodeId> = BTreeMap::new();
+        let mut order: Vec<(usize, u64)> = rep.iter().map(|(c, i)| (*i, *c)).collect();
+        order.sort();
+        for (k, (_, c)) in order.iter().enumerate() {
+            new_id.insert(*c, NodeId(k));
+        }
+        let mut out = Forest::new();
+        for (i, c) in order {
+            let node = match &self.nodes[i] {
+                Node::Const(k) => Node::Const(k.clone()),
+                Node::Tuple(f) => Node::Tuple(
+                    f.iter()
+                        .map(|(a, ch)| (*a, new_id[&classes[ch.0]]))
+                        .collect(),
+                ),
+                Node::Set(elems) => {
+                    Node::Set(elems.iter().map(|ch| new_id[&classes[ch.0]]).collect())
+                }
+            };
+            let id = out.push(node);
+            debug_assert_eq!(id, new_id[&c]);
+        }
+        let mapping: Vec<NodeId> = classes.iter().map(|c| new_id[c]).collect();
+        (out, mapping)
+    }
+
+    /// Number of distinct subtrees reachable from `root` — finite for every
+    /// node of a finite forest, which is Proposition 7.1.3 in executable
+    /// form (every pure value in a v-instance is a regular tree).
+    pub fn distinct_subtrees(&self, root: NodeId) -> usize {
+        let classes = self.bisimulation_classes();
+        let mut seen_nodes = BTreeSet::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            if !seen_nodes.insert(n) {
+                continue;
+            }
+            match &self.nodes[n.0] {
+                Node::Const(_) => {}
+                Node::Tuple(f) => stack.extend(f.values().copied()),
+                Node::Set(e) => stack.extend(e.iter().copied()),
+            }
+        }
+        let reach_classes: BTreeSet<u64> = seen_nodes.iter().map(|n| classes[n.0]).collect();
+        reach_classes.len()
+    }
+
+    /// Unfolds a tree to finite depth as an o-value (for display and
+    /// tests); cycles are cut with the string constant `"..."`.
+    pub fn unfold(&self, root: NodeId, depth: usize) -> OValue {
+        if depth == 0 {
+            return OValue::str("...");
+        }
+        match self.node(root) {
+            Node::Const(c) => OValue::Const(c.clone()),
+            Node::Tuple(f) => OValue::Tuple(
+                f.iter()
+                    .map(|(a, ch)| (*a, self.unfold(*ch, depth - 1)))
+                    .collect(),
+            ),
+            Node::Set(e) => OValue::Set(e.iter().map(|ch| self.unfold(*ch, depth - 1)).collect()),
+        }
+    }
+
+    /// Imports an oid-free o-value as a (tree-shaped) forest fragment.
+    pub fn import_ovalue(&mut self, v: &OValue) -> Option<NodeId> {
+        match v {
+            OValue::Const(c) => Some(self.add_const(c.clone())),
+            OValue::Oid(_) => None,
+            OValue::Tuple(fields) => {
+                let mut out: BTreeMap<AttrName, NodeId> = BTreeMap::new();
+                for (a, fv) in fields {
+                    out.insert(*a, self.import_ovalue(fv)?);
+                }
+                Some(self.push(Node::Tuple(out)))
+            }
+            OValue::Set(elems) => {
+                let mut out = BTreeSet::new();
+                for e in elems {
+                    out.insert(self.import_ovalue(e)?);
+                }
+                Some(self.push(Node::Set(out)))
+            }
+        }
+    }
+
+    /// Renders the forest fragment reachable from `roots` in Graphviz DOT —
+    /// a debugging view of regular-tree presentations (cycles and sharing
+    /// show up as back/cross edges).
+    pub fn to_dot(&self, roots: &[NodeId]) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph forest {\n  rankdir=LR;\n");
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            match self.node(n) {
+                Node::Const(c) => {
+                    let _ = writeln!(out, "  n{} [label=\"{}\", shape=plaintext];", n.0, c);
+                }
+                Node::Tuple(fields) => {
+                    let _ = writeln!(out, "  n{} [label=\"×\", shape=circle];", n.0);
+                    for (a, ch) in fields {
+                        let _ = writeln!(out, "  n{} -> n{} [label=\"{}\"];", n.0, ch.0, a);
+                        stack.push(*ch);
+                    }
+                }
+                Node::Set(elems) => {
+                    let _ = writeln!(out, "  n{} [label=\"∗\", shape=diamond];", n.0);
+                    for ch in elems {
+                        let _ = writeln!(out, "  n{} -> n{};", n.0, ch.0);
+                        stack.push(*ch);
+                    }
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Appends all of `other`'s nodes, returning the id offset — the basis
+    /// for cross-forest equality.
+    pub fn absorb(&mut self, other: &Forest) -> usize {
+        let offset = self.nodes.len();
+        for node in &other.nodes {
+            let shifted = match node {
+                Node::Const(c) => Node::Const(c.clone()),
+                Node::Tuple(f) => Node::Tuple(
+                    f.iter()
+                        .map(|(a, ch)| (*a, NodeId(ch.0 + offset)))
+                        .collect(),
+                ),
+                Node::Set(e) => Node::Set(e.iter().map(|ch| NodeId(ch.0 + offset)).collect()),
+            };
+            self.nodes.push(shifted);
+        }
+        offset
+    }
+}
+
+fn count_distinct(colors: &[u64]) -> usize {
+    let mut set: HashMap<u64, ()> = HashMap::with_capacity(colors.len());
+    for c in colors {
+        set.insert(*c, ());
+    }
+    set.len()
+}
+
+/// Cross-forest regular-tree equality: are `(fa, a)` and `(fb, b)` the same
+/// tree?
+pub fn trees_equal(fa: &Forest, a: NodeId, fb: &Forest, b: NodeId) -> bool {
+    let mut joint = fa.clone();
+    let offset = joint.absorb(fb);
+    joint.equal(a, NodeId(b.0 + offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_trees_compare_structurally() {
+        let mut f = Forest::new();
+        let a1 = f.add_const(Constant::int(1));
+        let a2 = f.add_const(Constant::int(1));
+        let t1 = f.add_tuple([("x", a1)]);
+        let t2 = f.add_tuple([("x", a2)]);
+        assert!(f.equal(t1, t2));
+        let b = f.add_const(Constant::int(2));
+        let t3 = f.add_tuple([("x", b)]);
+        assert!(!f.equal(t1, t3));
+    }
+
+    #[test]
+    fn set_duplicates_collapse() {
+        // {1, 1'} = {1}: set nodes compare as sets of classes.
+        let mut f = Forest::new();
+        let a1 = f.add_const(Constant::int(1));
+        let a2 = f.add_const(Constant::int(1));
+        let s1 = f.add_set([a1, a2]);
+        let s2 = f.add_set([a1]);
+        assert!(f.equal(s1, s2));
+    }
+
+    #[test]
+    fn cyclic_trees_bisimilar() {
+        // Two presentations of the infinite tree t = [next: t].
+        let mut f = Forest::new();
+        let u = f.reserve();
+        f.set_node(u, Node::Tuple(BTreeMap::from([(AttrName::new("next"), u)])));
+        // A two-node unrolling of the same tree.
+        let v1 = f.reserve();
+        let v2 = f.reserve();
+        f.set_node(
+            v1,
+            Node::Tuple(BTreeMap::from([(AttrName::new("next"), v2)])),
+        );
+        f.set_node(
+            v2,
+            Node::Tuple(BTreeMap::from([(AttrName::new("next"), v1)])),
+        );
+        assert!(f.equal(u, v1));
+        assert!(f.equal(v1, v2));
+    }
+
+    #[test]
+    fn different_cycles_distinguished() {
+        // t = [next: t] vs s = [next: [stop: "end"]] are different.
+        let mut f = Forest::new();
+        let u = f.reserve();
+        f.set_node(u, Node::Tuple(BTreeMap::from([(AttrName::new("next"), u)])));
+        let end = f.add_const(Constant::str("end"));
+        let stop = f.add_tuple([("stop", end)]);
+        let s = f.add_tuple([("next", stop)]);
+        assert!(!f.equal(u, s));
+    }
+
+    #[test]
+    fn minimize_collapses_classes() {
+        let mut f = Forest::new();
+        // Three copies of the same cyclic tree + one constant.
+        for _ in 0..3 {
+            let u = f.reserve();
+            f.set_node(u, Node::Tuple(BTreeMap::from([(AttrName::new("n"), u)])));
+        }
+        f.add_const(Constant::int(7));
+        let (min, mapping) = f.minimize();
+        assert_eq!(min.len(), 2);
+        assert_eq!(mapping[0], mapping[1]);
+        assert_eq!(mapping[1], mapping[2]);
+        assert_ne!(mapping[0], mapping[3]);
+        // Minimization is idempotent.
+        let (min2, _) = min.minimize();
+        assert_eq!(min2.len(), 2);
+    }
+
+    #[test]
+    fn distinct_subtrees_is_finite_regularity() {
+        // The rational tree [a: t, b: "x"] with t cyclic has 3 distinct
+        // subtrees: itself, the constant, and... let's count precisely.
+        let mut f = Forest::new();
+        let t = f.reserve();
+        let x = f.add_const(Constant::str("x"));
+        f.set_node(
+            t,
+            Node::Tuple(BTreeMap::from([
+                (AttrName::new("a"), t),
+                (AttrName::new("b"), x),
+            ])),
+        );
+        assert_eq!(f.distinct_subtrees(t), 2);
+    }
+
+    #[test]
+    fn unfold_cuts_cycles() {
+        let mut f = Forest::new();
+        let t = f.reserve();
+        f.set_node(t, Node::Tuple(BTreeMap::from([(AttrName::new("n"), t)])));
+        let v = f.unfold(t, 3);
+        let s = v.to_string();
+        assert!(s.contains("..."));
+        assert!(s.matches("n:").count() >= 2);
+    }
+
+    #[test]
+    fn dot_export_shows_cycles() {
+        let mut f = Forest::new();
+        let t = f.reserve();
+        let label = f.add_const(Constant::str("n"));
+        f.set_node(
+            t,
+            Node::Tuple(BTreeMap::from([
+                (AttrName::new("label"), label),
+                (AttrName::new("next"), t),
+            ])),
+        );
+        let dot = f.to_dot(&[t]);
+        assert!(dot.starts_with("digraph"));
+        // Self-edge for the cycle.
+        assert!(dot.contains(&format!("n{} -> n{}", t.0, t.0)));
+        assert!(dot.contains("\"n\""));
+    }
+
+    #[test]
+    fn import_and_cross_forest_equality() {
+        let ov = OValue::set([OValue::int(1), OValue::int(2)]);
+        let mut f1 = Forest::new();
+        let n1 = f1.import_ovalue(&ov).unwrap();
+        let mut f2 = Forest::new();
+        let n2 = f2.import_ovalue(&ov).unwrap();
+        assert!(trees_equal(&f1, n1, &f2, n2));
+        let other = OValue::set([OValue::int(1)]);
+        let mut f3 = Forest::new();
+        let n3 = f3.import_ovalue(&other).unwrap();
+        assert!(!trees_equal(&f1, n1, &f3, n3));
+    }
+}

@@ -1,0 +1,26 @@
+//! # iql-vtree — the value-based data model (Section 7)
+//!
+//! Oids can be read as "a syntactic trick to avoid manipulating recursive
+//! objects". This crate makes the underlying recursive objects first-class:
+//! **pure values** are regular infinite trees (Courcelle-style, adapted to
+//! unordered, duplicate-free set nodes), finitely presented as cyclic node
+//! graphs with **bisimulation** as equality-by-value.
+//!
+//! * [`forest`] — regular-tree presentations, bisimulation classes,
+//!   minimization, cross-forest equality, Proposition 7.1.3 (regularity) in
+//!   executable form;
+//! * [`vschema`] — v-schemas and v-instances (Definitions 7.1.1/7.1.2) with
+//!   coinduction-free type checking;
+//! * [`translate`] — the φ (values → objects) and ψ (objects → values)
+//!   translations with `ψ ∘ φ = id` (Proposition 7.1.4), and the IQLv
+//!   pipeline `ψ ∘ program ∘ φ` of Theorem 7.1.5 / Figure 2, in which oids
+//!   "lose all semantic denotation to become purely primitives of the
+//!   language".
+
+pub mod forest;
+pub mod translate;
+pub mod vschema;
+
+pub use forest::{trees_equal, Forest, Node, NodeId};
+pub use translate::{phi, psi, run_on_values};
+pub use vschema::{is_v_type, vinstances_equal, VError, VInstance, VResult, VSchema};

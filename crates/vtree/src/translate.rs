@@ -1,0 +1,398 @@
+//! The φ and ψ translations between pure values and objects (Section 7.1)
+//! and the IQLv pipeline of Theorem 7.1.5 (Figure 2).
+//!
+//! * **φ** ([`phi`]): *from values to objects* — one fresh oid per pure
+//!   value per class (`f_P` one-to-one, images pairwise disjoint), with
+//!   `ν(f_P(v))` the o-value obtained from `v` by replacing each direct
+//!   class-typed subtree by its oid. Produces a legal object instance of
+//!   the schema `(∅, P, T)`.
+//! * **ψ** ([`psi`]): *from objects to values* — reads the equation system
+//!   `{o = ν(o)}` as a regular-tree definition (its solution is unique, as
+//!   in Proposition 7.1.3) and eliminates duplicates by bisimulation.
+//!   Requires `ν` total — exactly the paper's premise.
+//! * **Proposition 7.1.4**: `ψ(φ(I)) = I` — tested here and in the E13
+//!   experiment.
+//! * **IQLv** ([`run_on_values`]): evaluate an IQL program on a value-based
+//!   instance via `ψ ∘ program ∘ φ` (Figure 2); automatic copy elimination
+//!   happens inside ψ, which is why IQLv is vdio-complete (Theorem 7.1.5).
+
+use crate::forest::{Forest, Node, NodeId};
+use crate::vschema::{VError, VInstance, VResult, VSchema};
+use iql_core::eval::{run, EvalConfig};
+use iql_core::Program;
+use iql_model::{AttrName, ClassName, Instance, OValue, Oid, TypeExpr};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// The (class, canonical node) → oid mapping φ produces.
+pub type OidAssignment = BTreeMap<(ClassName, NodeId), Oid>;
+
+/// φ: translates a v-instance into an object instance of `(∅, P, T)`.
+///
+/// The instance is canonicalized first, so `f_P` is well defined on pure
+/// values (not on presentations). Returns the object instance and the
+/// (class, canonical node) → oid mapping.
+///
+/// ```
+/// use iql_model::{ClassName, Constant, TypeExpr};
+/// use iql_vtree::{phi, psi, vinstances_equal, VInstance, VSchema};
+/// let class = ClassName::new("DocNode");
+/// let schema = VSchema::new([(class, TypeExpr::set_of(TypeExpr::base()))]).unwrap();
+/// let mut v = VInstance::new(&schema);
+/// let a = v.forest.add_const(Constant::int(1));
+/// let s = v.forest.add_set([a]);
+/// v.add(class, s);
+/// let (obj, _) = phi(&schema, &v).unwrap();
+/// assert_eq!(obj.class(class).unwrap().len(), 1);
+/// let back = psi(&obj).unwrap();
+/// assert!(vinstances_equal(&back, &v));  // Proposition 7.1.4
+/// ```
+pub fn phi(schema: &VSchema, vinst: &VInstance) -> VResult<(Instance, OidAssignment)> {
+    let canon = vinst.canonicalize();
+    let obj_schema = Arc::new(schema.to_object_schema());
+    let mut inst = Instance::new(Arc::clone(&obj_schema));
+    let mut oid_of: BTreeMap<(ClassName, NodeId), Oid> = BTreeMap::new();
+    // First pass: allocate oids (disjoint across classes even for shared
+    // pure values, per the paper's f_P construction).
+    for (class, nodes) in &canon.classes {
+        for node in nodes {
+            let oid = inst.create_oid(*class).map_err(VError::Model)?;
+            oid_of.insert((*class, *node), oid);
+        }
+    }
+    // Second pass: build ν values, cutting recursion at class references.
+    for (class, nodes) in &canon.classes {
+        let ty = schema.class_type(*class)?.clone();
+        for node in nodes {
+            let v = value_of(&canon, *node, &ty, &oid_of)?;
+            let oid = oid_of[&(*class, *node)];
+            if matches!(ty, TypeExpr::Set(_)) {
+                // Set-valued oids: install members (default was {}).
+                let OValue::Set(elems) = v else {
+                    unreachable!("typed above")
+                };
+                for e in elems {
+                    inst.add_set_member(oid, e).map_err(VError::Model)?;
+                }
+            } else {
+                inst.define_value(oid, v).map_err(VError::Model)?;
+            }
+        }
+    }
+    inst.validate().map_err(VError::Model)?;
+    Ok((inst, oid_of))
+}
+
+/// Builds `w_v`: the o-value for pure value `node` at type `ty`, replacing
+/// class-typed subtrees by their oids. Terminates because every cycle in a
+/// well-typed v-instance passes through a class reference.
+fn value_of(
+    canon: &VInstance,
+    node: NodeId,
+    ty: &TypeExpr,
+    oid_of: &OidAssignment,
+) -> VResult<OValue> {
+    match ty {
+        TypeExpr::Base => match canon.forest.node(node) {
+            Node::Const(c) => Ok(OValue::Const(c.clone())),
+            _ => Err(VError::Invalid("non-constant at base type".into())),
+        },
+        TypeExpr::Class(p) => match oid_of.get(&(*p, node)) {
+            Some(oid) => Ok(OValue::Oid(*oid)),
+            None => Err(VError::IllTyped {
+                class: *p,
+                value: canon.forest.unfold(node, 3).to_string(),
+            }),
+        },
+        TypeExpr::Tuple(ftys) => match canon.forest.node(node) {
+            Node::Tuple(fields) => {
+                let mut out: BTreeMap<AttrName, OValue> = BTreeMap::new();
+                for (a, ft) in ftys {
+                    let Some(child) = fields.get(a) else {
+                        return Err(VError::Invalid(format!("missing field {a}")));
+                    };
+                    out.insert(*a, value_of(canon, *child, ft, oid_of)?);
+                }
+                Ok(OValue::Tuple(out))
+            }
+            _ => Err(VError::Invalid("non-tuple at tuple type".into())),
+        },
+        TypeExpr::Set(ety) => match canon.forest.node(node) {
+            Node::Set(elems) => {
+                let mut out = BTreeSet::new();
+                for e in elems {
+                    out.insert(value_of(canon, *e, ety, oid_of)?);
+                }
+                Ok(OValue::Set(out))
+            }
+            _ => Err(VError::Invalid("non-set at set type".into())),
+        },
+        _ => Err(VError::NotAVType(ty.to_string())),
+    }
+}
+
+/// ψ: translates an object instance (over a classes-only schema, `ν`
+/// total) into a v-instance — the unique solution of the equation system
+/// `{o = ν(o)}`, with duplicates eliminated by bisimulation.
+pub fn psi(inst: &Instance) -> VResult<VInstance> {
+    let schema = inst.schema();
+    if schema.relations().next().is_some() {
+        return Err(VError::Invalid(
+            "ψ expects a classes-only instance (value-based schemas have no relations)".into(),
+        ));
+    }
+    // ν must be total.
+    let mut oids: Vec<Oid> = Vec::new();
+    for p in schema.classes() {
+        for o in inst.class(p).map_err(VError::Model)? {
+            if inst.value(*o).is_none() {
+                return Err(VError::UndefinedOid(o.raw()));
+            }
+            oids.push(*o);
+        }
+    }
+    // Reserve a forest slot per oid, then fill from ν.
+    let mut forest = Forest::new();
+    let slot: BTreeMap<Oid, NodeId> = oids.iter().map(|o| (*o, forest.reserve())).collect();
+    for o in &oids {
+        let v = inst.value(*o).expect("checked total");
+        let node = build_node(&mut forest, v, &slot)?;
+        // `build_node` returns the content for composite values; alias bare
+        // oid values are rejected by v-typing (T(P) is never a class name).
+        match node {
+            Built::Fresh(content) => forest.set_node(slot[o], content),
+            Built::Existing(_) => {
+                return Err(VError::Invalid(format!(
+                    "ν({o}) is a bare oid; v-schemas forbid T(P) = P' (Def 7.1.1)"
+                )))
+            }
+        }
+    }
+    let classes = schema
+        .classes()
+        .map(|p| {
+            let nodes: BTreeSet<NodeId> = inst
+                .class(p)
+                .expect("schema class")
+                .iter()
+                .map(|o| slot[o])
+                .collect();
+            (p, nodes)
+        })
+        .collect();
+    Ok(VInstance { forest, classes }.canonicalize())
+}
+
+enum Built {
+    /// A composite node's content (to be installed in a slot or pushed).
+    Fresh(Node),
+    /// A reference to an existing node (an oid leaf).
+    Existing(NodeId),
+}
+
+fn build_node(forest: &mut Forest, v: &OValue, slot: &BTreeMap<Oid, NodeId>) -> VResult<Built> {
+    match v {
+        OValue::Const(c) => Ok(Built::Fresh(Node::Const(c.clone()))),
+        OValue::Oid(o) => slot
+            .get(o)
+            .copied()
+            .map(Built::Existing)
+            .ok_or(VError::UndefinedOid(o.raw())),
+        OValue::Tuple(fields) => {
+            let mut out: BTreeMap<AttrName, NodeId> = BTreeMap::new();
+            for (a, fv) in fields {
+                let child = match build_node(forest, fv, slot)? {
+                    Built::Existing(n) => n,
+                    Built::Fresh(content) => {
+                        let id = forest.reserve();
+                        forest.set_node(id, content);
+                        id
+                    }
+                };
+                out.insert(*a, child);
+            }
+            Ok(Built::Fresh(Node::Tuple(out)))
+        }
+        OValue::Set(elems) => {
+            let mut out = BTreeSet::new();
+            for e in elems {
+                let child = match build_node(forest, e, slot)? {
+                    Built::Existing(n) => n,
+                    Built::Fresh(content) => {
+                        let id = forest.reserve();
+                        forest.set_node(id, content);
+                        id
+                    }
+                };
+                out.insert(child);
+            }
+            Ok(Built::Fresh(Node::Set(out)))
+        }
+    }
+}
+
+/// IQLv (Theorem 7.1.5 / Figure 2): runs an IQL program on a value-based
+/// instance as `ψ ∘ program ∘ φ`. The program's input schema must be the
+/// object form of `schema`; its output schema must be classes-only with
+/// total `ν` (which ψ checks).
+pub fn run_on_values(
+    prog: &Program,
+    schema: &VSchema,
+    vinst: &VInstance,
+    cfg: &EvalConfig,
+) -> VResult<VInstance> {
+    let (obj, _) = phi(schema, vinst)?;
+    let obj = obj
+        .project(&prog.input)
+        .map_err(|e| VError::Invalid(format!("input schema mismatch: {e}")))?;
+    let out = run(prog, &obj, cfg).map_err(|e| VError::Invalid(e.to_string()))?;
+    psi(&out.output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vschema::vinstances_equal;
+    use iql_model::Constant;
+
+    fn c(n: &str) -> ClassName {
+        ClassName::new(n)
+    }
+
+    fn person_schema() -> VSchema {
+        VSchema::new([(
+            c("Wperson"),
+            TypeExpr::tuple([
+                ("name", TypeExpr::base()),
+                ("friends", TypeExpr::set_of(TypeExpr::class("Wperson"))),
+            ]),
+        )])
+        .unwrap()
+    }
+
+    fn two_friends() -> (VSchema, VInstance) {
+        let schema = person_schema();
+        let mut inst = VInstance::new(&schema);
+        let f = &mut inst.forest;
+        let alice = f.reserve();
+        let bob = f.reserve();
+        let an = f.add_const(Constant::str("alice"));
+        let bn = f.add_const(Constant::str("bob"));
+        let afr = f.add_set([bob]);
+        let bfr = f.add_set([alice, bob]); // bob is his own friend too
+        f.set_node(
+            alice,
+            Node::Tuple(
+                [("name", an), ("friends", afr)]
+                    .map(|(a, n)| (AttrName::new(a), n))
+                    .into(),
+            ),
+        );
+        f.set_node(
+            bob,
+            Node::Tuple(
+                [("name", bn), ("friends", bfr)]
+                    .map(|(a, n)| (AttrName::new(a), n))
+                    .into(),
+            ),
+        );
+        inst.add(c("Wperson"), alice);
+        inst.add(c("Wperson"), bob);
+        inst.validate(&schema).unwrap();
+        (schema, inst)
+    }
+
+    #[test]
+    fn phi_produces_valid_object_instance() {
+        let (schema, vinst) = two_friends();
+        let (obj, oid_of) = phi(&schema, &vinst).unwrap();
+        obj.validate().unwrap();
+        assert_eq!(obj.class(c("Wperson")).unwrap().len(), 2);
+        assert_eq!(oid_of.len(), 2);
+        // Cyclicity carried over: some oid's value mentions another oid.
+        let oids: Vec<Oid> = obj.class(c("Wperson")).unwrap().iter().copied().collect();
+        let mentions: usize = oids
+            .iter()
+            .filter(|o| {
+                oids.iter()
+                    .any(|p| obj.value(**o).is_some_and(|v| v.mentions_oid(*p)))
+            })
+            .count();
+        assert!(mentions > 0);
+    }
+
+    #[test]
+    fn psi_of_phi_is_identity() {
+        // Proposition 7.1.4: ψ(φ(I)) = I.
+        let (schema, vinst) = two_friends();
+        let (obj, _) = phi(&schema, &vinst).unwrap();
+        let back = psi(&obj).unwrap();
+        assert!(vinstances_equal(&back, &vinst));
+    }
+
+    #[test]
+    fn psi_eliminates_duplicates() {
+        // Two distinct oids with identical (bisimilar) values collapse to
+        // one pure value — "for oi and oj distinct, vi and vj may be the
+        // same (duplicates eliminated)".
+        let schema = person_schema();
+        let obj_schema = Arc::new(schema.to_object_schema());
+        let mut inst = Instance::new(obj_schema);
+        let p = c("Wperson");
+        let o1 = inst.create_oid(p).unwrap();
+        let o2 = inst.create_oid(p).unwrap();
+        // Both are "loner" persons with the same name and no friends.
+        for o in [o1, o2] {
+            inst.define_value(
+                o,
+                OValue::tuple([
+                    ("name", OValue::str("twin")),
+                    ("friends", OValue::empty_set()),
+                ]),
+            )
+            .unwrap();
+        }
+        let v = psi(&inst).unwrap();
+        assert_eq!(v.size(), 1);
+    }
+
+    #[test]
+    fn psi_requires_total_nu() {
+        let schema = person_schema();
+        let obj_schema = Arc::new(schema.to_object_schema());
+        let mut inst = Instance::new(obj_schema);
+        inst.create_oid(c("Wperson")).unwrap(); // ν undefined
+        assert!(matches!(psi(&inst), Err(VError::UndefinedOid(_))));
+    }
+
+    #[test]
+    fn iqlv_runs_a_program_on_values() {
+        // A value-based query: copy persons with a friend into a new class.
+        // (Input classes-only, output classes-only: a vdio-transformation.)
+        let unit = iql_core::parser::parse_unit(
+            r#"
+            schema {
+              class Wperson: [name: D, friends: {Wperson}];
+              class Social: [name: D, friends: {Wperson}];
+              relation Has: [p: Wperson, s: Social];
+            }
+            program {
+              input Wperson;
+              output Social, Wperson;
+              stage {
+                Has(p, s) :- Wperson(p), p^ = [name: n, friends: F], F != {};
+              }
+              stage {
+                s^ = p^ :- Has(p, s);
+              }
+            }
+            "#,
+        )
+        .unwrap();
+        let prog = unit.program.unwrap();
+        let (schema, vinst) = two_friends();
+        let out = run_on_values(&prog, &schema, &vinst, &EvalConfig::default()).unwrap();
+        // Both alice and bob have friends → both copied into Social.
+        assert_eq!(out.classes[&c("Social")].len(), 2);
+    }
+}

@@ -1,0 +1,406 @@
+//! V-schemas and v-instances (Definitions 7.1.1 and 7.1.2).
+//!
+//! The value-based model uses only class names and the v-type expressions
+//! `D | P | [A:t,…] | {t}` (no union, intersection, or `∅`). A **v-schema**
+//! `(P, T)` requires `T(P)` not to be a bare class name (the paper's
+//! technical condition (1), ruling out `T(P1) = P2` which specifies no
+//! structure). A **v-instance** assigns each class a finite set of pure
+//! values — nodes of a [`Forest`] — with `I(P) ⊆ ⟦T(P)⟧I`.
+
+use crate::forest::{Forest, Node, NodeId};
+use iql_model::{ClassName, ModelError, TypeExpr};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Errors from the value-based layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VError {
+    /// `T(P)` is a bare class name (violates condition (1)).
+    BareClassType(ClassName),
+    /// A type uses a constructor outside v-type-exp (union/intersection/∅).
+    NotAVType(String),
+    /// An undeclared class was referenced.
+    UnknownClass(ClassName),
+    /// A value violates its class's type.
+    IllTyped {
+        /// The class.
+        class: ClassName,
+        /// A rendering of the offending value (depth-limited).
+        value: String,
+    },
+    /// A translation hit an oid with undefined value (ψ requires ν total).
+    UndefinedOid(u64),
+    /// Bubbled-up model error.
+    Model(ModelError),
+    /// Catch-all.
+    Invalid(String),
+}
+
+impl std::fmt::Display for VError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VError::BareClassType(c) => {
+                write!(
+                    f,
+                    "T({c}) is a bare class name; v-schemas forbid this (Def 7.1.1)"
+                )
+            }
+            VError::NotAVType(t) => {
+                write!(f, "type {t} is not in v-type-exp (no union/inter/empty)")
+            }
+            VError::UnknownClass(c) => write!(f, "unknown class {c}"),
+            VError::IllTyped { class, value } => {
+                write!(f, "value {value} violates T({class})")
+            }
+            VError::UndefinedOid(o) => {
+                write!(f, "ψ requires ν to be total; oid o{o} has undefined value")
+            }
+            VError::Model(e) => write!(f, "{e}"),
+            VError::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for VError {}
+
+impl From<ModelError> for VError {
+    fn from(e: ModelError) -> Self {
+        VError::Model(e)
+    }
+}
+
+/// Result alias.
+pub type VResult<T> = std::result::Result<T, VError>;
+
+/// Is `t` in v-type-exp (base, class, tuple, set only)?
+pub fn is_v_type(t: &TypeExpr) -> bool {
+    match t {
+        TypeExpr::Base | TypeExpr::Class(_) => true,
+        TypeExpr::Tuple(fields) => fields.values().all(is_v_type),
+        TypeExpr::Set(inner) => is_v_type(inner),
+        TypeExpr::Empty | TypeExpr::Union(_, _) | TypeExpr::Intersect(_, _) => false,
+    }
+}
+
+/// A v-schema `(P, T)` (Definition 7.1.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VSchema {
+    classes: BTreeMap<ClassName, TypeExpr>,
+}
+
+impl VSchema {
+    /// Builds and validates a v-schema.
+    pub fn new<I>(classes: I) -> VResult<VSchema>
+    where
+        I: IntoIterator<Item = (ClassName, TypeExpr)>,
+    {
+        let classes: BTreeMap<ClassName, TypeExpr> = classes.into_iter().collect();
+        for (c, t) in &classes {
+            if !is_v_type(t) {
+                return Err(VError::NotAVType(t.to_string()));
+            }
+            if matches!(t, TypeExpr::Class(_)) {
+                return Err(VError::BareClassType(*c));
+            }
+            let mut mentioned = BTreeSet::new();
+            t.classes_mentioned(&mut mentioned);
+            for m in mentioned {
+                if !classes.contains_key(&m) {
+                    return Err(VError::UnknownClass(m));
+                }
+            }
+        }
+        Ok(VSchema { classes })
+    }
+
+    /// The class names.
+    pub fn classes(&self) -> impl Iterator<Item = ClassName> + '_ {
+        self.classes.keys().copied()
+    }
+
+    /// `T(P)`.
+    pub fn class_type(&self, c: ClassName) -> VResult<&TypeExpr> {
+        self.classes.get(&c).ok_or(VError::UnknownClass(c))
+    }
+
+    /// Converts to the object-based schema `(∅, P, T)` — same class names
+    /// and types, no relations (Section 7's comparison).
+    pub fn to_object_schema(&self) -> iql_model::Schema {
+        iql_model::Schema::new(
+            Vec::<(iql_model::RelName, TypeExpr)>::new(),
+            self.classes.iter().map(|(c, t)| (*c, t.clone())),
+        )
+        .expect("v-schema classes are closed")
+    }
+}
+
+/// A v-instance: a finite assignment of pure values (forest nodes) to class
+/// names (Definition 7.1.2).
+#[derive(Debug, Clone)]
+pub struct VInstance {
+    /// The shared node store (possibly cyclic).
+    pub forest: Forest,
+    /// `I(P)` — pure values per class.
+    pub classes: BTreeMap<ClassName, BTreeSet<NodeId>>,
+}
+
+impl VInstance {
+    /// An empty instance over the given classes.
+    pub fn new(schema: &VSchema) -> VInstance {
+        VInstance {
+            forest: Forest::new(),
+            classes: schema.classes().map(|c| (c, BTreeSet::new())).collect(),
+        }
+    }
+
+    /// Adds a value to `I(P)`.
+    pub fn add(&mut self, class: ClassName, node: NodeId) {
+        self.classes.entry(class).or_default().insert(node);
+    }
+
+    /// Checks `I(P) ⊆ ⟦T(P)⟧I` for every class. Membership recursion
+    /// terminates because class references in v-types are checked against
+    /// the assignment (not unfolded), and types are finite.
+    pub fn validate(&self, schema: &VSchema) -> VResult<()> {
+        for (class, nodes) in &self.classes {
+            let ty = schema.class_type(*class)?;
+            for node in nodes {
+                if !self.member(*node, ty) {
+                    return Err(VError::IllTyped {
+                        class: *class,
+                        value: self.forest.unfold(*node, 4).to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `node ∈ ⟦t⟧I` (type interpretation given the finite assignment).
+    pub fn member(&self, node: NodeId, t: &TypeExpr) -> bool {
+        match t {
+            TypeExpr::Base => matches!(self.forest.node(node), Node::Const(_)),
+            TypeExpr::Class(p) => self.in_class(node, *p),
+            TypeExpr::Tuple(ftys) => match self.forest.node(node) {
+                Node::Tuple(fields) => {
+                    fields.len() == ftys.len()
+                        && ftys
+                            .iter()
+                            .all(|(a, ft)| fields.get(a).is_some_and(|ch| self.member(*ch, ft)))
+                }
+                _ => false,
+            },
+            TypeExpr::Set(ety) => match self.forest.node(node) {
+                Node::Set(elems) => elems.iter().all(|e| self.member(*e, ety)),
+                _ => false,
+            },
+            TypeExpr::Empty | TypeExpr::Union(_, _) | TypeExpr::Intersect(_, _) => false,
+        }
+    }
+
+    /// Is the tree denoted by `node` a member of `I(P)` *as a value* (up to
+    /// bisimulation, since pure values are trees, not node ids)?
+    pub fn in_class(&self, node: NodeId, p: ClassName) -> bool {
+        let classes = self.forest.bisimulation_classes();
+        self.classes
+            .get(&p)
+            .is_some_and(|nodes| nodes.iter().any(|n| classes[n.0] == classes[node.0]))
+    }
+
+    /// Canonicalizes: minimizes the forest and rewrites the class
+    /// assignments (duplicate values collapse).
+    pub fn canonicalize(&self) -> VInstance {
+        let (forest, mapping) = self.forest.minimize();
+        let classes = self
+            .classes
+            .iter()
+            .map(|(c, nodes)| (*c, nodes.iter().map(|n| mapping[n.0]).collect()))
+            .collect();
+        VInstance { forest, classes }
+    }
+
+    /// Total number of values across classes (after canonicalization this
+    /// counts distinct pure values).
+    pub fn size(&self) -> usize {
+        self.classes.values().map(BTreeSet::len).sum()
+    }
+}
+
+/// Semantic equality of v-instances: same classes, and per class the same
+/// *set of regular trees* (order- and presentation-independent). This is
+/// the equality in Proposition 7.1.4 (`ψ(φ(I)) = I`).
+pub fn vinstances_equal(a: &VInstance, b: &VInstance) -> bool {
+    if a.classes.keys().ne(b.classes.keys()) {
+        return false;
+    }
+    // Joint forest → joint bisimulation classes → compare class sets.
+    let mut joint = a.forest.clone();
+    let offset = joint.absorb(&b.forest);
+    let classes = joint.bisimulation_classes();
+    for (c, nodes_a) in &a.classes {
+        let nodes_b = &b.classes[c];
+        let set_a: BTreeSet<u64> = nodes_a.iter().map(|n| classes[n.0]).collect();
+        let set_b: BTreeSet<u64> = nodes_b.iter().map(|n| classes[n.0 + offset]).collect();
+        if set_a != set_b {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iql_model::Constant;
+
+    fn c(n: &str) -> ClassName {
+        ClassName::new(n)
+    }
+
+    fn person_schema() -> VSchema {
+        // Vperson: [name: D, friends: {Vperson}] — cyclic v-schema.
+        VSchema::new([(
+            c("Vperson"),
+            TypeExpr::tuple([
+                ("name", TypeExpr::base()),
+                ("friends", TypeExpr::set_of(TypeExpr::class("Vperson"))),
+            ]),
+        )])
+        .unwrap()
+    }
+
+    #[test]
+    fn bare_class_type_rejected() {
+        let err = VSchema::new([
+            (c("VA"), TypeExpr::class("VB")),
+            (c("VB"), TypeExpr::unit()),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, VError::BareClassType(_)));
+    }
+
+    #[test]
+    fn union_types_rejected() {
+        let err = VSchema::new([(c("VU"), TypeExpr::union(TypeExpr::base(), TypeExpr::unit()))])
+            .unwrap_err();
+        assert!(matches!(err, VError::NotAVType(_)));
+    }
+
+    #[test]
+    fn cyclic_v_instance_validates() {
+        let schema = person_schema();
+        let mut inst = VInstance::new(&schema);
+        // Two mutual friends: genuinely infinite trees, finitely presented.
+        let f = &mut inst.forest;
+        let alice = f.reserve();
+        let bob = f.reserve();
+        let an = f.add_const(Constant::str("alice"));
+        let bn = f.add_const(Constant::str("bob"));
+        let afr = f.add_set([bob]);
+        let bfr = f.add_set([alice]);
+        f.set_node(
+            alice,
+            Node::Tuple(
+                [("name", an), ("friends", afr)]
+                    .map(|(a, n)| (iql_model::AttrName::new(a), n))
+                    .into(),
+            ),
+        );
+        f.set_node(
+            bob,
+            Node::Tuple(
+                [("name", bn), ("friends", bfr)]
+                    .map(|(a, n)| (iql_model::AttrName::new(a), n))
+                    .into(),
+            ),
+        );
+        inst.add(c("Vperson"), alice);
+        inst.add(c("Vperson"), bob);
+        inst.validate(&schema).unwrap();
+        // Regularity (Prop 7.1.3): finitely many distinct subtrees.
+        assert!(inst.forest.distinct_subtrees(alice) <= 6);
+    }
+
+    #[test]
+    fn missing_class_member_fails_validation() {
+        let schema = person_schema();
+        let mut inst = VInstance::new(&schema);
+        let f = &mut inst.forest;
+        let stranger = f.reserve(); // a set node, not a person tuple
+        let n = f.add_const(Constant::str("x"));
+        let fr = f.add_set([stranger]); // friend not in I(Vperson)!
+        let me = f.add_tuple([("name", n), ("friends", fr)]);
+        inst.add(c("Vperson"), me);
+        assert!(matches!(
+            inst.validate(&schema),
+            Err(VError::IllTyped { .. })
+        ));
+    }
+
+    #[test]
+    fn canonicalize_dedups_values() {
+        let schema = VSchema::new([(c("Vset"), TypeExpr::set_of(TypeExpr::base()))]).unwrap();
+        let mut inst = VInstance::new(&schema);
+        let a1 = inst.forest.add_const(Constant::int(1));
+        let a2 = inst.forest.add_const(Constant::int(1));
+        let s1 = inst.forest.add_set([a1]);
+        let s2 = inst.forest.add_set([a2]);
+        inst.add(c("Vset"), s1);
+        inst.add(c("Vset"), s2);
+        assert_eq!(inst.size(), 2);
+        let canon = inst.canonicalize();
+        assert_eq!(canon.size(), 1, "duplicate pure values collapse");
+        assert!(vinstances_equal(&inst, &canon));
+    }
+
+    #[test]
+    fn equality_is_presentation_independent() {
+        let schema = person_schema();
+        // Instance A: self-loop person; Instance B: two-node unrolling.
+        let build = |unroll: bool| {
+            let mut inst = VInstance::new(&schema);
+            let f = &mut inst.forest;
+            let name = f.add_const(Constant::str("o"));
+            if !unroll {
+                let p = f.reserve();
+                let fr = f.add_set([p]);
+                f.set_node(
+                    p,
+                    Node::Tuple(
+                        [("name", name), ("friends", fr)]
+                            .map(|(a, n)| (iql_model::AttrName::new(a), n))
+                            .into(),
+                    ),
+                );
+                inst.add(c("Vperson"), p);
+            } else {
+                let p1 = f.reserve();
+                let p2 = f.reserve();
+                let fr1 = f.add_set([p2]);
+                let fr2 = f.add_set([p1]);
+                f.set_node(
+                    p1,
+                    Node::Tuple(
+                        [("name", name), ("friends", fr1)]
+                            .map(|(a, n)| (iql_model::AttrName::new(a), n))
+                            .into(),
+                    ),
+                );
+                f.set_node(
+                    p2,
+                    Node::Tuple(
+                        [("name", name), ("friends", fr2)]
+                            .map(|(a, n)| (iql_model::AttrName::new(a), n))
+                            .into(),
+                    ),
+                );
+                inst.add(c("Vperson"), p1);
+                inst.add(c("Vperson"), p2);
+            }
+            inst
+        };
+        let a = build(false);
+        let b = build(true);
+        // The unrolled presentation denotes the *same single* pure value.
+        assert!(vinstances_equal(&a, &b));
+    }
+}

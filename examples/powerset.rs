@@ -1,0 +1,63 @@
+//! Example 3.4.2 from the paper: the powerset, two ways —
+//!
+//! 1. the one-liner `R1(X) ← X = X`, whose non-range-restricted variable
+//!    ranges over the full active-domain interpretation of `{D}`;
+//! 2. the range-restricted constructive program, which builds every subset
+//!    through invented set-valued oids (`z^` collecting unions of pairs).
+//!
+//! Both are exponential — the paper's point is that this *escapes* the
+//! PTIME sublanguages of Section 5, and the classifier agrees.
+//!
+//! ```sh
+//! cargo run --example powerset
+//! ```
+
+use iql::lang::programs::{powerset_program, powerset_unrestricted_program};
+use iql::lang::sublang::classify;
+use iql::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let constructive = powerset_program();
+    let oneliner = powerset_unrestricted_program();
+    println!(
+        "sublanguage classification: constructive = {}, X=X = {} (neither is IQLpr)",
+        classify(&constructive),
+        classify(&oneliner),
+    );
+
+    for n in [0usize, 1, 3, 5] {
+        let mut i1 = Instance::new(Arc::clone(&constructive.input));
+        let mut i2 = Instance::new(Arc::clone(&oneliner.input));
+        for k in 0..n {
+            let v = OValue::tuple([("a", OValue::str(&format!("d{k}")))]);
+            i1.insert(RelName::new("R"), v.clone())?;
+            i2.insert(RelName::new("R"), v)?;
+        }
+        let cfg = EvalConfig::default();
+        let o1 = run(&constructive, &i1, &cfg)?;
+        let o2 = run(&oneliner, &i2, &cfg)?;
+        let r1 = o1.output.relation(RelName::new("R1"))?;
+        let r2 = o2.output.relation(RelName::new("R1"))?;
+        assert_eq!(r1, r2, "the two programs agree");
+        assert_eq!(r1.len(), 1 << n);
+        println!(
+            "n = {n}: 2^{n} = {} subsets; constructive invented {} oids, one-liner used {} enumeration fallbacks",
+            r1.len(),
+            o1.report.invented,
+            o2.report.enum_fallbacks,
+        );
+    }
+
+    // Show the actual subsets for n = 3.
+    let mut input = Instance::new(Arc::clone(&constructive.input));
+    for k in 0..3 {
+        input.insert(RelName::new("R"), OValue::tuple([("a", OValue::int(k))]))?;
+    }
+    let out = run(&constructive, &input, &EvalConfig::default())?;
+    println!("\npowerset of {{0, 1, 2}}:");
+    for v in out.output.relation(RelName::new("R1"))? {
+        println!("  {v}");
+    }
+    Ok(())
+}

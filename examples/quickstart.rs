@@ -1,0 +1,50 @@
+//! Quickstart: parse an IQL program, load data, run it, read results.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! The program is plain Datalog (transitive closure) — every Datalog
+//! program is a valid IQL program with identical semantics (paper §3.4).
+
+use iql::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Declare a schema and a program in IQL's textual syntax.
+    let unit = parse_unit(
+        r#"
+        schema {
+          relation Edge: [src: D, dst: D];
+          relation Reaches: [src: D, dst: D];
+        }
+        program {
+          input Edge;
+          output Reaches;
+          Reaches(x, y) :- Edge(x, y);
+          Reaches(x, z) :- Reaches(x, y), Edge(y, z);
+        }
+        "#,
+    )?;
+    let program = unit.program.expect("program block present");
+
+    // 2. Build an input instance of the program's input schema.
+    let mut input = Instance::new(Arc::clone(&program.input));
+    let edge = RelName::new("Edge");
+    for (s, d) in [("paris", "lyon"), ("lyon", "nice"), ("nice", "rome")] {
+        input.insert(
+            edge,
+            OValue::tuple([("src", OValue::str(s)), ("dst", OValue::str(d))]),
+        )?;
+    }
+
+    // 3. Run with default limits; inspect output and statistics.
+    let out = run(&program, &input, &EvalConfig::default())?;
+    println!("inflationary steps: {}", out.report.steps);
+    println!("reachability facts:");
+    for v in out.output.relation(RelName::new("Reaches"))? {
+        println!("  {v}");
+    }
+    assert_eq!(out.output.relation(RelName::new("Reaches"))?.len(), 6);
+    Ok(())
+}

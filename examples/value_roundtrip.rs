@@ -1,0 +1,105 @@
+//! Section 7 of the paper: the value-based model. Pure values are regular
+//! infinite trees; oids are "a syntactic trick" whose semantics the φ/ψ
+//! translations make precise:
+//!
+//! * φ turns pure values into objects (one oid per value per class);
+//! * ψ solves the equation system `{o = ν(o)}` back into regular trees,
+//!   eliminating duplicates by bisimulation;
+//! * ψ(φ(I)) = I (Proposition 7.1.4).
+//!
+//! ```sh
+//! cargo run --example value_roundtrip
+//! ```
+
+use iql::model::{AttrName, ClassName, Constant, TypeExpr};
+use iql::vtree::{phi, psi, trees_equal, vinstances_equal, Node, VInstance, VSchema};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A v-schema of persons whose friends are persons — cyclic types,
+    // infinite trees.
+    let vperson = ClassName::new("Vperson");
+    let schema = VSchema::new([(
+        vperson,
+        TypeExpr::tuple([
+            ("name", TypeExpr::base()),
+            ("friends", TypeExpr::set_of(TypeExpr::class("Vperson"))),
+        ]),
+    )])?;
+
+    // Two mutual friends: each person's tree is infinite (alice contains
+    // bob contains alice …) yet regular — finitely many distinct subtrees.
+    let mut vinst = VInstance::new(&schema);
+    let f = &mut vinst.forest;
+    let alice = f.reserve();
+    let bob = f.reserve();
+    let an = f.add_const(Constant::str("alice"));
+    let bn = f.add_const(Constant::str("bob"));
+    let afr = f.add_set([bob]);
+    let bfr = f.add_set([alice]);
+    f.set_node(
+        alice,
+        Node::Tuple(
+            [("name", an), ("friends", afr)]
+                .map(|(a, n)| (AttrName::new(a), n))
+                .into(),
+        ),
+    );
+    f.set_node(
+        bob,
+        Node::Tuple(
+            [("name", bn), ("friends", bfr)]
+                .map(|(a, n)| (AttrName::new(a), n))
+                .into(),
+        ),
+    );
+    vinst.add(vperson, alice);
+    vinst.add(vperson, bob);
+    vinst.validate(&schema)?;
+
+    println!(
+        "alice's infinite tree, unfolded to depth 5:\n  {}",
+        vinst.forest.unfold(alice, 5)
+    );
+    println!(
+        "regularity (Prop 7.1.3): alice's tree has {} distinct subtrees",
+        vinst.forest.distinct_subtrees(alice)
+    );
+
+    // φ: into objects. Cyclicity moves into the ν map.
+    let (obj, _) = phi(&schema, &vinst)?;
+    println!("\nφ(I) — the object instance:\n{obj}");
+
+    // ψ: back to values; the roundtrip is exact.
+    let back = psi(&obj)?;
+    assert!(vinstances_equal(&back, &vinst));
+    println!("ψ(φ(I)) = I (Proposition 7.1.4): OK");
+
+    // Equality-by-value: a second, différently-presented copy of alice
+    // denotes the same pure value.
+    let mut other = iql::vtree::Forest::new();
+    let a2 = other.reserve();
+    let b2 = other.reserve();
+    let an2 = other.add_const(Constant::str("alice"));
+    let bn2 = other.add_const(Constant::str("bob"));
+    let af2 = other.add_set([b2]);
+    let bf2 = other.add_set([a2]);
+    other.set_node(
+        a2,
+        Node::Tuple(
+            [("name", an2), ("friends", af2)]
+                .map(|(a, n)| (AttrName::new(a), n))
+                .into(),
+        ),
+    );
+    other.set_node(
+        b2,
+        Node::Tuple(
+            [("name", bn2), ("friends", bf2)]
+                .map(|(a, n)| (AttrName::new(a), n))
+                .into(),
+        ),
+    );
+    assert!(trees_equal(&vinst.forest, alice, &other, a2));
+    println!("equality-by-value across presentations (bisimulation): OK");
+    Ok(())
+}

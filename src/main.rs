@@ -1,0 +1,161 @@
+//! `iql` — run IQL programs from the command line.
+//!
+//! ```text
+//! iql run <file.iql> [--full] [--stats] [--max-steps N] [--enum-budget N]
+//! iql check <file.iql>
+//! iql classify <file.iql>
+//! ```
+//!
+//! A `.iql` file holds a `schema { … }`, optionally a `program { … }`, and
+//! optionally an `instance { … }` (over the program's input schema). `run`
+//! evaluates the program on the instance (empty input if absent) and prints
+//! the output instance's ground facts; `check` just parses and type-checks;
+//! `classify` reports the Section-5 sublanguage (IQLrr / IQLpr / IQL).
+
+use iql::lang::eval::{run, EvalConfig};
+use iql::lang::parser::parse_unit;
+use iql::lang::sublang::{analyze_stage, classify};
+use iql::model::Instance;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut full = false;
+    let mut stats = false;
+    let mut cfg = EvalConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--stats" => stats = true,
+            "--no-index" => cfg.use_index = false,
+            "--no-seminaive" => cfg.use_seminaive = false,
+            "--max-steps" => {
+                cfg.max_steps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--max-steps needs an integer")?;
+            }
+            "--enum-budget" => {
+                cfg.enum_budget = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--enum-budget needs an integer")?;
+            }
+            "--help" | "-h" => {
+                print_help();
+                return Ok(());
+            }
+            other => positional.push(other),
+        }
+    }
+    let (cmd, file) = match positional.as_slice() {
+        [cmd, file] => (*cmd, *file),
+        [file] => ("run", *file),
+        _ => {
+            print_help();
+            return Err("expected: iql [run|check|classify] <file.iql>".into());
+        }
+    };
+    let src = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+    let unit = parse_unit(&src).map_err(|e| e.to_string())?;
+
+    match cmd {
+        "check" => {
+            println!("{}", unit.schema);
+            match &unit.program {
+                Some(p) => println!(
+                    "program OK: {} stage(s), {} rule(s)",
+                    p.stages.len(),
+                    p.rules().count()
+                ),
+                None => println!("no program block"),
+            }
+            if let Some(i) = &unit.instance {
+                println!("instance OK: {} ground fact(s)", i.fact_count());
+            }
+            Ok(())
+        }
+        "classify" => {
+            let p = unit.program.ok_or("classify needs a program block")?;
+            println!("{}", classify(&p));
+            for (i, stage) in p.stages.iter().enumerate() {
+                let a = analyze_stage(stage, &p.schema);
+                println!(
+                    "stage {i}: range-restricted={} ptime-restricted={} invention-free={} recursion-free={}",
+                    a.range_restricted, a.ptime_restricted, a.invention_free, a.recursion_free
+                );
+            }
+            Ok(())
+        }
+        "explain" => {
+            let p = unit.program.ok_or("explain needs a program block")?;
+            for (i, stage) in p.stages.iter().enumerate() {
+                println!("stage {i}:");
+                for rule in &stage.rules {
+                    print!(
+                        "{}",
+                        iql::lang::eval::explain_rule(rule).map_err(|e| e.to_string())?
+                    );
+                }
+            }
+            Ok(())
+        }
+        "run" => {
+            let p = unit.program.ok_or("run needs a program block")?;
+            let input = match unit.instance {
+                Some(i) => i,
+                None => Instance::new(Arc::clone(&p.input)),
+            };
+            let out = run(&p, &input, &cfg).map_err(|e| e.to_string())?;
+            let shown = if full { &out.full } else { &out.output };
+            for fact in shown.ground_facts() {
+                println!("{fact}");
+            }
+            if stats {
+                eprintln!(
+                    "steps={} invented={} facts_added={} facts_deleted={} enum_fallbacks={}",
+                    out.report.steps,
+                    out.report.invented,
+                    out.report.facts_added,
+                    out.report.facts_deleted,
+                    out.report.enum_fallbacks
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}; try --help")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "iql — the Identity Query Language (Abiteboul & Kanellakis, SIGMOD 1989)
+
+USAGE:
+    iql run <file.iql>       evaluate the program on the instance block
+    iql check <file.iql>     parse and type-check only
+    iql classify <file.iql>  report the Section-5 sublanguage
+    iql explain <file.iql>   show each rule's evaluation plan
+
+OPTIONS:
+    --full             print the full fixpoint instance, not just the output
+    --stats            print evaluation statistics to stderr
+    --max-steps N      inflationary step limit (default 10000)
+    --enum-budget N    active-domain enumeration budget (default 2^20)
+    --no-index         disable per-scan hash indexes
+    --no-seminaive     disable delta-driven evaluation (pure naive semantics)"
+    );
+}

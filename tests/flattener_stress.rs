@@ -1,0 +1,161 @@
+//! Stress and edge tests for the Prop-4.2.2 machinery: the generated
+//! flattener across a gallery of schemas, and the copies machinery at odd
+//! sizes.
+
+use iql::lang::encode::{decode, encode, flat_schema, generate_flattener};
+use iql::model::iso::are_o_isomorphic;
+use iql::prelude::*;
+use std::sync::Arc;
+
+fn roundtrip(inst: &Instance) {
+    // Native encoder.
+    let flat = encode(inst).unwrap();
+    let back = decode(&flat, inst.schema()).unwrap();
+    assert!(are_o_isomorphic(&back, inst), "native encode/decode failed");
+    // Generated IQL program.
+    let prog = generate_flattener(inst.schema()).unwrap();
+    let out = run(
+        &prog,
+        &inst.project(&prog.input).unwrap(),
+        &EvalConfig::default(),
+    )
+    .unwrap();
+    let flat_view = out.output.project(&Arc::new(flat_schema())).unwrap();
+    let back2 = decode(&flat_view, inst.schema()).unwrap();
+    assert!(are_o_isomorphic(&back2, inst), "generated flattener failed");
+}
+
+#[test]
+fn gallery_deeply_nested_tuples() {
+    let schema = SchemaBuilder::new()
+        .relation(
+            "Deep",
+            TypeExpr::tuple([(
+                "a",
+                TypeExpr::tuple([("b", TypeExpr::tuple([("c", TypeExpr::base())]))]),
+            )]),
+        )
+        .build()
+        .unwrap()
+        .into_shared();
+    let mut inst = Instance::new(Arc::clone(&schema));
+    inst.insert(
+        RelName::new("Deep"),
+        OValue::tuple([(
+            "a",
+            OValue::tuple([("b", OValue::tuple([("c", OValue::str("leaf"))]))]),
+        )]),
+    )
+    .unwrap();
+    roundtrip(&inst);
+}
+
+#[test]
+fn gallery_set_of_tuples_of_sets() {
+    let schema = SchemaBuilder::new()
+        .relation(
+            "Mix",
+            TypeExpr::set_of(TypeExpr::tuple([
+                ("k", TypeExpr::base()),
+                ("vs", TypeExpr::set_of(TypeExpr::base())),
+            ])),
+        )
+        .build()
+        .unwrap()
+        .into_shared();
+    let mut inst = Instance::new(Arc::clone(&schema));
+    inst.insert(
+        RelName::new("Mix"),
+        OValue::set([
+            OValue::tuple([
+                ("k", OValue::int(1)),
+                ("vs", OValue::set([OValue::int(10), OValue::int(11)])),
+            ]),
+            OValue::tuple([("k", OValue::int(2)), ("vs", OValue::empty_set())]),
+        ]),
+    )
+    .unwrap();
+    roundtrip(&inst);
+}
+
+#[test]
+fn gallery_union_of_three_branches() {
+    use TypeExpr as T;
+    let schema = SchemaBuilder::new()
+        .class("FsQ", T::unit())
+        .relation(
+            "Tri",
+            T::union(
+                T::base(),
+                T::union(T::class("FsQ"), T::tuple([("pair", T::base())])),
+            ),
+        )
+        .build()
+        .unwrap()
+        .into_shared();
+    let mut inst = Instance::new(Arc::clone(&schema));
+    let q = inst.create_oid(ClassName::new("FsQ")).unwrap();
+    inst.insert(RelName::new("Tri"), OValue::str("plain"))
+        .unwrap();
+    inst.insert(RelName::new("Tri"), OValue::oid(q)).unwrap();
+    inst.insert(
+        RelName::new("Tri"),
+        OValue::tuple([("pair", OValue::str("wrapped"))]),
+    )
+    .unwrap();
+    roundtrip(&inst);
+}
+
+#[test]
+fn gallery_mutually_recursive_classes() {
+    use TypeExpr as T;
+    let schema = SchemaBuilder::new()
+        .class("FsEven", T::tuple([("next", T::set_of(T::class("FsOdd")))]))
+        .class("FsOdd", T::tuple([("next", T::set_of(T::class("FsEven")))]))
+        .build()
+        .unwrap()
+        .into_shared();
+    let mut inst = Instance::new(Arc::clone(&schema));
+    let e = inst.create_oid(ClassName::new("FsEven")).unwrap();
+    let o = inst.create_oid(ClassName::new("FsOdd")).unwrap();
+    inst.define_value(e, OValue::tuple([("next", OValue::set([OValue::oid(o)]))]))
+        .unwrap();
+    inst.define_value(o, OValue::tuple([("next", OValue::set([OValue::oid(e)]))]))
+        .unwrap();
+    inst.validate().unwrap();
+    roundtrip(&inst);
+}
+
+#[test]
+fn gallery_undefined_values_are_preserved() {
+    use TypeExpr as T;
+    let schema = SchemaBuilder::new()
+        .class("FsMaybe", T::tuple([("tag", T::base())]))
+        .build()
+        .unwrap()
+        .into_shared();
+    let mut inst = Instance::new(Arc::clone(&schema));
+    let def = inst.create_oid(ClassName::new("FsMaybe")).unwrap();
+    let _undef = inst.create_oid(ClassName::new("FsMaybe")).unwrap();
+    inst.define_value(def, OValue::tuple([("tag", OValue::str("known"))]))
+        .unwrap();
+    // Native path: the undefined oid must come back undefined.
+    let flat = encode(&inst).unwrap();
+    assert_eq!(flat.relation(RelName::new("ValueOf")).unwrap().len(), 1);
+    let back = decode(&flat, inst.schema()).unwrap();
+    assert!(are_o_isomorphic(&back, &inst));
+    roundtrip(&inst);
+}
+
+#[test]
+fn copies_of_copies_compose() {
+    use iql::lang::completeness::{check_instance_with_copies, eliminate_copies, make_copies};
+    let (genesis, _) = iql::model::instance::genesis_instance();
+    let twice = make_copies(&genesis, 2).unwrap();
+    // An instance-with-copies is itself an instance with classes, so the
+    // machinery composes: copies of the copies-instance.
+    let meta = make_copies(&twice, 2).unwrap();
+    assert_eq!(check_instance_with_copies(&meta, &twice).unwrap(), 2);
+    let back = eliminate_copies(&meta, twice.schema()).unwrap();
+    assert!(are_o_isomorphic(&back, &twice));
+}

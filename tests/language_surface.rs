@@ -1,0 +1,201 @@
+//! Robustness tests for the textual language surface: lexer/parser edge
+//! cases, precedence, error positions, and the sublanguage classifier on a
+//! battery of programs.
+
+use iql::lang::parser::{parse_type, parse_unit};
+use iql::lang::sublang::{classify, SubLanguage};
+use iql::lang::IqlError;
+use iql::prelude::*;
+
+#[test]
+fn type_precedence_union_binds_looser_than_intersection() {
+    // a | b & c parses as a | (b & c).
+    let t = parse_type("D | VlP & VlQ").unwrap();
+    match t {
+        TypeExpr::Union(l, r) => {
+            assert_eq!(*l, TypeExpr::base());
+            assert!(matches!(*r, TypeExpr::Intersect(_, _)));
+        }
+        other => panic!("expected union at top, got {other}"),
+    }
+    // Parens override.
+    let t = parse_type("(D | VlP) & VlQ").unwrap();
+    assert!(matches!(t, TypeExpr::Intersect(_, _)));
+}
+
+#[test]
+fn nested_type_constructors_parse() {
+    let t = parse_type("{[a: {D}, b: VlP | D]}").unwrap();
+    let rendered = t.to_string();
+    assert!(rendered.contains("{[a: {D}"));
+}
+
+#[test]
+fn duplicate_attribute_rejected_with_position() {
+    let err = parse_unit("schema { relation R: [a: D, a: D]; }").unwrap_err();
+    match err {
+        IqlError::Parse { line, msg, .. } => {
+            assert_eq!(line, 1);
+            assert!(msg.contains("duplicate attribute"));
+        }
+        other => panic!("expected parse error, got {other}"),
+    }
+}
+
+#[test]
+fn comments_and_whitespace_are_ignored() {
+    let unit =
+        parse_unit("schema {\n  // a comment\n  relation R: [a: D]; // trailing\n}\n// done\n")
+            .unwrap();
+    assert_eq!(unit.schema.relations().count(), 1);
+}
+
+#[test]
+fn string_escapes_in_constants() {
+    let unit = parse_unit(
+        r#"
+        schema { relation R: [a: D]; }
+        instance { R("line\nbreak"); R("tab\there"); R("quote\"inside"); }
+        "#,
+    )
+    .unwrap();
+    let inst = unit.instance.unwrap();
+    assert_eq!(inst.relation(RelName::new("R")).unwrap().len(), 3);
+}
+
+#[test]
+fn unterminated_string_is_an_error() {
+    let err = parse_unit("schema { relation R: [a: D]; }\ninstance { R(\"oops); }").unwrap_err();
+    assert!(err.to_string().contains("unterminated"));
+}
+
+#[test]
+fn arity_mismatch_in_positional_shorthand() {
+    let err = parse_unit(
+        r#"
+        schema { relation R: [a: D, b: D]; relation S: [a: D]; }
+        program { input R; output S; S(x) :- R(x, y, z); }
+        "#,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("attributes"));
+}
+
+#[test]
+fn head_must_be_a_schema_name() {
+    let err = parse_unit(
+        r#"
+        schema { relation R: [a: D]; }
+        program { input R; output R; Ghost(x) :- R(x); }
+        "#,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("Ghost"));
+}
+
+#[test]
+fn keywords_do_not_leak_into_identifiers() {
+    // `notx` is a variable, not `not x`; `chooser` is a variable too.
+    let unit = parse_unit(
+        r#"
+        schema { relation R: [a: D]; relation S: [a: D]; }
+        program { input R; output S; S(notx) :- R(notx), notx != "choose"; }
+        "#,
+    )
+    .unwrap();
+    assert!(unit.program.is_some());
+}
+
+#[test]
+fn classifier_battery() {
+    use iql::lang::programs::*;
+    let expectations = [
+        (transitive_closure_program(), SubLanguage::Iqlrr),
+        (unreachable_program(), SubLanguage::Iqlrr),
+        (graph_to_class_program(), SubLanguage::Iqlrr),
+        (class_to_graph_program(), SubLanguage::Iqlrr),
+        (unnest_program(), SubLanguage::Iqlrr),
+        (nest_program(), SubLanguage::Iqlrr),
+        (powerset_program(), SubLanguage::FullIql),
+        (powerset_unrestricted_program(), SubLanguage::FullIql),
+        (quadrangle_choose_program(), SubLanguage::FullIql), // choose/del
+        (quadrangle_ordered_program(), SubLanguage::Iqlrr),
+        (union_encode_program(), SubLanguage::Iqlrr),
+        (union_decode_program(), SubLanguage::Iqlrr),
+    ];
+    for (prog, expected) in expectations {
+        assert_eq!(classify(&prog), expected, "misclassified:\n{prog}");
+    }
+}
+
+#[test]
+fn ptime_but_not_range_restricted() {
+    // A variable of tuple-of-base type with no generator: ptime-restricted
+    // (set-free type) but not range-restricted — the gap between
+    // Definitions 5.1 and 5.2.
+    let unit = parse_unit(
+        r#"
+        schema {
+          relation R: [a: D];
+          relation S: [p: [u: D, v: D]];
+        }
+        program {
+          input R;
+          output S;
+          var t: [u: D, v: D];
+          S(t) :- R(x), t = t;
+        }
+        "#,
+    )
+    .unwrap();
+    let prog = unit.program.unwrap();
+    assert_eq!(classify(&prog), SubLanguage::Iqlpr);
+    // And it actually evaluates by enumerating the tuple space.
+    let mut input = Instance::new(std::sync::Arc::clone(&prog.input));
+    input
+        .insert(RelName::new("R"), OValue::tuple([("a", OValue::str("k"))]))
+        .unwrap();
+    let out = run(&prog, &input, &EvalConfig::default()).unwrap();
+    // One constant → exactly one [u:k, v:k] tuple.
+    assert_eq!(out.output.relation(RelName::new("S")).unwrap().len(), 1);
+    assert!(out.report.enum_fallbacks > 0);
+}
+
+#[test]
+fn explain_via_cli_surface() {
+    let prog = iql::lang::programs::transitive_closure_program();
+    for stage in &prog.stages {
+        for rule in &stage.rules {
+            let plan = iql::lang::eval::explain_rule(rule).unwrap();
+            assert!(plan.contains("plan for"));
+        }
+    }
+}
+
+#[test]
+fn stratified_three_levels() {
+    // A 3-stratum Datalog program through the dedicated engine.
+    let p = iql::datalog::parse_program(
+        r#"
+        Reach(y) :- Start(y).
+        Reach(y) :- Reach(x), Edge(x, y).
+        Dead(x) :- Node(x), !Reach(x).
+        Alive(x) :- Node(x), !Dead(x).
+        "#,
+    )
+    .unwrap();
+    let strata = iql::datalog::stratify(&p).unwrap();
+    assert_eq!(strata.len(), 3);
+    let mut db = iql::datalog::Database::new();
+    for (s, d) in [(1i64, 2), (2, 3)] {
+        db.insert("Edge", vec![Constant::int(s), Constant::int(d)])
+            .unwrap();
+        db.insert("Node", vec![Constant::int(s)]).unwrap();
+        db.insert("Node", vec![Constant::int(d)]).unwrap();
+    }
+    db.insert("Node", vec![Constant::int(9)]).unwrap();
+    db.insert("Start", vec![Constant::int(1)]).unwrap();
+    let (out, _) = iql::datalog::eval_stratified(&p, &db).unwrap();
+    assert_eq!(out.relation("Dead").unwrap().len(), 1); // node 9
+    assert_eq!(out.relation("Alive").unwrap().len(), 3); // 1, 2, 3
+}

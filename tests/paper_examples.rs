@@ -1,0 +1,373 @@
+//! Integration tests: every worked example of the paper, end-to-end
+//! through the public API (parser → type checker → evaluator → model).
+
+use iql::lang::programs::*;
+use iql::lang::sublang::{classify, SubLanguage};
+use iql::model::iso::are_o_isomorphic;
+use iql::prelude::*;
+use std::sync::Arc;
+
+fn cfg() -> EvalConfig {
+    EvalConfig::default()
+}
+
+fn edge_input(prog: &Program, rel: &str, a: (&str, &str), edges: &[(&str, &str)]) -> Instance {
+    let mut input = Instance::new(Arc::clone(&prog.input));
+    for (s, d) in edges {
+        input
+            .insert(
+                RelName::new(rel),
+                OValue::tuple([(a.0, OValue::str(s)), (a.1, OValue::str(d))]),
+            )
+            .unwrap();
+    }
+    input
+}
+
+#[test]
+fn example_1_1_genesis_validates_and_queries() {
+    let (inst, _) = iql::model::instance::genesis_instance();
+    inst.validate().unwrap();
+    assert_eq!(inst.fact_count(), 16);
+    // AncestorOfCelebrity exercises union types: one row per branch.
+    let anc = inst.relation(RelName::new("AncestorOfCelebrity")).unwrap();
+    assert_eq!(anc.len(), 2);
+}
+
+#[test]
+fn example_1_2_graph_roundtrip_and_determinacy() {
+    let enc = graph_to_class_program();
+    let dec = class_to_graph_program();
+    assert_eq!(classify(&enc), SubLanguage::Iqlrr);
+    let edges = [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a"), ("a", "c")];
+    let input = edge_input(&enc, "R", ("src", "dst"), &edges);
+    let out = run(&enc, &input, &cfg()).unwrap();
+    assert_eq!(out.output.class(ClassName::new("P")).unwrap().len(), 4);
+    assert_eq!(out.report.invented, 8, "two oids per node (P and P')");
+
+    let back = run(&dec, &out.output.project(&dec.input).unwrap(), &cfg()).unwrap();
+    assert_eq!(
+        back.output.relation(RelName::new("Out")).unwrap().len(),
+        edges.len()
+    );
+
+    // Determinacy across permuted inputs.
+    let mut rev = edges;
+    rev.reverse();
+    let out2 = run(&enc, &edge_input(&enc, "R", ("src", "dst"), &rev), &cfg()).unwrap();
+    assert!(are_o_isomorphic(&out.output, &out2.output));
+}
+
+#[test]
+fn example_3_4_1_nest_unnest_inverse() {
+    let nest = nest_program();
+    let unnest = unnest_program();
+    let pairs = [
+        ("k1", "a"),
+        ("k1", "b"),
+        ("k2", "c"),
+        ("k3", "d"),
+        ("k3", "e"),
+    ];
+    let input = edge_input(&nest, "R2", ("a", "b"), &pairs);
+    let nested = run(&nest, &input, &cfg()).unwrap();
+    assert_eq!(nested.output.relation(RelName::new("R3")).unwrap().len(), 3);
+
+    let mut flat_in = Instance::new(Arc::clone(&unnest.input));
+    for v in nested.output.relation(RelName::new("R3")).unwrap() {
+        flat_in.insert(RelName::new("R1"), v.clone()).unwrap();
+    }
+    let flat = run(&unnest, &flat_in, &cfg()).unwrap();
+    assert_eq!(
+        flat.output.relation(RelName::new("R2")).unwrap(),
+        input.relation(RelName::new("R2")).unwrap()
+    );
+}
+
+#[test]
+fn example_3_4_2_powerset_both_ways() {
+    let p1 = powerset_program();
+    let p2 = powerset_unrestricted_program();
+    for n in 0..6usize {
+        let mut i1 = Instance::new(Arc::clone(&p1.input));
+        let mut i2 = Instance::new(Arc::clone(&p2.input));
+        for k in 0..n {
+            let v = OValue::tuple([("a", OValue::int(k as i64))]);
+            i1.insert(RelName::new("R"), v.clone()).unwrap();
+            i2.insert(RelName::new("R"), v).unwrap();
+        }
+        let o1 = run(&p1, &i1, &cfg()).unwrap();
+        let o2 = run(&p2, &i2, &cfg()).unwrap();
+        assert_eq!(
+            o1.output.relation(RelName::new("R1")).unwrap().len(),
+            1 << n
+        );
+        assert_eq!(
+            o1.output.relation(RelName::new("R1")).unwrap(),
+            o2.output.relation(RelName::new("R1")).unwrap()
+        );
+    }
+}
+
+#[test]
+fn example_3_4_2_divergence_is_caught() {
+    // R3(y, z) :- R3(x, y) — invention in a loop never terminates; the
+    // evaluator's step limit catches it (paper: "may clearly be the cause
+    // of nonterminating computations").
+    let unit = parse_unit(
+        r#"
+        schema {
+          relation R3: [a: P, b: P];
+          class P: [];
+        }
+        program {
+          input R3, P;
+          output R3;
+          R3(y, z) :- R3(x, y);
+        }
+        "#,
+    )
+    .unwrap();
+    let prog = unit.program.unwrap();
+    let mut input = Instance::new(Arc::clone(&prog.input));
+    let p = ClassName::new("P");
+    let a = input.create_oid(p).unwrap();
+    let b = input.create_oid(p).unwrap();
+    input
+        .insert(
+            RelName::new("R3"),
+            OValue::tuple([("a", OValue::oid(a)), ("b", OValue::oid(b))]),
+        )
+        .unwrap();
+    let mut c = cfg();
+    c.max_steps = 50;
+    let err = run(&prog, &input, &c).unwrap_err();
+    assert!(matches!(err, iql::lang::IqlError::StepLimit { .. }));
+}
+
+#[test]
+fn example_3_4_3_union_roundtrip_random() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let enc = union_encode_program();
+    let dec = union_decode_program();
+    for seed in 0..5u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 2 + (seed as usize % 6);
+        let mut input = Instance::new(Arc::clone(&enc.input));
+        let p = ClassName::new("P");
+        let oids: Vec<_> = (0..n).map(|_| input.create_oid(p).unwrap()).collect();
+        for &o in &oids {
+            if rng.gen_bool(0.5) {
+                input
+                    .define_value(o, OValue::oid(oids[rng.gen_range(0..n)]))
+                    .unwrap();
+            } else {
+                input
+                    .define_value(
+                        o,
+                        OValue::tuple([
+                            ("A1", OValue::oid(oids[rng.gen_range(0..n)])),
+                            ("A2", OValue::oid(oids[rng.gen_range(0..n)])),
+                        ]),
+                    )
+                    .unwrap();
+            }
+        }
+        input.validate().unwrap();
+        let mid = run(&enc, &input, &cfg()).unwrap();
+        let back = run(&dec, &mid.output.project(&dec.input).unwrap(), &cfg()).unwrap();
+        assert!(
+            are_o_isomorphic(&back.output, &input),
+            "decode(encode(I)) ≅ I at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn figure_1_copies_and_choose() {
+    let copies = quadrangle_program();
+    let full = quadrangle_choose_program();
+    let mk = |prog: &Program| {
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        for v in ["a", "b"] {
+            input
+                .insert(RelName::new("R"), OValue::tuple([("a", OValue::str(v))]))
+                .unwrap();
+        }
+        input
+    };
+    let two = run(&copies, &mk(&copies), &cfg()).unwrap();
+    assert_eq!(two.output.class(ClassName::new("Q")).unwrap().len(), 8);
+    let one = run(&full, &mk(&full), &cfg()).unwrap();
+    assert_eq!(one.output.class(ClassName::new("Qout")).unwrap().len(), 4);
+    assert_eq!(one.output.relation(RelName::new("OutRp")).unwrap().len(), 8);
+}
+
+#[test]
+fn choose_fails_when_not_generic() {
+    // Two P-objects distinguishable by their values: choosing one would
+    // violate genericity, and the evaluator refuses.
+    let unit = parse_unit(
+        r#"
+        schema {
+          class P: [tag: D];
+          relation Winner: [w: P];
+        }
+        program {
+          input P;
+          output Winner;
+          Winner(x) :- choose;
+        }
+        "#,
+    )
+    .unwrap();
+    let prog = unit.program.unwrap();
+    let mut input = Instance::new(Arc::clone(&prog.input));
+    let p = ClassName::new("P");
+    for tag in ["red", "blue"] {
+        let o = input.create_oid(p).unwrap();
+        input
+            .define_value(o, OValue::tuple([("tag", OValue::str(tag))]))
+            .unwrap();
+    }
+    let err = run(&prog, &input, &cfg()).unwrap_err();
+    assert!(matches!(err, iql::lang::IqlError::ChoiceNotGeneric { .. }));
+
+    // N-IQL (Remark N-IQL) permits the non-generic pick.
+    let mut nd = cfg();
+    nd.nondeterministic_choice = true;
+    let out = run(&prog, &input, &nd).unwrap();
+    assert_eq!(
+        out.output.relation(RelName::new("Winner")).unwrap().len(),
+        1
+    );
+
+    // With indistinguishable objects the same program succeeds.
+    let mut input2 = Instance::new(Arc::clone(&prog.input));
+    for _ in 0..2 {
+        let o = input2.create_oid(p).unwrap();
+        input2
+            .define_value(o, OValue::tuple([("tag", OValue::str("same"))]))
+            .unwrap();
+    }
+    let out = run(&prog, &input2, &cfg()).unwrap();
+    assert_eq!(
+        out.output.relation(RelName::new("Winner")).unwrap().len(),
+        1
+    );
+}
+
+#[test]
+fn choose_on_empty_class_fails() {
+    let unit = parse_unit(
+        r#"
+        schema {
+          class P: [];
+          relation Winner: [w: P];
+        }
+        program {
+          input P;
+          output Winner;
+          Winner(x) :- choose;
+        }
+        "#,
+    )
+    .unwrap();
+    let prog = unit.program.unwrap();
+    let input = Instance::new(Arc::clone(&prog.input));
+    let err = run(&prog, &input, &cfg()).unwrap_err();
+    assert!(matches!(err, iql::lang::IqlError::ChoiceEmpty));
+}
+
+#[test]
+fn section_4_5_deletions_with_oid_cascade() {
+    let unit = parse_unit(
+        r#"
+        schema {
+          class P: [name: D];
+          relation Member: [who: P, team: D];
+          relation Fired: [name: D];
+        }
+        program {
+          input P, Member, Fired;
+          output P, Member;
+          del P(x) :- Fired(n), P(x), x^ = [name: n];
+        }
+        "#,
+    )
+    .unwrap();
+    let prog = unit.program.unwrap();
+    let mut input = Instance::new(Arc::clone(&prog.input));
+    let p = ClassName::new("P");
+    let ann = input.create_oid(p).unwrap();
+    let bob = input.create_oid(p).unwrap();
+    input
+        .define_value(ann, OValue::tuple([("name", OValue::str("ann"))]))
+        .unwrap();
+    input
+        .define_value(bob, OValue::tuple([("name", OValue::str("bob"))]))
+        .unwrap();
+    for (o, t) in [(ann, "sales"), (bob, "eng")] {
+        input
+            .insert(
+                RelName::new("Member"),
+                OValue::tuple([("who", OValue::oid(o)), ("team", OValue::str(t))]),
+            )
+            .unwrap();
+    }
+    input
+        .insert(
+            RelName::new("Fired"),
+            OValue::tuple([("name", OValue::str("ann"))]),
+        )
+        .unwrap();
+    let out = run(&prog, &input, &cfg()).unwrap();
+    // ann's oid is gone from P and the cascade removed her Member tuple.
+    assert_eq!(out.output.class(p).unwrap().len(), 1);
+    assert_eq!(
+        out.output.relation(RelName::new("Member")).unwrap().len(),
+        1
+    );
+    out.output.validate().unwrap();
+}
+
+#[test]
+fn stratified_negation_via_stages() {
+    let prog = unreachable_program();
+    let input = edge_input(&prog, "Edge", ("src", "dst"), &[("a", "b"), ("c", "d")]);
+    let mut input = input;
+    input
+        .insert(
+            RelName::new("Source"),
+            OValue::tuple([("node", OValue::str("a"))]),
+        )
+        .unwrap();
+    let out = run(&prog, &input, &cfg()).unwrap();
+    assert_eq!(
+        out.output.relation(RelName::new("Unreach")).unwrap().len(),
+        2
+    );
+}
+
+#[test]
+fn datalog_embedding_agrees_with_dedicated_engine() {
+    let dl =
+        iql::datalog::parse_program("Tc(x, y) :- Edge(x, y). Tc(x, z) :- Tc(x, y), Edge(y, z).")
+            .unwrap();
+    let iql_prog = iql::datalog::convert::to_iql(&dl, &["Edge"], &["Tc"]).unwrap();
+    let mut db = iql::datalog::Database::new();
+    for (s, d) in [(1, 2), (2, 3), (3, 1), (3, 4)] {
+        db.insert("Edge", vec![Constant::int(s), Constant::int(d)])
+            .unwrap();
+    }
+    let (expect, _) = iql::datalog::eval_seminaive(&dl, &db).unwrap();
+    let input =
+        iql::datalog::convert::database_to_instance(&db, &["Edge"], &iql_prog.input).unwrap();
+    let out = run(&iql_prog, &input, &cfg()).unwrap();
+    let got = iql::datalog::convert::instance_to_database(&out.output).unwrap();
+    assert_eq!(
+        got.relation("Tc").unwrap().len(),
+        expect.relation("Tc").unwrap().len()
+    );
+}

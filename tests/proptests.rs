@@ -1,0 +1,468 @@
+//! Property-based tests on the core invariants: canonical o-values, type
+//! normalization, subtyping soundness, engine agreement, translation
+//! round-trips, and determinacy.
+
+use iql::model::types::{ClassMap, EnumUniverse};
+use iql::model::{Oid, OidGen};
+use iql::prelude::*;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// Random oid-free o-values of bounded depth.
+fn arb_pure_ovalue() -> impl Strategy<Value = OValue> {
+    let leaf = prop_oneof![
+        (0i64..5).prop_map(OValue::int),
+        "[a-c]{1,2}".prop_map(|s| OValue::str(&s)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(OValue::set),
+            prop::collection::vec(inner, 0..3).prop_map(|vs| {
+                OValue::tuple(
+                    vs.into_iter()
+                        .enumerate()
+                        .map(|(i, v)| (format!("f{i}").as_str().into(), v))
+                        .collect::<Vec<(AttrName, OValue)>>(),
+                )
+            }),
+        ]
+    })
+}
+
+/// Random o-values possibly mentioning oids o0..o3.
+fn arb_ovalue_with_oids() -> impl Strategy<Value = OValue> {
+    let leaf = prop_oneof![
+        (0i64..5).prop_map(OValue::int),
+        (0u64..4).prop_map(|i| OValue::oid(Oid::from_raw(i))),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(OValue::set),
+            prop::collection::vec(inner, 0..3).prop_map(|vs| {
+                OValue::tuple(
+                    vs.into_iter()
+                        .enumerate()
+                        .map(|(i, v)| (format!("f{i}").as_str().into(), v))
+                        .collect::<Vec<(AttrName, OValue)>>(),
+                )
+            }),
+        ]
+    })
+}
+
+/// Random type expressions over classes Pa/Pb with all constructors.
+fn arb_type() -> impl Strategy<Value = TypeExpr> {
+    let leaf = prop_oneof![
+        Just(TypeExpr::Base),
+        Just(TypeExpr::Empty),
+        Just(TypeExpr::class("PropA")),
+        Just(TypeExpr::class("PropB")),
+    ];
+    leaf.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(TypeExpr::set_of),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| TypeExpr::union(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| TypeExpr::inter(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| { TypeExpr::tuple([("g0", a), ("g1", b)]) }),
+        ]
+    })
+}
+
+fn sample_universe() -> (Vec<Constant>, ClassMap) {
+    let mut cm = ClassMap::default();
+    cm.classes.insert(
+        ClassName::new("PropA"),
+        BTreeSet::from([Oid::from_raw(100)]),
+    );
+    cm.classes.insert(
+        ClassName::new("PropB"),
+        BTreeSet::from([Oid::from_raw(200)]),
+    );
+    (vec![Constant::int(0), Constant::int(1)], cm)
+}
+
+/// Values to probe type membership with.
+fn probe_values(cm: &ClassMap, consts: &[Constant]) -> Vec<OValue> {
+    let base: Vec<OValue> = consts
+        .iter()
+        .cloned()
+        .map(OValue::Const)
+        .chain([
+            OValue::oid(Oid::from_raw(100)),
+            OValue::oid(Oid::from_raw(200)),
+        ])
+        .collect();
+    let mut out = base.clone();
+    // Tuples and sets over the base values.
+    for a in &base {
+        for b in &base {
+            out.push(OValue::tuple([("g0", a.clone()), ("g1", b.clone())]));
+            out.push(OValue::set([a.clone(), b.clone()]));
+        }
+        out.push(OValue::set([a.clone()]));
+    }
+    out.push(OValue::empty_set());
+    out.push(OValue::unit());
+    let _ = cm;
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // -------------------------------------------------------------
+    // O-values
+    // -------------------------------------------------------------
+
+    #[test]
+    fn pure_ovalues_convert_to_algebra_values(v in arb_pure_ovalue()) {
+        // Oid-free o-values are exactly the algebra's complex values.
+        let cv = iql::algebra::from_ovalue(&v).expect("pure value converts");
+        prop_assert_eq!(iql::algebra::to_ovalue(&cv), v);
+    }
+
+    #[test]
+    fn ovalue_rename_roundtrip(v in arb_ovalue_with_oids()) {
+        // Renaming by a bijection and back is the identity.
+        let map: BTreeMap<Oid, Oid> =
+            (0..4).map(|i| (Oid::from_raw(i), Oid::from_raw(i + 10))).collect();
+        let back: BTreeMap<Oid, Oid> = map.iter().map(|(a, b)| (*b, *a)).collect();
+        prop_assert_eq!(v.rename_oids(&map).rename_oids(&back), v);
+    }
+
+    #[test]
+    fn ovalue_size_positive_and_oids_sound(v in arb_ovalue_with_oids()) {
+        prop_assert!(v.size() >= 1);
+        let mut oids = BTreeSet::new();
+        v.collect_oids(&mut oids);
+        for o in &oids {
+            prop_assert!(v.mentions_oid(*o));
+        }
+        prop_assert!(!v.mentions_oid(Oid::from_raw(999)));
+    }
+
+    #[test]
+    fn without_oid_removes_all_traces(v in arb_ovalue_with_oids()) {
+        let target = Oid::from_raw(1);
+        match v.without_oid(target) {
+            Some(clean) => prop_assert!(!clean.mentions_oid(target)),
+            None => prop_assert!(v.mentions_oid(target)),
+        }
+    }
+
+    // -------------------------------------------------------------
+    // Types (Proposition 2.2.1)
+    // -------------------------------------------------------------
+
+    #[test]
+    fn intersection_free_preserves_membership(t in arb_type()) {
+        let (consts, cm) = sample_universe();
+        let free = t.intersection_free_disjoint();
+        prop_assert!(free.is_intersection_free());
+        for v in probe_values(&cm, &consts) {
+            prop_assert_eq!(t.member(&v, &cm), free.member(&v, &cm),
+                "value {} distinguishes {} from {}", v, t, free);
+        }
+    }
+
+    #[test]
+    fn intersection_reduce_preserves_membership(t in arb_type()) {
+        let (consts, cm) = sample_universe();
+        let reduced = t.intersection_reduce();
+        prop_assert!(reduced.is_intersection_reduced());
+        for v in probe_values(&cm, &consts) {
+            prop_assert_eq!(t.member(&v, &cm), reduced.member(&v, &cm));
+        }
+    }
+
+    #[test]
+    fn intersection_reduce_holds_over_nondisjoint_assignments(t in arb_type()) {
+        // Proposition 2.2.1(1) claims equivalence over ALL oid assignments,
+        // disjoint or not — probe with an overlapping ClassMap.
+        let mut cm = ClassMap::default();
+        let shared = Oid::from_raw(300);
+        cm.classes.insert(ClassName::new("PropA"), BTreeSet::from([Oid::from_raw(100), shared]));
+        cm.classes.insert(ClassName::new("PropB"), BTreeSet::from([Oid::from_raw(200), shared]));
+        let consts = vec![Constant::int(0), Constant::int(1)];
+        let reduced = t.intersection_reduce();
+        let mut probes = probe_values(&cm, &consts);
+        probes.push(OValue::oid(shared));
+        probes.push(OValue::tuple([("g0", OValue::oid(shared)), ("g1", OValue::int(0))]));
+        probes.push(OValue::set([OValue::oid(shared)]));
+        for v in probes {
+            prop_assert_eq!(
+                t.member(&v, &cm),
+                reduced.member(&v, &cm),
+                "non-disjoint assignment distinguishes {} from {} at {}", t, reduced, v
+            );
+        }
+    }
+
+    #[test]
+    fn normalization_is_canonical(t in arb_type()) {
+        // Normalizing twice gives the same normal form.
+        let once = t.intersection_free_disjoint();
+        let twice = once.intersection_free_disjoint();
+        prop_assert!(once.equivalent_disjoint(&twice));
+        prop_assert!(t.equivalent_disjoint(&once));
+    }
+
+    #[test]
+    fn subtype_is_sound(a in arb_type(), b in arb_type()) {
+        let (consts, cm) = sample_universe();
+        if iql::lang::typecheck::subtype(&a, &b) {
+            for v in probe_values(&cm, &consts) {
+                if a.member(&v, &cm) {
+                    prop_assert!(b.member(&v, &cm),
+                        "subtype({}, {}) held but {} ∈ a \\ b", a, b, v);
+                }
+            }
+        }
+        // Union injections are always subtypes.
+        prop_assert!(iql::lang::typecheck::subtype(&a, &TypeExpr::union(a.clone(), b.clone())));
+        prop_assert!(iql::lang::typecheck::subtype(&b, &TypeExpr::union(a.clone(), b.clone())));
+    }
+
+    #[test]
+    fn enumeration_agrees_with_membership(t in arb_type()) {
+        let (consts, cm) = sample_universe();
+        let u = EnumUniverse { constants: &consts, classes: &cm, budget: 2048 };
+        if let Ok(values) = t.enumerate(&u) {
+            for v in &values {
+                prop_assert!(t.member(v, &cm), "enumerated {} ∉ ⟦{}⟧", v, t);
+            }
+            // Deduplicated.
+            let set: BTreeSet<_> = values.iter().collect();
+            prop_assert_eq!(set.len(), values.len());
+        }
+    }
+
+    // -------------------------------------------------------------
+    // Oid generation
+    // -------------------------------------------------------------
+
+    #[test]
+    fn oidgen_never_repeats(reserve in 0u64..1000, n in 1usize..50) {
+        let mut g = OidGen::new();
+        g.reserve_above(Oid::from_raw(reserve));
+        let mut seen = BTreeSet::new();
+        for _ in 0..n {
+            let o = g.fresh();
+            prop_assert!(o.raw() > reserve);
+            prop_assert!(seen.insert(o));
+        }
+    }
+
+    // -------------------------------------------------------------
+    // Algebra
+    // -------------------------------------------------------------
+
+    #[test]
+    fn nest_unnest_inverse(pairs in prop::collection::btree_set((0i64..6, 0i64..6), 1..20)) {
+        use iql::algebra::{nest, unnest, Rel, Value};
+        let rel: Rel = pairs
+            .iter()
+            .map(|(a, b)| Value::tuple([("ka", Value::int(*a)), ("vb", Value::int(*b))]))
+            .collect();
+        let nested = nest(&rel, "vb".into());
+        let back = unnest(&nested, "vb".into());
+        prop_assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn powerset_has_right_size(elems in prop::collection::btree_set(0i64..30, 0..7usize)) {
+        use iql::algebra::{powerset, Rel, Value};
+        let rel: Rel = elems.iter().map(|i| Value::int(*i)).collect();
+        let ps = powerset(&rel);
+        prop_assert_eq!(ps.len(), 1usize << rel.len());
+        // Every subset is a subset.
+        for s in &ps {
+            prop_assert!(s.is_subset(&rel));
+        }
+    }
+
+    // -------------------------------------------------------------
+    // Datalog engines agree
+    // -------------------------------------------------------------
+
+    #[test]
+    fn naive_and_seminaive_agree(edges in prop::collection::btree_set((0i64..8, 0i64..8), 1..24)) {
+        let prog = iql::datalog::parse_program(
+            "Tc(x, y) :- Edge(x, y). Tc(x, z) :- Tc(x, y), Edge(y, z).",
+        ).unwrap();
+        let mut db = iql::datalog::Database::new();
+        for (s, d) in &edges {
+            db.insert("Edge", vec![Constant::int(*s), Constant::int(*d)]).unwrap();
+        }
+        let (a, _) = iql::datalog::eval_naive(&prog, &db).unwrap();
+        let (b, _) = iql::datalog::eval_seminaive(&prog, &db).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    // -------------------------------------------------------------
+    // Value-based model
+    // -------------------------------------------------------------
+
+    #[test]
+    fn psi_phi_identity_on_random_rings(perm in prop::collection::vec(0usize..6, 2..6)) {
+        use iql::vtree::{phi, psi, vinstances_equal, Node, VInstance, VSchema};
+        let class = ClassName::new("PropRing");
+        let schema = VSchema::new([(
+            class,
+            TypeExpr::tuple([
+                ("tag", TypeExpr::base()),
+                ("next", TypeExpr::set_of(TypeExpr::class("PropRing"))),
+            ]),
+        )]).unwrap();
+        let n = perm.len();
+        let mut vinst = VInstance::new(&schema);
+        let slots: Vec<_> = (0..n).map(|_| vinst.forest.reserve()).collect();
+        for (i, p) in perm.iter().enumerate() {
+            let tag = vinst.forest.add_const(Constant::int((p % 3) as i64));
+            let next = vinst.forest.add_set([slots[(i + 1) % n]]);
+            vinst.forest.set_node(
+                slots[i],
+                Node::Tuple(
+                    [("tag", tag), ("next", next)]
+                        .map(|(a, id)| (AttrName::new(a), id))
+                        .into(),
+                ),
+            );
+            vinst.add(class, slots[i]);
+        }
+        vinst.validate(&schema).unwrap();
+        let (obj, _) = phi(&schema, &vinst).unwrap();
+        obj.validate().unwrap();
+        let back = psi(&obj).unwrap();
+        prop_assert!(vinstances_equal(&back, &vinst));
+    }
+
+    // -------------------------------------------------------------
+    // Isomorphism
+    // -------------------------------------------------------------
+
+    #[test]
+    fn renamed_instances_are_isomorphic(vals in prop::collection::btree_set(0i64..20, 1..10)) {
+        use iql::model::iso::are_o_isomorphic;
+        use std::sync::Arc;
+        let schema = SchemaBuilder::new()
+            .class("PropP", TypeExpr::set_of(TypeExpr::base()))
+            .build()
+            .unwrap()
+            .into_shared();
+        let mut inst = Instance::new(Arc::clone(&schema));
+        let p = ClassName::new("PropP");
+        for chunk in vals.iter().collect::<Vec<_>>().chunks(3) {
+            let o = inst.create_oid(p).unwrap();
+            for v in chunk {
+                inst.add_set_member(o, OValue::int(**v)).unwrap();
+            }
+        }
+        let objects: Vec<Oid> = inst.objects().into_iter().collect();
+        let map: BTreeMap<Oid, Oid> = objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (*o, Oid::from_raw(500 + i as u64)))
+            .collect();
+        let renamed = inst.rename_oids(&map).unwrap();
+        prop_assert!(are_o_isomorphic(&inst, &renamed));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn seminaive_agrees_with_naive_iql(
+        edges in prop::collection::btree_set((0usize..7, 0usize..7), 1..20)
+    ) {
+        // The delta-driven evaluator must be observationally identical to
+        // the paper's naive evaluator — on plain Datalog, on negation, and
+        // on the invention-heavy graph transformation.
+        use iql::lang::programs::{graph_to_class_program, transitive_closure_program, unreachable_program};
+        use iql::model::iso::are_o_isomorphic;
+        use std::sync::Arc;
+        let edges: Vec<(String, String)> = edges
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| (format!("n{a}"), format!("n{b}")))
+            .collect();
+        prop_assume!(!edges.is_empty());
+        let naive = EvalConfig { use_seminaive: false, ..EvalConfig::default() };
+        let semi = EvalConfig::default();
+        for (prog, rel, attrs) in [
+            (transitive_closure_program(), "Edge", ("src", "dst")),
+            (unreachable_program(), "Edge", ("src", "dst")),
+            (graph_to_class_program(), "R", ("src", "dst")),
+        ] {
+            let mut input = Instance::new(Arc::clone(&prog.input));
+            for (s, d) in &edges {
+                input
+                    .insert(
+                        RelName::new(rel),
+                        OValue::tuple([(attrs.0, OValue::str(s)), (attrs.1, OValue::str(d))]),
+                    )
+                    .unwrap();
+            }
+            if prog.input.has_relation(RelName::new("Source")) {
+                input
+                    .insert(
+                        RelName::new("Source"),
+                        OValue::tuple([("node", OValue::str(&edges[0].0))]),
+                    )
+                    .unwrap();
+            }
+            let a = run(&prog, &input, &naive).unwrap();
+            let b = run(&prog, &input, &semi).unwrap();
+            prop_assert!(
+                are_o_isomorphic(&a.output, &b.output),
+                "naive and semi-naive disagree"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinacy as a property (slower: fewer cases)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn graph_transform_is_determinate(
+        edges in prop::collection::btree_set((0usize..8, 0usize..8), 1..16)
+    ) {
+        use iql::lang::programs::graph_to_class_program;
+        use iql::model::iso::are_o_isomorphic;
+        use std::sync::Arc;
+        let prog = graph_to_class_program();
+        let edges: Vec<(String, String)> = edges
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| (format!("n{a}"), format!("n{b}")))
+            .collect();
+        prop_assume!(!edges.is_empty());
+        let build = |order: &[(String, String)]| {
+            let mut input = Instance::new(Arc::clone(&prog.input));
+            for (s, d) in order {
+                input
+                    .insert(
+                        RelName::new("R"),
+                        OValue::tuple([("src", OValue::str(s)), ("dst", OValue::str(d))]),
+                    )
+                    .unwrap();
+            }
+            input
+        };
+        let mut rev = edges.clone();
+        rev.reverse();
+        let o1 = run(&prog, &build(&edges), &EvalConfig::default()).unwrap();
+        let o2 = run(&prog, &build(&rev), &EvalConfig::default()).unwrap();
+        prop_assert!(are_o_isomorphic(&o1.output, &o2.output));
+    }
+}

@@ -1,0 +1,208 @@
+//! Integration tests for the type system's paper-specific corners:
+//! the worked equivalences of Section 2.2, the `*`-interpretation of
+//! Section 6.2, inheritance validation, and typing failures surfaced
+//! through the full parse → check pipeline.
+
+use iql::model::inherit::{star_intersect, university_schema};
+use iql::model::{ClassMap, ClassName, Oid};
+use iql::prelude::*;
+
+fn d() -> TypeExpr {
+    TypeExpr::base()
+}
+
+#[test]
+fn paper_worked_equivalences() {
+    // [A1:D, A2:{P1}] ∧ [A1:D, A2:{P2}]  ≡disjoint  [A1:D, A2:{∅}]
+    let lhs = TypeExpr::inter(
+        TypeExpr::tuple([
+            ("A1", d()),
+            ("A2", TypeExpr::set_of(TypeExpr::class("TsP1"))),
+        ]),
+        TypeExpr::tuple([
+            ("A1", d()),
+            ("A2", TypeExpr::set_of(TypeExpr::class("TsP2"))),
+        ]),
+    );
+    let rhs = TypeExpr::tuple([("A1", d()), ("A2", TypeExpr::set_of(TypeExpr::empty()))]);
+    assert!(lhs.equivalent_disjoint(&rhs));
+
+    // ({D} ∨ P1) ∧ P2 ≡disjoint ∅
+    let t = TypeExpr::inter(
+        TypeExpr::union(TypeExpr::set_of(d()), TypeExpr::class("TsP1")),
+        TypeExpr::class("TsP2"),
+    );
+    assert!(t.equivalent_disjoint(&TypeExpr::empty()));
+
+    // [A1: ∅] ≡ ∅ but {∅} ≢ ∅ — the paper's explicit caution.
+    assert!(TypeExpr::tuple([("A1", TypeExpr::empty())]).equivalent_disjoint(&TypeExpr::empty()));
+    assert!(!TypeExpr::set_of(TypeExpr::empty()).equivalent_disjoint(&TypeExpr::empty()));
+}
+
+#[test]
+fn empty_set_inhabits_set_of_empty() {
+    let cm = ClassMap::default();
+    let t = TypeExpr::set_of(TypeExpr::empty());
+    assert!(t.member(&OValue::empty_set(), &cm));
+    assert!(!t.member(&OValue::set([OValue::int(1)]), &cm));
+    // And [] inhabits [] only.
+    assert!(TypeExpr::unit().member(&OValue::unit(), &cm));
+    assert!(!TypeExpr::unit().member(&OValue::empty_set(), &cm));
+}
+
+#[test]
+fn star_interpretation_merges_records() {
+    // Section 6.2: [A1:D,A2:D] ∧* [A2:D,A3:D] = [A1:D,A2:D,A3:D].
+    let a = TypeExpr::tuple([("A1", d()), ("A2", d())]);
+    let b = TypeExpr::tuple([("A2", d()), ("A3", d())]);
+    let m = star_intersect(&a, &b);
+    assert_eq!(m, TypeExpr::tuple([("A1", d()), ("A2", d()), ("A3", d())]));
+    // Under the plain interpretation the same intersection is empty.
+    assert!(TypeExpr::inter(a.clone(), b.clone()).equivalent_disjoint(&TypeExpr::empty()));
+    // member_star admits wider records.
+    let cm = ClassMap::default();
+    let wide = OValue::tuple([
+        ("A1", OValue::int(1)),
+        ("A2", OValue::int(2)),
+        ("extra", OValue::int(9)),
+    ]);
+    assert!(a.member_star(&wide, &cm));
+    assert!(!a.member(&wide, &cm));
+}
+
+#[test]
+fn conflicting_diamond_inheritance_collapses_to_empty() {
+    // Ta isa Student & Instructor where the two give the same field
+    // incompatible structures: the merged field type is empty, so the
+    // merged record is the empty type.
+    use iql::model::{IsaHierarchy, SchemaWithIsa};
+    let schema = SchemaBuilder::new()
+        .class("DmP", TypeExpr::unit())
+        .class("DmA", TypeExpr::tuple([("f", d())]))
+        .class("DmB", TypeExpr::tuple([("f", TypeExpr::set_of(d()))]))
+        .class("DmC", TypeExpr::unit())
+        .build()
+        .unwrap();
+    let mut isa = IsaHierarchy::new();
+    isa.add(ClassName::new("DmC"), ClassName::new("DmA"));
+    isa.add(ClassName::new("DmC"), ClassName::new("DmB"));
+    let s = SchemaWithIsa::new(schema, isa).unwrap();
+    let merged = s.merged_type(ClassName::new("DmC")).unwrap();
+    assert!(merged.equivalent_disjoint(&TypeExpr::empty()));
+}
+
+#[test]
+fn university_instance_validates_only_with_inheritance() {
+    let uni = university_schema();
+    let mut inst = Instance::new(std::sync::Arc::new(uni.schema.clone()));
+    let ta = inst.create_oid(ClassName::new("Ta")).unwrap();
+    inst.define_value(
+        ta,
+        OValue::tuple([
+            ("name", OValue::str("t")),
+            ("course_taken", OValue::str("x")),
+            ("course_taught", OValue::str("y")),
+        ]),
+    )
+    .unwrap();
+    // Raw validation fails: T(Ta) is [] and the value is a 3-record.
+    assert!(inst.validate().is_err());
+    // Inheritance-aware validation succeeds.
+    uni.validate_instance(&inst).unwrap();
+}
+
+#[test]
+fn type_errors_surface_through_the_parser() {
+    // Membership over a non-set term.
+    let err = parse_unit(
+        r#"
+        schema {
+          relation R: [a: D];
+          relation S: [a: D];
+        }
+        program {
+          input R;
+          output S;
+          S(y) :- R(x), x(y);
+        }
+        "#,
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("non-set") || msg.contains("type"), "{msg}");
+
+    // Head fact of the wrong type.
+    let err = parse_unit(
+        r#"
+        schema {
+          relation R: [a: D];
+          relation S: [a: {D}];
+        }
+        program {
+          input R;
+          output S;
+          S(x) :- R(x);
+        }
+        "#,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("type"), "{err}");
+
+    // Invention variable with a non-class type.
+    let err = parse_unit(
+        r#"
+        schema {
+          relation R: [a: D];
+          relation S: [a: D, b: D];
+        }
+        program {
+          input R;
+          output S;
+          S(x, y) :- R(x);
+        }
+        "#,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("class type"), "{err}");
+}
+
+#[test]
+fn enumeration_covers_class_and_tuple_mixes() {
+    let mut cm = ClassMap::default();
+    cm.classes.insert(
+        ClassName::new("EnP"),
+        [Oid::from_raw(1), Oid::from_raw(2)].into(),
+    );
+    let consts = vec![Constant::int(0)];
+    let t = TypeExpr::tuple([
+        ("k", d()),
+        ("who", TypeExpr::class("EnP")),
+        ("tags", TypeExpr::set_of(d())),
+    ]);
+    let u = iql::model::EnumUniverse {
+        constants: &consts,
+        classes: &cm,
+        budget: 1 << 12,
+    };
+    let vals = t.enumerate(&u).unwrap();
+    // 1 constant × 2 oids × 2 subsets of a 1-element domain.
+    assert_eq!(vals.len(), 4);
+    for v in &vals {
+        assert!(t.member(v, &cm));
+    }
+}
+
+#[test]
+fn subtype_rejects_width_and_depth_violations() {
+    use iql::lang::typecheck::subtype;
+    let narrow = TypeExpr::tuple([("a", d())]);
+    let wide = TypeExpr::tuple([("a", d()), ("b", d())]);
+    // Tuple types are invariant in width under the plain interpretation.
+    assert!(!subtype(&narrow, &wide));
+    assert!(!subtype(&wide, &narrow));
+    // Sets are covariant.
+    assert!(subtype(
+        &TypeExpr::set_of(narrow.clone()),
+        &TypeExpr::set_of(TypeExpr::union(narrow, wide)),
+    ));
+}

@@ -1,0 +1,192 @@
+//! Integration tests for the value-based model (Section 7) through the
+//! public API: regularity, equality-by-value, translation laws, and the
+//! IQLv pipeline over richer schemas.
+
+use iql::model::{AttrName, ClassName, Constant, TypeExpr};
+use iql::vtree::*;
+
+fn c(n: &str) -> ClassName {
+    ClassName::new(n)
+}
+
+/// A schema of streams: label + set of continuations.
+fn stream_schema() -> VSchema {
+    VSchema::new([(
+        c("VmStream"),
+        TypeExpr::tuple([
+            ("label", TypeExpr::base()),
+            ("next", TypeExpr::set_of(TypeExpr::class("VmStream"))),
+        ]),
+    )])
+    .unwrap()
+}
+
+fn mk_stream(vinst: &mut VInstance, label: &str, next: &[NodeId]) -> NodeId {
+    let slot = vinst.forest.reserve();
+    fill_stream(vinst, slot, label, next);
+    slot
+}
+
+fn fill_stream(vinst: &mut VInstance, slot: NodeId, label: &str, next: &[NodeId]) {
+    let l = vinst.forest.add_const(Constant::str(label));
+    let n = vinst.forest.add_set(next.iter().copied());
+    vinst.forest.set_node(
+        slot,
+        Node::Tuple(
+            [("label", l), ("next", n)]
+                .map(|(a, id)| (AttrName::new(a), id))
+                .into(),
+        ),
+    );
+    vinst.add(c("VmStream"), slot);
+}
+
+#[test]
+fn branching_cyclic_values_roundtrip() {
+    // A diamond with a back edge: a → {b, c}; b → {d}; c → {d}; d → {a}.
+    let schema = stream_schema();
+    let mut vinst = VInstance::new(&schema);
+    let a = vinst.forest.reserve();
+    let b = vinst.forest.reserve();
+    let cc = vinst.forest.reserve();
+    let dd = vinst.forest.reserve();
+    fill_stream(&mut vinst, a, "a", &[b, cc]);
+    fill_stream(&mut vinst, b, "b", &[dd]);
+    fill_stream(&mut vinst, cc, "c", &[dd]);
+    fill_stream(&mut vinst, dd, "d", &[a]);
+    vinst.add(c("VmStream"), a);
+    vinst.validate(&schema).unwrap();
+
+    let (obj, oid_of) = phi(&schema, &vinst).unwrap();
+    assert_eq!(obj.class(c("VmStream")).unwrap().len(), 4);
+    assert_eq!(oid_of.len(), 4);
+    let back = psi(&obj).unwrap();
+    assert!(vinstances_equal(&back, &vinst));
+}
+
+#[test]
+fn bisimilar_branches_collapse() {
+    // Two nodes with the same label whose next-sets are bisimilar denote
+    // the same pure value even across different fanouts with duplicates.
+    let schema = stream_schema();
+    let mut vinst = VInstance::new(&schema);
+    let sink = mk_stream(&mut vinst, "sink", &[]);
+    let one = mk_stream(&mut vinst, "x", &[sink]);
+    // A second presentation of "x" whose next set mentions two *distinct
+    // nodes* that are bisimilar to sink.
+    let sink2 = mk_stream(&mut vinst, "sink", &[]);
+    let two = mk_stream(&mut vinst, "x", &[sink, sink2]);
+    assert!(
+        vinst.forest.equal(one, two),
+        "duplicate set members collapse"
+    );
+    let canon = vinst.canonicalize();
+    // sink/sink2 and one/two collapse: 2 distinct values.
+    assert_eq!(canon.size(), 2);
+}
+
+#[test]
+fn unfold_respects_depth_budget() {
+    let schema = stream_schema();
+    let mut vinst = VInstance::new(&schema);
+    let a = vinst.forest.reserve();
+    fill_stream(&mut vinst, a, "loop", &[a]);
+    let shallow = vinst.forest.unfold(a, 2).to_string();
+    let deep = vinst.forest.unfold(a, 6).to_string();
+    assert!(shallow.len() < deep.len());
+    assert!(deep.matches("loop").count() >= 2);
+}
+
+#[test]
+fn regularity_bounds_distinct_subtrees() {
+    // Proposition 7.1.3: every pure value in a v-instance has finitely many
+    // distinct subtrees — and minimization makes the bound tight.
+    let schema = stream_schema();
+    let mut vinst = VInstance::new(&schema);
+    let mut prev: Vec<NodeId> = vec![];
+    for i in 0..6 {
+        let s = mk_stream(&mut vinst, &format!("n{i}"), &prev);
+        prev = vec![s];
+    }
+    vinst.validate(&schema).unwrap();
+    let canon = vinst.canonicalize();
+    let root = *canon.classes[&c("VmStream")].iter().next().unwrap();
+    // Root sees ≤ forest-size distinct subtrees; all finite.
+    assert!(canon.forest.distinct_subtrees(root) <= canon.forest.len());
+}
+
+#[test]
+fn iqlv_with_invention_creates_value_level_objects() {
+    // An IQLv query whose IQL realization invents oids — the output is
+    // still purely value-based: invention is invisible after ψ
+    // (Theorem 7.1.5: "oids lose all semantic denotation").
+    let unit = iql::lang::parser::parse_unit(
+        r#"
+        schema {
+          class VmStream: [label: D, next: {VmStream}];
+          class Pairmk: [fst: VmStream, snd: VmStream];
+          relation Tmp: [a: VmStream, b: VmStream, p: Pairmk];
+        }
+        program {
+          input VmStream;
+          output Pairmk, VmStream;
+          stage {
+            Tmp(a, b, p) :- VmStream(a), VmStream(b);
+          }
+          stage {
+            p^ = [fst: a, snd: b] :- Tmp(a, b, p);
+          }
+        }
+        "#,
+    )
+    .unwrap();
+    let prog = unit.program.unwrap();
+    let schema = stream_schema();
+    let mut vinst = VInstance::new(&schema);
+    let s1 = mk_stream(&mut vinst, "u", &[]);
+    let _s2 = mk_stream(&mut vinst, "v", &[s1]);
+    vinst.validate(&schema).unwrap();
+    let out = run_on_values(&prog, &schema, &vinst, &iql::lang::EvalConfig::default()).unwrap();
+    // 2 streams → 4 ordered pairs as pure values.
+    assert_eq!(out.classes[&c("Pairmk")].len(), 4);
+    // Streams preserved.
+    assert_eq!(out.classes[&c("VmStream")].len(), 2);
+}
+
+#[test]
+fn dot_export_is_valid_graphviz_shape() {
+    let schema = stream_schema();
+    let mut vinst = VInstance::new(&schema);
+    let a = vinst.forest.reserve();
+    fill_stream(&mut vinst, a, "n", &[a]);
+    let dot = vinst.forest.to_dot(&[a]);
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.trim_end().ends_with('}'));
+    assert_eq!(dot.matches("digraph").count(), 1);
+}
+
+#[test]
+fn v_schema_conditions_enforced() {
+    // T(P) a bare class name is rejected (Def 7.1.1 condition 1).
+    assert!(matches!(
+        VSchema::new([
+            (c("VsA"), TypeExpr::class("VsB")),
+            (c("VsB"), TypeExpr::unit()),
+        ]),
+        Err(VError::BareClassType(_))
+    ));
+    // v-types admit no ∅/∨/∧.
+    assert!(!is_v_type(&TypeExpr::empty()));
+    assert!(!is_v_type(&TypeExpr::union(
+        TypeExpr::base(),
+        TypeExpr::base()
+    )));
+    assert!(!is_v_type(&TypeExpr::inter(
+        TypeExpr::base(),
+        TypeExpr::base()
+    )));
+    assert!(is_v_type(&TypeExpr::set_of(TypeExpr::tuple([(
+        "x",
+        TypeExpr::base()
+    )]))));
+}
