@@ -1,0 +1,39 @@
+//! E17 — parallel rule evaluation ablation.
+//!
+//! Runs the `parallel_join_program` workload (five independent join/invent
+//! rules over one `Edge` relation, then weak assignment) at 1/2/4/8 worker
+//! threads. The merge phase is deterministic, so every thread count
+//! produces the bit-identical instance; only wall time should move.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iql_bench::{edge_instance, random_digraph};
+use iql_core::eval::{run, EvalConfig};
+use iql_core::programs::parallel_join_program;
+
+fn bench(c: &mut Criterion) {
+    let prog = parallel_join_program();
+    let mut group = c.benchmark_group("eval_parallel");
+    group.sample_size(10);
+    for n in [60usize, 120] {
+        let edges = random_digraph(n, 4 * n, 11);
+        let input = edge_instance(&prog, "Edge", ("src", "dst"), &edges);
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = EvalConfig::builder()
+                .max_steps(100_000)
+                .enum_budget(1 << 22)
+                .threads(threads)
+                .build();
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads-{threads}"), n),
+                &input,
+                |b, input| {
+                    b.iter(|| run(&prog, input, &cfg).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

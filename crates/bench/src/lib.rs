@@ -18,15 +18,11 @@ use std::time::{Duration, Instant};
 /// Default evaluation limits for experiments (generous enumeration budget
 /// for the powerset workloads).
 pub fn bench_config() -> EvalConfig {
-    EvalConfig {
-        max_steps: 100_000,
-        enum_budget: 1 << 22,
-        max_facts: 50_000_000,
-        check_output: true,
-        use_index: true,
-        use_seminaive: true,
-        nondeterministic_choice: false,
-    }
+    EvalConfig::builder()
+        .max_steps(100_000)
+        .enum_budget(1 << 22)
+        .max_facts(50_000_000)
+        .build()
 }
 
 /// Builds an input instance holding one binary relation of string pairs.

@@ -1,0 +1,127 @@
+//! The unified evaluation facade.
+//!
+//! [`Engine`] packages a compiled [`Program`] with an [`EvalConfig`] behind
+//! one entry point, so callers configure once and run many inputs:
+//!
+//! ```
+//! use iql_core::engine::Engine;
+//! use iql_core::eval::EvalConfig;
+//! use iql_core::parser::parse_unit;
+//!
+//! let unit = parse_unit(
+//!     r#"
+//!     schema {
+//!       relation Edge: [src: D, dst: D];
+//!       relation Tc:   [src: D, dst: D];
+//!     }
+//!     program {
+//!       input Edge;
+//!       output Tc;
+//!       Tc(x, y) :- Edge(x, y);
+//!       Tc(x, z) :- Tc(x, y), Edge(y, z);
+//!     }
+//!     instance {
+//!       Edge("a", "b");
+//!       Edge("b", "c");
+//!     }
+//!     "#,
+//! )
+//! .unwrap();
+//! let engine = Engine::new(unit.program.unwrap())
+//!     .with_config(EvalConfig::builder().threads(2).build());
+//! let out = engine.run(&unit.instance.unwrap()).unwrap();
+//! assert_eq!(
+//!     out.output.relation(iql_model::RelName::new("Tc")).unwrap().len(),
+//!     3
+//! );
+//! ```
+
+use crate::ast::Program;
+use crate::error::Result;
+use crate::eval::{self, EvalConfig, EvalOutput};
+use iql_model::Instance;
+use std::sync::Arc;
+
+/// A program plus its evaluation configuration — the stable API surface in
+/// front of [`eval::run`].
+#[derive(Debug, Clone)]
+pub struct Engine {
+    program: Program,
+    config: EvalConfig,
+}
+
+impl Engine {
+    /// Wraps `program` with the default configuration.
+    pub fn new(program: Program) -> Self {
+        Engine {
+            program,
+            config: EvalConfig::default(),
+        }
+    }
+
+    /// Replaces the configuration (builder style).
+    pub fn with_config(mut self, config: EvalConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The wrapped program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// Runs the program on `input` (an instance of the program's input
+    /// projection), producing the output projection and run statistics.
+    pub fn run(&self, input: &Instance) -> Result<EvalOutput> {
+        eval::run(&self.program, input, &self.config)
+    }
+
+    /// Runs the program on an empty input instance — the common case for
+    /// programs whose facts live in the rules themselves.
+    pub fn run_empty(&self) -> Result<EvalOutput> {
+        let input = Instance::new(Arc::clone(&self.program.input));
+        self.run(&input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::transitive_closure_program;
+    use iql_model::{OValue, RelName};
+
+    #[test]
+    fn engine_runs_like_eval_run() {
+        let prog = transitive_closure_program();
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        for (s, d) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            input
+                .insert(
+                    RelName::new("Edge"),
+                    OValue::tuple([("src", OValue::str(s)), ("dst", OValue::str(d))]),
+                )
+                .unwrap();
+        }
+        let direct = eval::run(&prog, &input, &EvalConfig::default()).unwrap();
+        let engine = Engine::new(transitive_closure_program());
+        let via = engine.run(&input).unwrap();
+        assert_eq!(
+            direct.output.ground_facts(),
+            via.output.ground_facts(),
+            "facade must be a pure wrapper"
+        );
+        assert_eq!(engine.config().threads, 1);
+    }
+
+    #[test]
+    fn engine_run_empty_uses_input_projection() {
+        let engine = Engine::new(transitive_closure_program());
+        let out = engine.run_empty().unwrap();
+        assert!(out.output.relation(RelName::new("Tc")).unwrap().is_empty());
+    }
+}

@@ -35,7 +35,20 @@ use std::sync::Arc;
 pub type Binding = BTreeMap<VarName, OValue>;
 
 /// Evaluation limits and switches.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`EvalConfig::default`] or the fluent [`EvalConfig::builder`] so new
+/// knobs stop being breaking changes. Individual fields stay public and may
+/// be reassigned on an existing value.
+///
+/// ```
+/// use iql_core::eval::EvalConfig;
+/// let cfg = EvalConfig::builder().threads(8).seminaive(false).build();
+/// assert_eq!(cfg.threads, 8);
+/// assert!(!cfg.use_seminaive);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct EvalConfig {
     /// Maximum inflationary steps per stage before reporting
     /// [`IqlError::StepLimit`].
@@ -64,6 +77,13 @@ pub struct EvalConfig {
     /// default; when off, a non-generic choice raises
     /// [`IqlError::ChoiceNotGeneric`].
     pub nondeterministic_choice: bool,
+    /// Worker threads for the per-step valuation search: `1` evaluates
+    /// rules sequentially (the default), `0` uses one worker per available
+    /// core, and any other value pins the pool size. Workers only *search*
+    /// — fact insertion, condition-(†) dedup, and oid allocation happen in
+    /// a deterministic merge phase — so the output instance is bit-identical
+    /// (same invented-oid numbering) for every setting.
+    pub threads: usize,
 }
 
 impl Default for EvalConfig {
@@ -76,8 +96,109 @@ impl Default for EvalConfig {
             use_index: true,
             use_seminaive: true,
             nondeterministic_choice: false,
+            threads: 1,
         }
     }
+}
+
+impl EvalConfig {
+    /// Starts a fluent builder seeded with the defaults.
+    pub fn builder() -> EvalConfigBuilder {
+        EvalConfigBuilder::default()
+    }
+
+    /// Re-opens this configuration as a builder, for deriving a variant:
+    /// `cfg.to_builder().threads(4).build()`.
+    pub fn to_builder(&self) -> EvalConfigBuilder {
+        EvalConfigBuilder { cfg: self.clone() }
+    }
+
+    /// The worker-pool size this configuration resolves to: `threads`
+    /// itself, or one per available core when `threads == 0`.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+}
+
+/// Fluent builder for [`EvalConfig`] (see [`EvalConfig::builder`]).
+#[derive(Debug, Clone, Default)]
+pub struct EvalConfigBuilder {
+    cfg: EvalConfig,
+}
+
+impl EvalConfigBuilder {
+    /// Sets the inflationary step limit per stage.
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.cfg.max_steps = n;
+        self
+    }
+
+    /// Sets the active-domain enumeration budget.
+    pub fn enum_budget(mut self, n: usize) -> Self {
+        self.cfg.enum_budget = n;
+        self
+    }
+
+    /// Sets the hard cap on total ground facts.
+    pub fn max_facts(mut self, n: usize) -> Self {
+        self.cfg.max_facts = n;
+        self
+    }
+
+    /// Toggles output-schema validation of the result.
+    pub fn check_output(mut self, on: bool) -> Self {
+        self.cfg.check_output = on;
+        self
+    }
+
+    /// Toggles per-scan hash indexes.
+    pub fn index(mut self, on: bool) -> Self {
+        self.cfg.use_index = on;
+        self
+    }
+
+    /// Toggles delta-driven (semi-naive) evaluation of eligible rules.
+    pub fn seminaive(mut self, on: bool) -> Self {
+        self.cfg.use_seminaive = on;
+        self
+    }
+
+    /// Toggles N-IQL nondeterministic `choose`.
+    pub fn nondeterministic_choice(mut self, on: bool) -> Self {
+        self.cfg.nondeterministic_choice = on;
+        self
+    }
+
+    /// Sets the worker-pool size (`1` sequential, `0` one per core).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.threads = n;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> EvalConfig {
+        self.cfg
+    }
+}
+
+/// Wall-clock profile of one inflationary step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepTiming {
+    /// Stage index (in program order).
+    pub stage: usize,
+    /// Step index within the stage.
+    pub step: usize,
+    /// Nanoseconds spent in the (parallelisable) valuation-search phase.
+    pub search_nanos: u64,
+    /// Nanoseconds spent in the deterministic merge/apply phase.
+    pub apply_nanos: u64,
+    /// `(rule, θ)` pairs fired this step.
+    pub fires: usize,
 }
 
 /// Statistics from one program run.
@@ -85,6 +206,8 @@ impl Default for EvalConfig {
 pub struct EvalReport {
     /// Total inflationary steps across stages.
     pub steps: usize,
+    /// Stages started.
+    pub stages: usize,
     /// Oids invented.
     pub invented: usize,
     /// Ground facts added.
@@ -93,6 +216,37 @@ pub struct EvalReport {
     pub enum_fallbacks: usize,
     /// Facts deleted (IQL\*).
     pub facts_deleted: usize,
+    /// Per-step wall-clock timings, in evaluation order. Timing varies run
+    /// to run; compare [`EvalReport::counters`] when checking determinism.
+    pub step_timings: Vec<StepTiming>,
+    /// Per-rule derivation counters: `(stage, rule) → fired valuations`.
+    pub rule_fires: BTreeMap<(usize, usize), usize>,
+}
+
+/// The deterministic counters of an [`EvalReport`]: `(steps, invented,
+/// facts_added, enum_fallbacks, facts_deleted, rule_fires)`.
+pub type RunCounters<'a> = (
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    &'a BTreeMap<(usize, usize), usize>,
+);
+
+impl EvalReport {
+    /// The run's deterministic counters, without wall-clock timings —
+    /// identical across reruns and thread counts of the same program/input.
+    pub fn counters(&self) -> RunCounters<'_> {
+        (
+            self.steps,
+            self.invented,
+            self.facts_added,
+            self.enum_fallbacks,
+            self.facts_deleted,
+            &self.rule_fires,
+        )
+    }
 }
 
 /// The result of running a program.
@@ -162,6 +316,8 @@ pub fn run_stage(
     cfg: &EvalConfig,
     report: &mut EvalReport,
 ) -> Result<()> {
+    let stage_idx = report.stages;
+    report.stages += 1;
     let mut delta: Option<Delta> = None; // None ⇒ first step: full evaluation
     for step in 0.. {
         if step >= cfg.max_steps {
@@ -170,7 +326,8 @@ pub fn run_stage(
             });
         }
         report.steps += 1;
-        let (changed, delta_out) = one_step(stage, work, cfg, report, delta.as_ref())?;
+        let (changed, delta_out) =
+            one_step(stage, stage_idx, step, work, cfg, report, delta.as_ref())?;
         if !changed {
             break;
         }
@@ -240,53 +397,207 @@ fn rule_seminaive_eligible(rule: &Rule) -> bool {
     }
 }
 
+/// One unit of the phase-1 valuation search: one rule, optionally
+/// restricted to the `outer`-th slice of its outermost relation/class scan
+/// (how a single large rule is spread across workers).
+struct SearchTask {
+    ri: usize,
+    /// `(skip, take)` over the first plan op's source scan.
+    outer: Option<(usize, usize)>,
+    /// Evaluate delta-driven (the rule is seminaive-eligible this step).
+    delta_driven: bool,
+}
+
+/// What a search task produces: *pending* derivations only — guard-filtered
+/// valuations in canonical (plan/delta) order — plus local statistics.
+/// Nothing here touches the instance; all mutation happens in the
+/// deterministic merge phase.
+struct SearchOut {
+    fires: Vec<Binding>,
+    enum_fallbacks: usize,
+}
+
+/// Runs one search task against the frozen pre-step instance.
+fn run_search_task(
+    task: &SearchTask,
+    stage: &Stage,
+    work: &Instance,
+    cfg: &EvalConfig,
+    delta_in: Option<&Delta>,
+) -> Result<SearchOut> {
+    let rule = &stage.rules[task.ri];
+    let mut enum_fallbacks = 0usize;
+    let valuations: Vec<Binding> = if task.delta_driven {
+        // One run per relation/class scan, with that scan restricted to the
+        // previous step's delta (a valuation is new only if at least one of
+        // its supporting facts is).
+        let delta = delta_in.expect("delta-driven task requires a delta");
+        let nscans = count_source_scans(rule)?;
+        let mut acc: BTreeSet<Binding> = BTreeSet::new();
+        for i in 0..nscans {
+            let (vals, fb) = find_valuations(rule, work, cfg, Some((delta, i)), None)?;
+            enum_fallbacks += fb;
+            acc.extend(vals);
+        }
+        acc.into_iter().collect()
+    } else {
+        let (vals, fb) = find_valuations(rule, work, cfg, None, task.outer)?;
+        enum_fallbacks += fb;
+        vals
+    };
+    let mut fires = Vec::new();
+    for theta in valuations {
+        let fire = if rule.head.is_deletion() {
+            // Deletion rules fire when the fact to delete exists.
+            deletion_applicable(rule, &theta, work)
+        } else {
+            !head_satisfiable(rule, &theta, work)
+        };
+        if fire {
+            fires.push(theta);
+        }
+    }
+    Ok(SearchOut {
+        fires,
+        enum_fallbacks,
+    })
+}
+
+/// Extent of a rule's outermost relation/class scan, when the rule is
+/// eligible for chunked parallel evaluation: the plan must open with a
+/// source scan and contain no enumeration fallback (enumeration cost would
+/// be duplicated per chunk, and fallback counters would drift from the
+/// sequential run).
+fn outer_scan_len(rule: &Rule, inst: &Instance) -> Option<usize> {
+    let plan = build_plan(rule).ok()?;
+    if plan.iter().any(|op| matches!(op, Op::Enumerate { .. })) {
+        return None;
+    }
+    match plan.first() {
+        Some(Op::Scan {
+            set: Term::Rel(r), ..
+        }) => inst.relation(*r).ok().map(|s| s.len()),
+        Some(Op::Scan {
+            set: Term::Class(p),
+            ..
+        }) => inst.class(*p).ok().map(|s| s.len()),
+        _ => None,
+    }
+}
+
+/// Minimum slice of an outermost scan worth handing to a worker.
+const OUTER_CHUNK_MIN: usize = 32;
+
 /// One application of the inflationary one-step operator `g1`. Returns
 /// whether anything changed.
 fn one_step(
     stage: &Stage,
+    stage_idx: usize,
+    step: usize,
     work: &mut Instance,
     cfg: &EvalConfig,
     report: &mut EvalReport,
     delta_in: Option<&Delta>,
 ) -> Result<(bool, Delta)> {
-    // Phase 1: valuation-domain against the frozen pre-step instance.
-    // Eligible rules are evaluated differentially: one run per relation/
-    // class scan, with that scan restricted to the previous step's delta
-    // (a valuation is new only if at least one of its supporting facts is).
-    let mut fires: Vec<(usize, Binding)> = Vec::new();
+    // Phase 1: valuation-domain against the frozen pre-step instance. Rule
+    // bodies only *read* the snapshot, so the search is embarrassingly
+    // parallel: partition the eligible rules (and the outermost scan of
+    // large single rules) across a scoped worker pool. Workers produce
+    // pending derivations only; the merge below walks tasks in fixed
+    // (rule, chunk) order, so the fires list — and with it fact insertion
+    // and oid numbering — is bit-identical to the sequential run.
+    let search_started = std::time::Instant::now();
+    let nthreads = cfg.effective_threads();
     // Deletions un-block guards (a deleted head fact lets an old valuation
     // fire again), so any deletion rule in the stage disables delta-driven
     // evaluation for the whole stage.
     let stage_deletes = stage.rules.iter().any(|r| r.head.is_deletion());
+    let mut tasks: Vec<SearchTask> = Vec::new();
     for (ri, rule) in stage.rules.iter().enumerate() {
-        let valuations = match delta_in {
-            Some(delta) if cfg.use_seminaive && !stage_deletes && rule_seminaive_eligible(rule) => {
-                let nscans = count_source_scans(rule)?;
-                let mut acc: BTreeSet<Binding> = BTreeSet::new();
-                for i in 0..nscans {
-                    acc.extend(find_valuations_delta(
-                        rule,
-                        work,
-                        cfg,
-                        report,
-                        Some((delta, i)),
-                    )?);
-                }
-                acc.into_iter().collect()
-            }
-            _ => find_valuations(rule, work, cfg, report)?,
+        let delta_driven = delta_in.is_some()
+            && cfg.use_seminaive
+            && !stage_deletes
+            && rule_seminaive_eligible(rule);
+        if delta_driven {
+            tasks.push(SearchTask {
+                ri,
+                outer: None,
+                delta_driven: true,
+            });
+            continue;
+        }
+        let chunkable = if nthreads > 1 {
+            outer_scan_len(rule, work)
+        } else {
+            None
         };
-        for theta in valuations {
-            if rule.head.is_deletion() {
-                // Deletion rules fire when the fact to delete exists.
-                if deletion_applicable(rule, &theta, work) {
-                    fires.push((ri, theta));
+        match chunkable {
+            Some(len) if len >= 2 * OUTER_CHUNK_MIN => {
+                let chunks = nthreads.min(len / OUTER_CHUNK_MIN).max(1);
+                let per = len.div_ceil(chunks);
+                let mut at = 0;
+                while at < len {
+                    let take = per.min(len - at);
+                    tasks.push(SearchTask {
+                        ri,
+                        outer: Some((at, take)),
+                        delta_driven: false,
+                    });
+                    at += take;
                 }
-            } else if !head_satisfiable(rule, &theta, work) {
-                fires.push((ri, theta));
             }
+            _ => tasks.push(SearchTask {
+                ri,
+                outer: None,
+                delta_driven: false,
+            }),
         }
     }
+
+    let frozen: &Instance = work;
+    let results: Vec<Result<SearchOut>> = if nthreads <= 1 || tasks.len() <= 1 {
+        tasks
+            .iter()
+            .map(|t| run_search_task(t, stage, frozen, cfg, delta_in))
+            .collect()
+    } else {
+        let slots: Vec<std::sync::OnceLock<Result<SearchOut>>> =
+            tasks.iter().map(|_| std::sync::OnceLock::new()).collect();
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let workers = nthreads.min(tasks.len());
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(task) = tasks.get(i) else { break };
+                    let out = run_search_task(task, stage, frozen, cfg, delta_in);
+                    let _ = slots[i].set(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("worker filled every slot"))
+            .collect()
+    };
+
+    // Deterministic merge of the search outputs: fixed rule order (tasks
+    // are (rule, chunk)-sorted by construction), then each task's canonical
+    // valuation order. The first error in task order wins.
+    let mut fires: Vec<(usize, Binding)> = Vec::new();
+    for (task, out) in tasks.iter().zip(results) {
+        let out = out?;
+        report.enum_fallbacks += out.enum_fallbacks;
+        for theta in out.fires {
+            fires.push((task.ri, theta));
+        }
+    }
+    let search_nanos = search_started.elapsed().as_nanos() as u64;
+    let nfires = fires.len();
+    for (ri, _) in &fires {
+        *report.rule_fires.entry((stage_idx, *ri)).or_default() += 1;
+    }
+    let apply_started = std::time::Instant::now();
 
     // Phase 2: valuation-map (invention / choose) and fact derivation.
     let mut changed = false;
@@ -434,6 +745,13 @@ fn one_step(
         }
     }
 
+    report.step_timings.push(StepTiming {
+        stage: stage_idx,
+        step,
+        search_nanos,
+        apply_nanos: apply_started.elapsed().as_nanos() as u64,
+        fires: nfires,
+    });
     Ok((changed, delta_out))
 }
 
@@ -839,28 +1157,25 @@ fn count_source_scans(rule: &Rule) -> Result<usize> {
         .count())
 }
 
-/// Computes all valuations `θ` of the body variables with `I ⊨ θ body`.
+/// Computes all valuations `θ` of the body variables with `I ⊨ θ body`,
+/// returning them with the number of enumeration fallbacks in the plan.
+///
+/// When `delta` is `Some((d, i))`, the `i`-th relation/class scan of the
+/// plan draws from the delta instead of the full extent — the
+/// differentiated join of semi-naive evaluation. When `outer` is
+/// `Some((skip, take))`, the *first* plan op (a relation/class scan — the
+/// caller checks eligibility via [`outer_scan_len`]) iterates only that
+/// slice of its extent, in extent order — how one large rule is partitioned
+/// across parallel workers without perturbing valuation order.
 fn find_valuations(
     rule: &Rule,
     inst: &Instance,
     cfg: &EvalConfig,
-    report: &mut EvalReport,
-) -> Result<Vec<Binding>> {
-    find_valuations_delta(rule, inst, cfg, report, None)
-}
-
-/// Like [`find_valuations`], but when `delta` is `Some((d, i))`, the `i`-th
-/// relation/class scan of the plan draws from the delta instead of the full
-/// extent — the differentiated join of semi-naive evaluation.
-fn find_valuations_delta(
-    rule: &Rule,
-    inst: &Instance,
-    cfg: &EvalConfig,
-    report: &mut EvalReport,
     delta: Option<(&Delta, usize)>,
-) -> Result<Vec<Binding>> {
+    outer: Option<(usize, usize)>,
+) -> Result<(Vec<Binding>, usize)> {
     let plan = build_plan(rule)?;
-    report.enum_fallbacks += plan
+    let enum_fallbacks = plan
         .iter()
         .filter(|op| matches!(op, Op::Enumerate { .. }))
         .count();
@@ -870,10 +1185,14 @@ fn find_valuations_delta(
 
     // ---- Execute the plan over a frontier of bindings. ----
     let mut frontier: Vec<Binding> = vec![Binding::new()];
-    for op in &plan {
+    for (op_idx, op) in plan.iter().enumerate() {
         if frontier.is_empty() {
-            return Ok(frontier);
+            return Ok((frontier, enum_fallbacks));
         }
+        let slice = match outer {
+            Some(range) if op_idx == 0 => Some(range),
+            _ => None,
+        };
         let mut next: Vec<Binding> = Vec::new();
         match op {
             Op::Scan { set, elem } => {
@@ -890,6 +1209,37 @@ fn find_valuations_delta(
                     }
                     _ => None,
                 };
+                // Materialize the slice of a partitioned outermost scan
+                // (extent order, so chunk concatenation preserves the
+                // sequential valuation order).
+                let sliced_facts: Option<BTreeSet<OValue>> = match (slice, set) {
+                    (Some((skip, take)), Term::Rel(r)) => {
+                        debug_assert!(restrict.is_none(), "chunked scans are never delta-driven");
+                        Some(
+                            inst.relation(*r)?
+                                .iter()
+                                .skip(skip)
+                                .take(take)
+                                .cloned()
+                                .collect(),
+                        )
+                    }
+                    _ => None,
+                };
+                let sliced_oids: Option<BTreeSet<Oid>> = match (slice, set) {
+                    (Some((skip, take)), Term::Class(p)) => {
+                        debug_assert!(restrict.is_none(), "chunked scans are never delta-driven");
+                        Some(
+                            inst.class(*p)?
+                                .iter()
+                                .skip(skip)
+                                .take(take)
+                                .copied()
+                                .collect(),
+                        )
+                    }
+                    _ => None,
+                };
                 // Per-scan hash indexes on bound tuple attributes: built
                 // lazily per attribute, probed per binding. Turns the
                 // nested-loop join into a hash join wherever the pattern
@@ -902,12 +1252,13 @@ fn find_valuations_delta(
                     // Candidates to iterate.
                     match set {
                         Term::Rel(r) => {
-                            let facts = match restrict {
-                                Some(d) => d
+                            let facts = match (&sliced_facts, restrict) {
+                                (Some(s), _) => s,
+                                (None, Some(d)) => d
                                     .rels
                                     .get(r)
                                     .unwrap_or_else(|| EMPTY_FACTS.get_or_init(BTreeSet::new)),
-                                None => inst.relation(*r)?,
+                                (None, None) => inst.relation(*r)?,
                             };
                             let probe = if cfg.use_index {
                                 find_probe(elem, binding, inst)
@@ -947,12 +1298,13 @@ fn find_valuations_delta(
                             }
                         }
                         Term::Class(p) => {
-                            let oids = match restrict {
-                                Some(d) => d
+                            let oids = match (&sliced_oids, restrict) {
+                                (Some(s), _) => s,
+                                (None, Some(d)) => d
                                     .classes
                                     .get(p)
                                     .unwrap_or_else(|| EMPTY_OIDS.get_or_init(BTreeSet::new)),
-                                None => inst.class(*p)?,
+                                (None, None) => inst.class(*p)?,
                             };
                             for o in oids {
                                 push_match(
@@ -1018,7 +1370,7 @@ fn find_valuations_delta(
         }
         frontier = next;
     }
-    Ok(frontier)
+    Ok((frontier, enum_fallbacks))
 }
 
 /// Finds an indexable (attribute, key) pair: a tuple-pattern field whose
@@ -1360,8 +1712,7 @@ mod tests {
         let prog = unit.program.unwrap();
         let input = unit.instance.unwrap();
         let with = run(&prog, &input, &EvalConfig::default()).unwrap();
-        let mut cfg = EvalConfig::default();
-        cfg.use_index = false;
+        let cfg = EvalConfig::builder().index(false).build();
         let without = run(&prog, &input, &cfg).unwrap();
         assert_eq!(
             with.output.relation(RelName::new("Tc")).unwrap(),
@@ -1374,8 +1725,7 @@ mod tests {
         let unit = tc_unit();
         let prog = unit.program.unwrap();
         let input = unit.instance.unwrap();
-        let mut cfg = EvalConfig::default();
-        cfg.max_facts = 2;
+        let cfg = EvalConfig::builder().max_facts(2).build();
         let err = run(&prog, &input, &cfg).unwrap_err();
         assert!(matches!(err, IqlError::FactBudget { limit: 2 }));
     }
@@ -1389,8 +1739,7 @@ mod tests {
                 .insert(RelName::new("R"), OValue::tuple([("a", OValue::int(i))]))
                 .unwrap();
         }
-        let mut cfg = EvalConfig::default();
-        cfg.enum_budget = 16; // 2^10 subsets won't fit
+        let cfg = EvalConfig::builder().enum_budget(16).build(); // 2^10 subsets won't fit
         let err = run(&prog, &input, &cfg).unwrap_err();
         assert!(matches!(err, IqlError::Model(_)));
     }

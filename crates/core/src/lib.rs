@@ -16,8 +16,11 @@
 //! * [`parser`] — a concrete textual syntax for schemas and programs;
 //! * [`typecheck`] — static typing with the paper's partial type inference
 //!   and union-coercion rule (Section 3.3);
-//! * [`eval`] — the naive inflationary evaluator (Section 3.2): valuation
-//!   domains, valuation maps, parallel invention, condition (†);
+//! * [`eval`] — the inflationary evaluator (Section 3.2): valuation
+//!   domains, valuation maps, parallel invention, condition (†), with an
+//!   optional multi-threaded valuation search behind a deterministic merge;
+//! * [`engine`] — the [`Engine`] facade bundling a program with an
+//!   [`EvalConfig`] behind one `run` entry point;
 //! * [`sublang`] — the syntactic analyses of Section 5: range-restriction,
 //!   ptime-restriction, invention- and recursion-freedom, and the
 //!   IQLrr ⊂ IQLpr ⊂ IQL classification with its PTIME guarantee
@@ -67,6 +70,7 @@ pub mod builder;
 pub mod completeness;
 pub mod control;
 pub mod encode;
+pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod parser;
@@ -76,5 +80,6 @@ pub mod typecheck;
 
 pub use ast::{Head, Literal, Program, Rule, Stage, Term, VarName};
 pub use builder::ProgramBuilder;
+pub use engine::Engine;
 pub use error::{IqlError, Result};
-pub use eval::{run, EvalConfig, EvalOutput, EvalReport};
+pub use eval::{run, EvalConfig, EvalConfigBuilder, EvalOutput, EvalReport};

@@ -258,6 +258,46 @@ pub fn transitive_closure_program() -> Program {
     .expect("program block present")
 }
 
+/// A parallelism stress workload: one wide inflationary stage of
+/// independent multi-way joins over `Edge` (2-hop, 3-hop, reversal,
+/// triangles) plus per-edge oid invention, followed by a weak-assignment
+/// stage naming the invented objects. The first stage offers both
+/// rule-level parallelism (five independent bodies) and scan-level
+/// parallelism (every body opens with a full `Edge` scan), which is what
+/// the `eval_parallel` bench ablates over worker counts.
+pub fn parallel_join_program() -> Program {
+    parse_unit(
+        r#"
+        schema {
+          relation Edge: [src: D, dst: D];
+          relation Hop2: [src: D, dst: D];
+          relation Hop3: [src: D, dst: D];
+          relation Back: [src: D, dst: D];
+          relation Tri:  [a: D, b: D, c: D];
+          class P: [name: D];
+          relation Rep: [node: D, obj: P];
+        }
+        program {
+          input Edge;
+          output Hop2, Hop3, Back, Tri, Rep, P;
+          stage {
+            Hop2(x, z) :- Edge(x, y), Edge(y, z);
+            Hop3(x, w) :- Edge(x, y), Edge(y, z), Edge(z, w);
+            Back(y, x) :- Edge(x, y);
+            Tri(x, y, z) :- Edge(x, y), Edge(y, z), Edge(z, x);
+            Rep(x, p) :- Edge(x, y);
+          }
+          stage {
+            p^ = [name: x] :- Rep(x, p);
+          }
+        }
+        "#,
+    )
+    .expect("parallel_join_program parses")
+    .program
+    .expect("program block present")
+}
+
 /// Stratified-negation example: nodes unreachable from a source set,
 /// expressed with composition (`;` makes stratified negation a shorthand,
 /// Section 3.4).
@@ -499,6 +539,7 @@ mod tests {
             powerset_program(),
             powerset_unrestricted_program(),
             transitive_closure_program(),
+            parallel_join_program(),
             unreachable_program(),
             quadrangle_program(),
             quadrangle_choose_program(),
@@ -526,10 +567,36 @@ mod tests {
         union_encode_program();
         union_decode_program();
         transitive_closure_program();
+        parallel_join_program();
         unreachable_program();
         quadrangle_program();
         quadrangle_choose_program();
         quadrangle_ordered_program();
+    }
+
+    #[test]
+    fn parallel_join_program_runs() {
+        // Chain a→b→c→d plus the closing edge d→a: Hop2/Hop3 wrap around,
+        // Tri is empty (no 3-cycle in a 4-cycle), one object per edge.
+        let cfg = EvalConfig::default();
+        let prog = parallel_join_program();
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        for (s, d) in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")] {
+            input
+                .insert(
+                    RelName::new("Edge"),
+                    OValue::tuple([("src", OValue::str(s)), ("dst", OValue::str(d))]),
+                )
+                .unwrap();
+        }
+        let out = run(&prog, &input, &cfg).unwrap();
+        assert_eq!(out.output.relation(RelName::new("Hop2")).unwrap().len(), 4);
+        assert_eq!(out.output.relation(RelName::new("Hop3")).unwrap().len(), 4);
+        assert_eq!(out.output.relation(RelName::new("Back")).unwrap().len(), 4);
+        assert_eq!(out.output.relation(RelName::new("Tri")).unwrap().len(), 0);
+        assert_eq!(out.output.relation(RelName::new("Rep")).unwrap().len(), 4);
+        assert_eq!(out.output.class(ClassName::new("P")).unwrap().len(), 4);
+        assert_eq!(out.report.invented, 4);
     }
 
     #[test]

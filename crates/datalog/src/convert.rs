@@ -137,7 +137,7 @@ pub fn instance_to_database(inst: &Instance) -> Result<Database> {
 mod tests {
     use super::*;
     use crate::ast::parse_program;
-    use crate::engine::{eval_inflationary, eval_seminaive};
+    use crate::engine::{eval, Strategy};
     use iql_core::eval::{run, EvalConfig};
     use iql_model::Constant;
 
@@ -150,7 +150,7 @@ mod tests {
             db.insert("Edge", vec![Constant::int(s), Constant::int(d)])
                 .unwrap();
         }
-        let (dl_out, _) = eval_seminaive(&dl, &db).unwrap();
+        let (dl_out, _) = eval(&dl, &db, Strategy::SemiNaive).unwrap();
 
         let iql = to_iql(&dl, &["Edge"], &["Tc"]).unwrap();
         let input = database_to_instance(&db, &["Edge"], &iql.input).unwrap();
@@ -174,7 +174,7 @@ mod tests {
             db.insert("Move", vec![Constant::int(i), Constant::int(i + 1)])
                 .unwrap();
         }
-        let (dl_out, _) = eval_inflationary(&dl, &db).unwrap();
+        let (dl_out, _) = eval(&dl, &db, Strategy::Inflationary).unwrap();
         let iql = to_iql(&dl, &["Move"], &["Win"]).unwrap();
         let input = database_to_instance(&db, &["Move"], &iql.input).unwrap();
         let out = run(&iql, &input, &EvalConfig::default()).unwrap();

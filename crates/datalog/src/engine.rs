@@ -23,6 +23,39 @@ pub struct EvalStats {
     pub rounds: usize,
     /// Facts derived (including duplicates rejected by set semantics).
     pub derivations: usize,
+    /// Worker-pool size the evaluation ran with (1 = sequential).
+    pub threads: usize,
+}
+
+/// Which engine evaluates the program — the single knob of the unified
+/// [`eval`] entry point, replacing the former `eval_naive` /
+/// `eval_seminaive` / `eval_inflationary` / `eval_stratified` free
+/// functions (retained as deprecated wrappers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Re-derive everything from the full database every round. Positive
+    /// programs only; the quadratic-overhead baseline ablation.
+    Naive,
+    /// Differentiate rules against the previous round's delta
+    /// (Balbin–Ramamohanarao). Positive programs only.
+    SemiNaive,
+    /// Inflationary Datalog¬ (Kolaitis–Papadimitriou): negation reads the
+    /// current database, frozen per round; facts are never retracted.
+    Inflationary,
+    /// Stratified Datalog¬: SCC stratification, then semi-naive per
+    /// stratum with negation reading completed lower strata.
+    Stratified,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Strategy::Naive => write!(f, "naive"),
+            Strategy::SemiNaive => write!(f, "semi-naive"),
+            Strategy::Inflationary => write!(f, "inflationary"),
+            Strategy::Stratified => write!(f, "stratified"),
+        }
+    }
 }
 
 fn term_value<'a>(t: &'a DlTerm, subst: &'a Subst) -> Option<&'a Constant> {
@@ -204,47 +237,68 @@ pub fn query(db: &Database, atom: &Atom) -> Vec<Tuple> {
     out
 }
 
-/// Naive evaluation of a positive program: every round re-derives
-/// everything from the full database. Quadratic overhead relative to
-/// semi-naive; kept as the baseline ablation.
-pub fn eval_naive(prog: &Program, edb: &Database) -> Result<(Database, EvalStats)> {
-    if prog.has_negation() {
-        return Err(DlError::NegationUnsupported(
-            prog.rules
-                .iter()
-                .find(|r| r.body.iter().any(|l| !l.positive))
-                .map(|r| r.to_string())
-                .unwrap_or_default(),
-        ));
-    }
-    let mut db = edb.clone();
-    let mut stats = EvalStats::default();
-    loop {
-        stats.rounds += 1;
-        let mut new: Vec<(String, Tuple)> = Vec::new();
-        for rule in &prog.rules {
-            let mut emit = |t: Tuple| {
-                new.push((rule.head.rel.clone(), t));
-            };
-            join_rule(rule, &db, None, &db, &mut emit);
-        }
-        let mut changed = false;
-        for (rel, t) in new {
-            stats.derivations += 1;
-            if db.insert(&rel, t)? {
-                changed = true;
-            }
-        }
-        if !changed {
-            return Ok((db, stats));
-        }
+/// One rule evaluation (optionally differentiated) — the unit of parallel
+/// work within a fixpoint round. Tasks only *read* the round's frozen
+/// databases and produce pending head tuples.
+struct JoinTask<'r, 'd> {
+    rule: &'r Rule,
+    read: &'d Database,
+    delta: Option<(&'d Database, usize)>,
+    neg_view: &'d Database,
+}
+
+impl JoinTask<'_, '_> {
+    fn run(&self) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        join_rule(self.rule, self.read, self.delta, self.neg_view, &mut |t| {
+            out.push(t)
+        });
+        out
     }
 }
 
-/// Semi-naive evaluation of a positive program.
+/// Runs `tasks` across `threads` workers, returning each task's derived
+/// tuples *in task order* — the merge below walks that order sequentially,
+/// so insertion order, statistics, and the fixpoint are bit-identical to a
+/// single-threaded run regardless of worker scheduling.
+fn run_join_tasks(tasks: &[JoinTask<'_, '_>], threads: usize) -> Vec<Vec<Tuple>> {
+    if threads <= 1 || tasks.len() <= 1 {
+        return tasks.iter().map(JoinTask::run).collect();
+    }
+    let slots: Vec<std::sync::OnceLock<Vec<Tuple>>> =
+        tasks.iter().map(|_| std::sync::OnceLock::new()).collect();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let workers = threads.min(tasks.len());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(task) = tasks.get(i) else { break };
+                let _ = slots[i].set(task.run());
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
+/// The worker-pool size a `threads` knob resolves to (`0` = one per core).
+fn effective_threads(threads: usize) -> usize {
+    match threads {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Evaluates `prog` on `edb` under the chosen [`Strategy`] — the unified
+/// entry point in front of the four evaluation modes.
 ///
 /// ```
-/// use iql_datalog::{eval_seminaive, parse_program, Database};
+/// use iql_datalog::{eval, parse_program, Database, Strategy};
 /// use iql_model::Constant;
 /// let prog = parse_program(
 ///     "Tc(x, y) :- Edge(x, y). Tc(x, z) :- Tc(x, y), Edge(y, z).",
@@ -252,11 +306,62 @@ pub fn eval_naive(prog: &Program, edb: &Database) -> Result<(Database, EvalStats
 /// let mut db = Database::new();
 /// db.insert("Edge", vec![Constant::int(1), Constant::int(2)]).unwrap();
 /// db.insert("Edge", vec![Constant::int(2), Constant::int(3)]).unwrap();
-/// let (out, stats) = eval_seminaive(&prog, &db).unwrap();
+/// let (out, stats) = eval(&prog, &db, Strategy::SemiNaive).unwrap();
 /// assert_eq!(out.relation("Tc").unwrap().len(), 3);
 /// assert!(stats.rounds >= 2);
 /// ```
-pub fn eval_seminaive(prog: &Program, edb: &Database) -> Result<(Database, EvalStats)> {
+pub fn eval(prog: &Program, edb: &Database, strategy: Strategy) -> Result<(Database, EvalStats)> {
+    eval_with(prog, edb, strategy, 1)
+}
+
+/// Like [`eval`], with a worker-pool size: within each round, rules (and,
+/// under semi-naive, rule × delta-position pairs) evaluate concurrently;
+/// derived tuples merge in fixed task order, so the output database and
+/// statistics are identical for every `threads` value. `0` means one
+/// worker per available core.
+pub fn eval_with(
+    prog: &Program,
+    edb: &Database,
+    strategy: Strategy,
+    threads: usize,
+) -> Result<(Database, EvalStats)> {
+    let threads = effective_threads(threads);
+    match strategy {
+        Strategy::Naive => {
+            require_positive(prog)?;
+            full_rounds(prog, edb, threads)
+        }
+        Strategy::SemiNaive => {
+            require_positive(prog)?;
+            let mut stats = EvalStats {
+                threads,
+                ..EvalStats::default()
+            };
+            let db = seminaive_stratum(prog, edb.clone(), &Database::new(), threads, &mut stats)?;
+            Ok((db, stats))
+        }
+        Strategy::Inflationary => full_rounds(prog, edb, threads),
+        Strategy::Stratified => {
+            let strata = stratify(prog)?;
+            let mut db = edb.clone();
+            let mut stats = EvalStats {
+                threads,
+                ..EvalStats::default()
+            };
+            for stratum in &strata {
+                // Negation inside a stratum only mentions lower-stratum
+                // relations, which are final in `db` — freeze them as the
+                // negation view.
+                let neg_view = db.clone();
+                db = seminaive_stratum(stratum, db, &neg_view, threads, &mut stats)?;
+            }
+            Ok((db, stats))
+        }
+    }
+}
+
+/// Semi-naive (and the positive half of naive) reject negation up front.
+fn require_positive(prog: &Program) -> Result<()> {
     if prog.has_negation() {
         return Err(DlError::NegationUnsupported(
             prog.rules
@@ -266,85 +371,42 @@ pub fn eval_seminaive(prog: &Program, edb: &Database) -> Result<(Database, EvalS
                 .unwrap_or_default(),
         ));
     }
-    eval_seminaive_stratum(prog, edb.clone(), &Database::new())
+    Ok(())
 }
 
-/// Semi-naive core, with `neg_view` holding the (frozen, lower-stratum)
-/// relations negative literals read.
-fn eval_seminaive_stratum(
-    prog: &Program,
-    mut db: Database,
-    neg_view: &Database,
-) -> Result<(Database, EvalStats)> {
-    let idb: BTreeSet<&str> = prog.idb();
-    let mut stats = EvalStats::default();
-
-    // Round 0: evaluate every rule on the current database.
-    let mut delta = Database::new();
-    stats.rounds += 1;
-    {
-        let mut new: Vec<(String, Tuple)> = Vec::new();
-        for rule in &prog.rules {
-            let mut emit = |t: Tuple| new.push((rule.head.rel.clone(), t));
-            join_rule(rule, &db, None, neg_view, &mut emit);
-        }
-        for (rel, t) in new {
-            stats.derivations += 1;
-            if db.insert(&rel, t.clone())? {
-                delta.insert(&rel, t)?;
-            }
-        }
-    }
-
-    // Differential rounds.
-    while delta.size() > 0 {
-        stats.rounds += 1;
-        let mut new: Vec<(String, Tuple)> = Vec::new();
-        for rule in &prog.rules {
-            // One differentiated evaluation per derived positive atom.
-            for (i, lit) in rule.body.iter().enumerate() {
-                if !lit.positive || !idb.contains(lit.atom.rel.as_str()) {
-                    continue;
-                }
-                if delta.relation(&lit.atom.rel).is_none_or(|r| r.is_empty()) {
-                    continue;
-                }
-                let mut emit = |t: Tuple| new.push((rule.head.rel.clone(), t));
-                join_rule(rule, &db, Some((&delta, i)), neg_view, &mut emit);
-            }
-        }
-        let mut next_delta = Database::new();
-        for (rel, t) in new {
-            stats.derivations += 1;
-            if db.insert(&rel, t.clone())? {
-                next_delta.insert(&rel, t)?;
-            }
-        }
-        delta = next_delta;
-    }
-    Ok((db, stats))
-}
-
-/// Inflationary Datalog¬ (Abiteboul–Vianu / Kolaitis–Papadimitriou): each
-/// round evaluates all rules — negation included — against the *current*
-/// database and adds everything derived; facts are never retracted. This is
-/// exactly the semantics IQL generalizes (Section 3.2).
-pub fn eval_inflationary(prog: &Program, edb: &Database) -> Result<(Database, EvalStats)> {
+/// Full-database rounds: every round evaluates all rules against the
+/// current database (frozen per round — negation included, which makes
+/// this inflationary Datalog¬ when negation is present, Abiteboul–Vianu /
+/// Kolaitis–Papadimitriou style; on positive programs it is the naive
+/// baseline). Exactly the semantics IQL generalizes (Section 3.2).
+fn full_rounds(prog: &Program, edb: &Database, threads: usize) -> Result<(Database, EvalStats)> {
     let mut db = edb.clone();
-    let mut stats = EvalStats::default();
+    let mut stats = EvalStats {
+        threads,
+        ..EvalStats::default()
+    };
     loop {
         stats.rounds += 1;
-        let mut new: Vec<(String, Tuple)> = Vec::new();
-        for rule in &prog.rules {
-            let mut emit = |t: Tuple| new.push((rule.head.rel.clone(), t));
-            // Negation reads the current (frozen for this round) database.
-            join_rule(rule, &db, None, &db, &mut emit);
-        }
+        let outs = {
+            let tasks: Vec<JoinTask> = prog
+                .rules
+                .iter()
+                .map(|rule| JoinTask {
+                    rule,
+                    read: &db,
+                    delta: None,
+                    neg_view: &db,
+                })
+                .collect();
+            run_join_tasks(&tasks, threads)
+        };
         let mut changed = false;
-        for (rel, t) in new {
-            stats.derivations += 1;
-            if db.insert(&rel, t)? {
-                changed = true;
+        for (rule, tuples) in prog.rules.iter().zip(outs) {
+            for t in tuples {
+                stats.derivations += 1;
+                if db.insert(&rule.head.rel, t)? {
+                    changed = true;
+                }
             }
         }
         if !changed {
@@ -353,22 +415,107 @@ pub fn eval_inflationary(prog: &Program, edb: &Database) -> Result<(Database, Ev
     }
 }
 
-/// Stratified Datalog¬: stratify, then evaluate each stratum semi-naively
-/// with negation reading the completed lower strata.
-pub fn eval_stratified(prog: &Program, edb: &Database) -> Result<(Database, EvalStats)> {
-    let strata = stratify(prog)?;
-    let mut db = edb.clone();
-    let mut total = EvalStats::default();
-    for stratum in &strata {
-        // Negation inside a stratum only mentions lower-stratum relations,
-        // which are final in `db` — freeze them as the negation view.
-        let neg_view = db.clone();
-        let (next, stats) = eval_seminaive_stratum(stratum, db, &neg_view)?;
-        db = next;
-        total.rounds += stats.rounds;
-        total.derivations += stats.derivations;
+/// Semi-naive core, with `neg_view` holding the (frozen, lower-stratum)
+/// relations negative literals read.
+fn seminaive_stratum(
+    prog: &Program,
+    mut db: Database,
+    neg_view: &Database,
+    threads: usize,
+    stats: &mut EvalStats,
+) -> Result<Database> {
+    let idb: BTreeSet<&str> = prog.idb();
+
+    // Round 0: evaluate every rule on the current database.
+    let mut delta = Database::new();
+    stats.rounds += 1;
+    {
+        let outs = {
+            let tasks: Vec<JoinTask> = prog
+                .rules
+                .iter()
+                .map(|rule| JoinTask {
+                    rule,
+                    read: &db,
+                    delta: None,
+                    neg_view,
+                })
+                .collect();
+            run_join_tasks(&tasks, threads)
+        };
+        for (rule, tuples) in prog.rules.iter().zip(outs) {
+            for t in tuples {
+                stats.derivations += 1;
+                if db.insert(&rule.head.rel, t.clone())? {
+                    delta.insert(&rule.head.rel, t)?;
+                }
+            }
+        }
     }
-    Ok((db, total))
+
+    // Differential rounds: one task per derived positive atom occurrence.
+    while delta.size() > 0 {
+        stats.rounds += 1;
+        let (heads, outs) = {
+            let mut tasks: Vec<JoinTask> = Vec::new();
+            for rule in &prog.rules {
+                for (i, lit) in rule.body.iter().enumerate() {
+                    if !lit.positive || !idb.contains(lit.atom.rel.as_str()) {
+                        continue;
+                    }
+                    if delta.relation(&lit.atom.rel).is_none_or(|r| r.is_empty()) {
+                        continue;
+                    }
+                    tasks.push(JoinTask {
+                        rule,
+                        read: &db,
+                        delta: Some((&delta, i)),
+                        neg_view,
+                    });
+                }
+            }
+            let heads: Vec<&Rule> = tasks.iter().map(|t| t.rule).collect();
+            (heads, run_join_tasks(&tasks, threads))
+        };
+        let mut next_delta = Database::new();
+        for (rule, tuples) in heads.into_iter().zip(outs) {
+            for t in tuples {
+                stats.derivations += 1;
+                if db.insert(&rule.head.rel, t.clone())? {
+                    next_delta.insert(&rule.head.rel, t)?;
+                }
+            }
+        }
+        delta = next_delta;
+    }
+    Ok(db)
+}
+
+/// Naive evaluation of a positive program.
+#[deprecated(since = "0.1.0", note = "use `eval(prog, edb, Strategy::Naive)`")]
+pub fn eval_naive(prog: &Program, edb: &Database) -> Result<(Database, EvalStats)> {
+    eval(prog, edb, Strategy::Naive)
+}
+
+/// Semi-naive evaluation of a positive program.
+#[deprecated(since = "0.1.0", note = "use `eval(prog, edb, Strategy::SemiNaive)`")]
+pub fn eval_seminaive(prog: &Program, edb: &Database) -> Result<(Database, EvalStats)> {
+    eval(prog, edb, Strategy::SemiNaive)
+}
+
+/// Inflationary Datalog¬.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `eval(prog, edb, Strategy::Inflationary)`"
+)]
+pub fn eval_inflationary(prog: &Program, edb: &Database) -> Result<(Database, EvalStats)> {
+    eval(prog, edb, Strategy::Inflationary)
+}
+
+/// Stratified Datalog¬.
+#[deprecated(since = "0.1.0", note = "use `eval(prog, edb, Strategy::Stratified)`")]
+pub fn eval_stratified(prog: &Program, edb: &Database) -> Result<(Database, EvalStats)> {
+    eval(prog, edb, Strategy::Stratified)
 }
 
 #[cfg(test)]
@@ -394,8 +541,8 @@ mod tests {
     fn naive_and_seminaive_agree_on_tc() {
         let prog = parse_program(TC).unwrap();
         let db = chain_db(12);
-        let (naive, s1) = eval_naive(&prog, &db).unwrap();
-        let (semi, s2) = eval_seminaive(&prog, &db).unwrap();
+        let (naive, s1) = eval(&prog, &db, Strategy::Naive).unwrap();
+        let (semi, s2) = eval(&prog, &db, Strategy::SemiNaive).unwrap();
         assert_eq!(naive, semi);
         // Chain of 13 nodes: 12·13/2 = 78 closure pairs.
         assert_eq!(naive.relation("Tc").unwrap().len(), 78);
@@ -414,7 +561,7 @@ mod tests {
         let mut db = chain_db(3);
         db.insert("Edge", vec![Constant::int(3), Constant::int(0)])
             .unwrap();
-        let (out, _) = eval_seminaive(&prog, &db).unwrap();
+        let (out, _) = eval(&prog, &db, Strategy::SemiNaive).unwrap();
         // 4-cycle: complete closure 4×4 = 16.
         assert_eq!(out.relation("Tc").unwrap().len(), 16);
     }
@@ -423,7 +570,7 @@ mod tests {
     fn constants_in_rules() {
         let prog = parse_program(r#"Hit(x) :- Edge(0, x)."#).unwrap();
         let db = chain_db(3);
-        let (out, _) = eval_seminaive(&prog, &db).unwrap();
+        let (out, _) = eval(&prog, &db, Strategy::SemiNaive).unwrap();
         assert_eq!(out.relation("Hit").unwrap().len(), 1);
     }
 
@@ -443,7 +590,7 @@ mod tests {
         let mut db = chain_db(2); // 0→1→2
         db.insert("Edge", vec![Constant::int(7), Constant::int(8)])
             .unwrap();
-        let (out, _) = eval_stratified(&prog, &db).unwrap();
+        let (out, _) = eval(&prog, &db, Strategy::Stratified).unwrap();
         let un = out.relation("Un").unwrap();
         assert_eq!(un.len(), 2); // 7, 8
     }
@@ -457,7 +604,7 @@ mod tests {
             db.insert("Move", vec![Constant::int(i), Constant::int(i + 1)])
                 .unwrap();
         }
-        let (out, _) = eval_inflationary(&prog, &db).unwrap();
+        let (out, _) = eval(&prog, &db, Strategy::Inflationary).unwrap();
         // Round 1: every mover "wins" (Win empty at round start): 0,1,2.
         // Round 2 adds nothing new. Inflationary ≠ stratified here; this
         // pins the semantics.
@@ -467,7 +614,7 @@ mod tests {
     #[test]
     fn facts_in_program() {
         let prog = parse_program(r#"Start(0). Next(x) :- Start(x)."#).unwrap();
-        let (out, _) = eval_seminaive(&prog, &Database::new()).unwrap();
+        let (out, _) = eval(&prog, &Database::new(), Strategy::SemiNaive).unwrap();
         assert!(out
             .relation("Next")
             .unwrap()
@@ -496,10 +643,45 @@ mod tests {
     }
 
     #[test]
+    fn parallel_rounds_match_sequential() {
+        let prog = parse_program(TC).unwrap();
+        let mut db = chain_db(6);
+        db.insert("Edge", vec![Constant::int(6), Constant::int(0)])
+            .unwrap();
+        for strategy in [
+            Strategy::Naive,
+            Strategy::SemiNaive,
+            Strategy::Inflationary,
+            Strategy::Stratified,
+        ] {
+            let (seq, s1) = eval_with(&prog, &db, strategy, 1).unwrap();
+            for threads in [2, 4, 8] {
+                let (par, s2) = eval_with(&prog, &db, strategy, threads).unwrap();
+                assert_eq!(seq, par, "{strategy} differs at {threads} threads");
+                assert_eq!(s1.rounds, s2.rounds);
+                assert_eq!(s1.derivations, s2.derivations);
+                assert_eq!(s2.threads, threads);
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate() {
+        let prog = parse_program(TC).unwrap();
+        let db = chain_db(4);
+        let (a, _) = eval_naive(&prog, &db).unwrap();
+        let (b, _) = eval(&prog, &db, Strategy::Naive).unwrap();
+        assert_eq!(a, b);
+        let (c, _) = eval_seminaive(&prog, &db).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
     fn naive_rejects_negation() {
         let prog = parse_program("Out(x) :- Node(x), !Bad(x).").unwrap();
         assert!(matches!(
-            eval_naive(&prog, &Database::new()),
+            eval(&prog, &Database::new(), Strategy::Naive),
             Err(DlError::NegationUnsupported(_))
         ));
     }

@@ -7,10 +7,13 @@
 //! the baseline for experiment E11 (IQL-as-Datalog vs. a dedicated engine):
 //!
 //! * [`ast`] — flat rules over constant tuples, with a small text parser;
-//! * [`engine`] — **naive** and **semi-naive** bottom-up evaluation with
+//! * [`engine`] — one [`eval`]`(prog, edb, `[`Strategy`]`)` entry point
+//!   over **naive** and **semi-naive** bottom-up evaluation with
 //!   hash-indexed joins, plus **inflationary** Datalog¬ (the fixpoint
 //!   semantics IQL generalizes, Kolaitis–Papadimitriou style) and
-//!   **stratified** Datalog¬;
+//!   **stratified** Datalog¬; [`eval_with`] adds a worker-pool knob with
+//!   order-deterministic merging, so parallel output is identical to
+//!   sequential;
 //! * [`stratify`](fn@stratify) — SCC-based stratification;
 //! * [`convert`] — translation of a Datalog program into an equivalent IQL
 //!   [`iql_core::Program`], realizing the paper's claim that "each Datalog
@@ -23,6 +26,8 @@ pub mod engine;
 pub mod stratify;
 
 pub use ast::{parse_program, Atom, Database, DlTerm, Lit, Program, Relation, Rule};
+pub use engine::{eval, eval_with, EvalStats, Strategy};
+#[allow(deprecated)]
 pub use engine::{eval_inflationary, eval_naive, eval_seminaive, eval_stratified};
 pub use stratify::stratify;
 

@@ -428,9 +428,7 @@ mod tests {
             .build()
             .unwrap();
         assert!(!d.is_cyclic());
-        assert!(d
-            .is_recursive_class(ClassName::new("Ghost".into()))
-            .is_err());
+        assert!(d.is_recursive_class(ClassName::new("Ghost")).is_err());
     }
 
     #[test]

@@ -28,15 +28,18 @@
 
 pub use iql_algebra as algebra;
 pub use iql_core as lang;
+pub use iql_core::Engine;
 pub use iql_datalog as datalog;
 pub use iql_model as model;
 pub use iql_vtree as vtree;
 
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
-    pub use iql_core::eval::{run, EvalConfig, EvalOutput};
+    pub use iql_core::engine::Engine;
+    pub use iql_core::eval::{run, EvalConfig, EvalConfigBuilder, EvalOutput, EvalReport};
     pub use iql_core::parser::parse_unit;
     pub use iql_core::{Head, Literal, Program, ProgramBuilder, Rule, Term};
+    pub use iql_datalog::Strategy;
     pub use iql_model::{
         AttrName, ClassName, Constant, Instance, OValue, Oid, RelName, Schema, SchemaBuilder,
         TypeExpr,

@@ -1,9 +1,10 @@
 //! `iql` — run IQL programs from the command line.
 //!
 //! ```text
-//! iql run <file.iql> [--full] [--stats] [--max-steps N] [--enum-budget N]
+//! iql run <file.iql> [--full] [--stats] [--threads N] [--max-steps N] …
 //! iql check <file.iql>
 //! iql classify <file.iql>
+//! iql explain <file.iql>
 //! ```
 //!
 //! A `.iql` file holds a `schema { … }`, optionally a `program { … }`, and
@@ -11,13 +12,66 @@
 //! evaluates the program on the instance (empty input if absent) and prints
 //! the output instance's ground facts; `check` just parses and type-checks;
 //! `classify` reports the Section-5 sublanguage (IQLrr / IQLpr / IQL).
+//!
+//! Engine knobs are declared once in [`ENGINE_KNOBS`] — a table mapping
+//! flags onto [`EvalConfigBuilder`] setters — so flag parsing, `--help`
+//! text, and the config stay in sync by construction.
 
-use iql::lang::eval::{run, EvalConfig};
+use iql::lang::eval::{EvalConfig, EvalConfigBuilder};
 use iql::lang::parser::parse_unit;
 use iql::lang::sublang::{analyze_stage, classify};
-use iql::model::Instance;
+use iql::prelude::Engine;
 use std::process::ExitCode;
-use std::sync::Arc;
+
+/// One engine knob: a flag, its argument shape, and the builder setter it
+/// drives.
+struct Knob {
+    flag: &'static str,
+    /// Metavar for flags taking a value; `None` for boolean switches.
+    arg: Option<&'static str>,
+    help: &'static str,
+    apply: fn(EvalConfigBuilder, Option<&str>) -> Result<EvalConfigBuilder, String>,
+}
+
+fn required_usize(flag: &str, value: Option<&str>) -> Result<usize, String> {
+    value
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("{flag} needs an integer"))
+}
+
+/// The engine-knob table: every `EvalConfig` surface the CLI exposes.
+const ENGINE_KNOBS: &[Knob] = &[
+    Knob {
+        flag: "--threads",
+        arg: Some("N"),
+        help: "worker threads for rule evaluation (0 = one per core; default 1)",
+        apply: |b, v| Ok(b.threads(required_usize("--threads", v)?)),
+    },
+    Knob {
+        flag: "--max-steps",
+        arg: Some("N"),
+        help: "inflationary step limit (default 10000)",
+        apply: |b, v| Ok(b.max_steps(required_usize("--max-steps", v)?)),
+    },
+    Knob {
+        flag: "--enum-budget",
+        arg: Some("N"),
+        help: "active-domain enumeration budget (default 2^20)",
+        apply: |b, v| Ok(b.enum_budget(required_usize("--enum-budget", v)?)),
+    },
+    Knob {
+        flag: "--no-index",
+        arg: None,
+        help: "disable per-scan hash indexes",
+        apply: |b, _| Ok(b.index(false)),
+    },
+    Knob {
+        flag: "--no-seminaive",
+        arg: None,
+        help: "disable delta-driven evaluation (pure naive semantics)",
+        apply: |b, _| Ok(b.seminaive(false)),
+    },
+];
 
 fn main() -> ExitCode {
     match real_main() {
@@ -34,26 +88,23 @@ fn real_main() -> Result<(), String> {
     let mut positional: Vec<&str> = Vec::new();
     let mut full = false;
     let mut stats = false;
-    let mut cfg = EvalConfig::default();
+    let mut builder = EvalConfig::builder();
     let mut it = args.iter();
-    while let Some(a) = it.next() {
+    'args: while let Some(a) = it.next() {
+        for knob in ENGINE_KNOBS {
+            if a.as_str() == knob.flag {
+                let value = if knob.arg.is_some() {
+                    it.next().map(String::as_str)
+                } else {
+                    None
+                };
+                builder = (knob.apply)(builder, value)?;
+                continue 'args;
+            }
+        }
         match a.as_str() {
             "--full" => full = true,
             "--stats" => stats = true,
-            "--no-index" => cfg.use_index = false,
-            "--no-seminaive" => cfg.use_seminaive = false,
-            "--max-steps" => {
-                cfg.max_steps = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--max-steps needs an integer")?;
-            }
-            "--enum-budget" => {
-                cfg.enum_budget = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--enum-budget needs an integer")?;
-            }
             "--help" | "-h" => {
                 print_help();
                 return Ok(());
@@ -61,12 +112,13 @@ fn real_main() -> Result<(), String> {
             other => positional.push(other),
         }
     }
+    let cfg = builder.build();
     let (cmd, file) = match positional.as_slice() {
         [cmd, file] => (*cmd, *file),
         [file] => ("run", *file),
         _ => {
             print_help();
-            return Err("expected: iql [run|check|classify] <file.iql>".into());
+            return Err("expected: iql [run|check|classify|explain] <file.iql>".into());
         }
     };
     let src = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
@@ -115,11 +167,12 @@ fn real_main() -> Result<(), String> {
         }
         "run" => {
             let p = unit.program.ok_or("run needs a program block")?;
-            let input = match unit.instance {
-                Some(i) => i,
-                None => Instance::new(Arc::clone(&p.input)),
-            };
-            let out = run(&p, &input, &cfg).map_err(|e| e.to_string())?;
+            let engine = Engine::new(p).with_config(cfg);
+            let out = match unit.instance {
+                Some(i) => engine.run(&i),
+                None => engine.run_empty(),
+            }
+            .map_err(|e| e.to_string())?;
             let shown = if full { &out.full } else { &out.output };
             for fact in shown.ground_facts() {
                 println!("{fact}");
@@ -132,6 +185,17 @@ fn real_main() -> Result<(), String> {
                     out.report.facts_added,
                     out.report.facts_deleted,
                     out.report.enum_fallbacks
+                );
+                for ((stage, rule), fires) in &out.report.rule_fires {
+                    eprintln!("stage {stage} rule {rule}: {fires} derivation(s)");
+                }
+                let search: u64 = out.report.step_timings.iter().map(|t| t.search_nanos).sum();
+                let apply: u64 = out.report.step_timings.iter().map(|t| t.apply_nanos).sum();
+                eprintln!(
+                    "search={:.3}ms merge={:.3}ms threads={}",
+                    search as f64 / 1e6,
+                    apply as f64 / 1e6,
+                    engine.config().effective_threads()
                 );
             }
             Ok(())
@@ -153,9 +217,14 @@ USAGE:
 OPTIONS:
     --full             print the full fixpoint instance, not just the output
     --stats            print evaluation statistics to stderr
-    --max-steps N      inflationary step limit (default 10000)
-    --enum-budget N    active-domain enumeration budget (default 2^20)
-    --no-index         disable per-scan hash indexes
-    --no-seminaive     disable delta-driven evaluation (pure naive semantics)"
+
+ENGINE OPTIONS:"
     );
+    for knob in ENGINE_KNOBS {
+        let flag = match knob.arg {
+            Some(metavar) => format!("{} {}", knob.flag, metavar),
+            None => knob.flag.to_string(),
+        };
+        println!("    {flag:<18} {}", knob.help);
+    }
 }

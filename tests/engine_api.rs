@@ -1,0 +1,213 @@
+//! Integration tests for the public engine API surface: the [`Engine`]
+//! facade, the [`EvalConfig`] builder, the Datalog [`Strategy`] entry
+//! point, and the bit-identical guarantee of parallel evaluation — all
+//! dependency-free so tier-1 catches accidental breakage.
+
+use iql::lang::programs::{
+    graph_to_class_program, parallel_join_program, transitive_closure_program,
+};
+use iql::prelude::*;
+use std::sync::Arc;
+
+/// Deterministic xorshift64* — keeps these tests free of external crates.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+fn random_edges(n: usize, m: usize, seed: u64) -> Vec<(String, String)> {
+    let mut rng = XorShift(seed | 1);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let s = rng.next() as usize % n;
+        let d = rng.next() as usize % n;
+        if s != d {
+            edges.push((format!("n{s}"), format!("n{d}")));
+        }
+    }
+    edges
+}
+
+fn edge_input(
+    prog: &Program,
+    rel: &str,
+    attrs: (&str, &str),
+    edges: &[(String, String)],
+) -> Instance {
+    let mut input = Instance::new(Arc::clone(&prog.input));
+    for (s, d) in edges {
+        input
+            .insert_unchecked(
+                RelName::new(rel),
+                OValue::tuple([(attrs.0, OValue::str(s)), (attrs.1, OValue::str(d))]),
+            )
+            .unwrap();
+    }
+    input
+}
+
+// ---------------------------------------------------------------------
+// EvalConfig builder
+// ---------------------------------------------------------------------
+
+#[test]
+fn builder_sets_every_knob() {
+    let cfg = EvalConfig::builder()
+        .max_steps(7)
+        .enum_budget(11)
+        .max_facts(13)
+        .check_output(false)
+        .index(false)
+        .seminaive(false)
+        .nondeterministic_choice(true)
+        .threads(5)
+        .build();
+    assert_eq!(cfg.max_steps, 7);
+    assert_eq!(cfg.enum_budget, 11);
+    assert_eq!(cfg.max_facts, 13);
+    assert!(!cfg.check_output);
+    assert!(!cfg.use_index);
+    assert!(!cfg.use_seminaive);
+    assert!(cfg.nondeterministic_choice);
+    assert_eq!(cfg.threads, 5);
+    assert_eq!(cfg.effective_threads(), 5);
+    // to_builder derives a variant without disturbing the rest.
+    let derived = cfg.to_builder().threads(2).build();
+    assert_eq!(derived.threads, 2);
+    assert_eq!(derived.max_steps, 7);
+    assert!(!derived.use_seminaive);
+}
+
+#[test]
+fn default_config_is_sequential() {
+    let cfg = EvalConfig::default();
+    assert_eq!(cfg.threads, 1);
+    assert_eq!(cfg.effective_threads(), 1);
+    // threads = 0 resolves to the machine's parallelism, never 0.
+    let auto = EvalConfig::builder().threads(0).build();
+    assert!(auto.effective_threads() >= 1);
+}
+
+// ---------------------------------------------------------------------
+// Engine facade
+// ---------------------------------------------------------------------
+
+#[test]
+fn engine_matches_direct_run() {
+    let prog = transitive_closure_program();
+    let edges = random_edges(12, 24, 42);
+    let input = edge_input(&prog, "Edge", ("src", "dst"), &edges);
+    let direct = run(&prog, &input, &EvalConfig::default()).unwrap();
+    let engine = Engine::new(transitive_closure_program());
+    let via_engine = engine.run(&input).unwrap();
+    assert_eq!(
+        direct.output.ground_facts(),
+        via_engine.output.ground_facts()
+    );
+    assert_eq!(direct.report.counters(), via_engine.report.counters());
+}
+
+#[test]
+fn engine_with_config_and_accessors() {
+    let cfg = EvalConfig::builder().threads(2).build();
+    let engine = Engine::new(transitive_closure_program()).with_config(cfg);
+    assert_eq!(engine.config().threads, 2);
+    assert_eq!(engine.program().stages.len(), 1);
+    // An empty input runs fine through the facade.
+    let out = engine.run_empty().unwrap();
+    assert_eq!(out.report.facts_added, 0);
+}
+
+// ---------------------------------------------------------------------
+// Datalog Strategy entry point
+// ---------------------------------------------------------------------
+
+#[test]
+fn strategy_entry_point_covers_all_strategies() {
+    let dl =
+        iql::datalog::parse_program("Tc(x, y) :- Edge(x, y). Tc(x, z) :- Tc(x, y), Edge(y, z).")
+            .unwrap();
+    let mut db = iql::datalog::Database::new();
+    for (s, d) in [(1i64, 2), (2, 3), (3, 4)] {
+        db.insert("Edge", vec![Constant::int(s), Constant::int(d)])
+            .unwrap();
+    }
+    let mut results = Vec::new();
+    for strategy in [
+        Strategy::Naive,
+        Strategy::SemiNaive,
+        Strategy::Inflationary,
+        Strategy::Stratified,
+    ] {
+        let (out, stats) = iql::datalog::eval(&dl, &db, strategy).unwrap();
+        assert_eq!(out.relation("Tc").unwrap().len(), 6, "{strategy}");
+        assert_eq!(stats.threads, 1, "{strategy}");
+        results.push(out);
+    }
+    for other in &results[1..] {
+        assert_eq!(results[0], *other, "strategies disagree on positive TC");
+    }
+    assert_eq!(Strategy::SemiNaive.to_string(), "semi-naive");
+}
+
+// ---------------------------------------------------------------------
+// Parallel evaluation: bit-identical output on a fixed workload
+// ---------------------------------------------------------------------
+
+#[test]
+fn parallel_eval_bit_identical_across_thread_counts() {
+    for (prog, rel) in [
+        (graph_to_class_program(), "R"),
+        (parallel_join_program(), "Edge"),
+    ] {
+        let edges = random_edges(20, 60, 7);
+        let input = edge_input(&prog, rel, ("src", "dst"), &edges);
+        let engine = |threads: usize| {
+            Engine::new(prog.clone()).with_config(EvalConfig::builder().threads(threads).build())
+        };
+        let baseline = engine(1).run(&input).unwrap();
+        assert!(baseline.report.invented > 0, "workload must invent oids");
+        for threads in [2usize, 4, 8] {
+            let par = engine(threads).run(&input).unwrap();
+            // Same facts, same invented-oid numbering, same counters —
+            // not merely isomorphic.
+            assert_eq!(
+                baseline.full.ground_facts(),
+                par.full.ground_facts(),
+                "{prog} differs at {threads} threads"
+            );
+            assert_eq!(
+                baseline.report.counters(),
+                par.report.counters(),
+                "{prog} report drift at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_report_exposes_step_profile() {
+    let prog = parallel_join_program();
+    let edges = random_edges(16, 48, 3);
+    let input = edge_input(&prog, "Edge", ("src", "dst"), &edges);
+    let out = Engine::new(prog)
+        .with_config(EvalConfig::builder().threads(4).build())
+        .run(&input)
+        .unwrap();
+    // One timing entry per step, stamped with stage/step indices.
+    assert_eq!(out.report.step_timings.len(), out.report.steps);
+    assert_eq!(out.report.stages, 2);
+    assert!(out.report.step_timings.iter().any(|t| t.fires > 0));
+    // Per-rule derivation counters sum to the total fires.
+    let from_rules: usize = out.report.rule_fires.values().sum();
+    let from_steps: usize = out.report.step_timings.iter().map(|t| t.fires).sum();
+    assert_eq!(from_rules, from_steps);
+}

@@ -70,14 +70,8 @@ fn battery_genericity_under_constant_renaming() {
 
 #[test]
 fn battery_evaluator_modes_agree() {
-    let naive = EvalConfig {
-        use_seminaive: false,
-        ..EvalConfig::default()
-    };
-    let no_index = EvalConfig {
-        use_index: false,
-        ..EvalConfig::default()
-    };
+    let naive = EvalConfig::builder().seminaive(false).build();
+    let no_index = EvalConfig::builder().index(false).build();
     for (prog, rel, attrs) in binary_input_programs() {
         let input = build_input(&prog, rel, attrs, &EDGES);
         let a = run(&prog, &input, &EvalConfig::default()).unwrap();

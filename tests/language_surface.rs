@@ -195,7 +195,7 @@ fn stratified_three_levels() {
     }
     db.insert("Node", vec![Constant::int(9)]).unwrap();
     db.insert("Start", vec![Constant::int(1)]).unwrap();
-    let (out, _) = iql::datalog::eval_stratified(&p, &db).unwrap();
+    let (out, _) = iql::datalog::eval(&p, &db, iql::datalog::Strategy::Stratified).unwrap();
     assert_eq!(out.relation("Dead").unwrap().len(), 1); // node 9
     assert_eq!(out.relation("Alive").unwrap().len(), 3); // 1, 2, 3
 }

@@ -361,7 +361,7 @@ fn datalog_embedding_agrees_with_dedicated_engine() {
         db.insert("Edge", vec![Constant::int(s), Constant::int(d)])
             .unwrap();
     }
-    let (expect, _) = iql::datalog::eval_seminaive(&dl, &db).unwrap();
+    let (expect, _) = iql::datalog::eval(&dl, &db, Strategy::SemiNaive).unwrap();
     let input =
         iql::datalog::convert::database_to_instance(&db, &["Edge"], &iql_prog.input).unwrap();
     let out = run(&iql_prog, &input, &cfg()).unwrap();

@@ -298,9 +298,17 @@ proptest! {
         for (s, d) in &edges {
             db.insert("Edge", vec![Constant::int(*s), Constant::int(*d)]).unwrap();
         }
-        let (a, _) = iql::datalog::eval_naive(&prog, &db).unwrap();
-        let (b, _) = iql::datalog::eval_seminaive(&prog, &db).unwrap();
-        prop_assert_eq!(a, b);
+        let (a, _) = iql::datalog::eval(&prog, &db, iql::datalog::Strategy::Naive).unwrap();
+        let (b, _) = iql::datalog::eval(&prog, &db, iql::datalog::Strategy::SemiNaive).unwrap();
+        prop_assert_eq!(&a, &b);
+        // The worker pool merges in deterministic order: same database out.
+        for threads in [2usize, 4, 8] {
+            let (c, stats) = iql::datalog::eval_with(
+                &prog, &db, iql::datalog::Strategy::SemiNaive, threads,
+            ).unwrap();
+            prop_assert_eq!(&b, &c);
+            prop_assert_eq!(stats.threads, threads);
+        }
     }
 
     // -------------------------------------------------------------
@@ -392,7 +400,7 @@ proptest! {
             .map(|(a, b)| (format!("n{a}"), format!("n{b}")))
             .collect();
         prop_assume!(!edges.is_empty());
-        let naive = EvalConfig { use_seminaive: false, ..EvalConfig::default() };
+        let naive = EvalConfig::builder().seminaive(false).build();
         let semi = EvalConfig::default();
         for (prog, rel, attrs) in [
             (transitive_closure_program(), "Edge", ("src", "dst")),
@@ -464,5 +472,87 @@ proptest! {
         let o1 = run(&prog, &build(&edges), &EvalConfig::default()).unwrap();
         let o2 = run(&prog, &build(&rev), &EvalConfig::default()).unwrap();
         prop_assert!(are_o_isomorphic(&o1.output, &o2.output));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel evaluation is bit-identical to sequential
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_eval_is_bit_identical(
+        edges in prop::collection::btree_set((0usize..8, 0usize..8), 1..20)
+    ) {
+        // Not just isomorphic: the deterministic merge must reproduce the
+        // *same* instance as sequential evaluation — same invented-oid
+        // numbers, same facts, same report counters — on invention-heavy
+        // programs. This is the correctness contract of the worker pool.
+        use iql::lang::programs::{
+            graph_to_class_program, parallel_join_program, transitive_closure_program,
+            unreachable_program,
+        };
+        use iql::model::iso::are_o_isomorphic;
+        use std::sync::Arc;
+        let edges: Vec<(String, String)> = edges
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| (format!("n{a}"), format!("n{b}")))
+            .collect();
+        prop_assume!(!edges.is_empty());
+        for (prog, rel, attrs) in [
+            (graph_to_class_program(), "R", ("src", "dst")),
+            (parallel_join_program(), "Edge", ("src", "dst")),
+            (transitive_closure_program(), "Edge", ("src", "dst")),
+            (unreachable_program(), "Edge", ("src", "dst")),
+        ] {
+            let mut input = Instance::new(Arc::clone(&prog.input));
+            for (s, d) in &edges {
+                input
+                    .insert(
+                        RelName::new(rel),
+                        OValue::tuple([(attrs.0, OValue::str(s)), (attrs.1, OValue::str(d))]),
+                    )
+                    .unwrap();
+            }
+            if prog.input.has_relation(RelName::new("Source")) {
+                input
+                    .insert(
+                        RelName::new("Source"),
+                        OValue::tuple([("node", OValue::str(&edges[0].0))]),
+                    )
+                    .unwrap();
+            }
+            let sequential = run(&prog, &input, &EvalConfig::default()).unwrap();
+            for (seminaive, threads) in
+                [(true, 2usize), (true, 4), (true, 8), (false, 4)]
+            {
+                let cfg = EvalConfig::builder().threads(threads).seminaive(seminaive).build();
+                let par = run(&prog, &input, &cfg).unwrap();
+                if seminaive {
+                    // Same strategy, more workers: everything matches,
+                    // including the full fixpoint and the counters.
+                    prop_assert_eq!(
+                        sequential.full.ground_facts(),
+                        par.full.ground_facts(),
+                        "full instance drift in {} at {} threads", prog, threads
+                    );
+                    prop_assert_eq!(
+                        sequential.report.counters(),
+                        par.report.counters(),
+                        "report drift in {} at {} threads", prog, threads
+                    );
+                } else {
+                    // Different strategy: oids may be numbered differently,
+                    // but outputs still agree up to isomorphism.
+                    prop_assert!(
+                        are_o_isomorphic(&sequential.output, &par.output),
+                        "naive-parallel disagrees in {} at {} threads", prog, threads
+                    );
+                }
+            }
+        }
     }
 }
