@@ -9,9 +9,11 @@
 //!
 //! Values reuse the model crate's [`Constant`] and [`AttrName`]; a complex
 //! value is exactly an oid-free [`iql_model::OValue`], and [`to_ovalue`] /
-//! [`from_ovalue`] convert between the two.
+//! [`from_ovalue`] convert between the two. [`intern_value`] /
+//! [`value_of_id`] convert directly against an interned value store,
+//! without materializing the intermediate tree.
 
-use iql_model::{AttrName, Constant, OValue};
+use iql_model::{AttrName, Constant, Node, OValue, ValueId, ValueInterner, ValueReader};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -99,6 +101,49 @@ pub fn from_ovalue(v: &OValue) -> Option<Value> {
             let mut out = BTreeSet::new();
             for e in elems {
                 out.insert(from_ovalue(e)?);
+            }
+            Some(Value::Set(out))
+        }
+    }
+}
+
+/// Interns a complex value directly into an o-value store — the id-world
+/// boundary for algebra results flowing into an [`iql_model::Instance`],
+/// with no intermediate [`OValue`] tree.
+pub fn intern_value<I: ValueInterner + ?Sized>(v: &Value, interner: &mut I) -> ValueId {
+    match v {
+        Value::Const(c) => interner.const_id(c.clone()),
+        Value::Tuple(fields) => {
+            let entries: Vec<(AttrName, ValueId)> = fields
+                .iter()
+                .map(|(a, fv)| (*a, intern_value(fv, interner)))
+                .collect();
+            interner.tuple_id(entries)
+        }
+        Value::Set(elems) => {
+            let ids: Vec<ValueId> = elems.iter().map(|e| intern_value(e, interner)).collect();
+            interner.set_id(ids)
+        }
+    }
+}
+
+/// Reads an interned o-value back as a complex value; `None` if any oid
+/// occurs (oids have no meaning in the value-based algebra).
+pub fn value_of_id<R: ValueReader + ?Sized>(id: ValueId, reader: &R) -> Option<Value> {
+    match reader.node(id) {
+        Node::Const(c) => Some(Value::Const(c.clone())),
+        Node::Oid(_) => None,
+        Node::Tuple(fields) => {
+            let mut out = BTreeMap::new();
+            for &(a, fv) in fields.iter() {
+                out.insert(a, value_of_id(fv, reader)?);
+            }
+            Some(Value::Tuple(out))
+        }
+        Node::Set(elems) => {
+            let mut out = BTreeSet::new();
+            for &e in elems.iter() {
+                out.insert(value_of_id(e, reader)?);
             }
             Some(Value::Set(out))
         }
@@ -349,6 +394,23 @@ mod tests {
         // Oids don't convert.
         let with_oid = OValue::oid(iql_model::Oid::from_raw(1));
         assert_eq!(from_ovalue(&with_oid), None);
+    }
+
+    #[test]
+    fn interned_roundtrip_agrees_with_tree_path() {
+        use iql_model::ValueStore;
+        let v = Value::tuple([
+            ("name", Value::str("x")),
+            ("tags", Value::set([Value::int(1), Value::int(2)])),
+        ]);
+        let mut store = ValueStore::new();
+        let id = intern_value(&v, &mut store);
+        // Direct interning produces the same id as interning the tree form.
+        assert_eq!(store.intern(&to_ovalue(&v)), id);
+        assert_eq!(value_of_id(id, &store), Some(v));
+        // Oid nodes don't convert.
+        let oid_id = store.oid_id(iql_model::Oid::from_raw(1));
+        assert_eq!(value_of_id(oid_id, &store), None);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use iql_bench::{bench_config, edge_instance, random_digraph};
 use iql_core::eval::run;
 use iql_core::programs::transitive_closure_program;
+use iql_datalog::{eval, Strategy};
 use iql_model::Constant;
 
 fn bench(c: &mut Criterion) {
@@ -41,10 +42,10 @@ fn bench(c: &mut Criterion) {
                 .unwrap();
         }
         group.bench_with_input(BenchmarkId::new("dl_naive", n), &db, |b, db| {
-            b.iter(|| iql_datalog::eval_naive(&dl, db).unwrap());
+            b.iter(|| eval(&dl, db, Strategy::Naive).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("dl_seminaive", n), &db, |b, db| {
-            b.iter(|| iql_datalog::eval_seminaive(&dl, db).unwrap());
+            b.iter(|| eval(&dl, db, Strategy::SemiNaive).unwrap());
         });
     }
     group.finish();

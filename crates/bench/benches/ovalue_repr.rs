@@ -1,10 +1,17 @@
-//! Ablation (DESIGN.md §5.1): interned-name + canonical-BTree o-values vs a
-//! naive string-keyed representation — compares construction, comparison,
-//! and set-dedup cost on the tuple shapes IQL joins over.
+//! Ablation (DESIGN.md §5.1 and "Value representation"): three rungs of
+//! the representation ladder —
+//!
+//! 1. a naive string-keyed tree (the strawman),
+//! 2. the interned-name + canonical-BTree `OValue` tree,
+//! 3. the hash-consed `ValueStore` arena (`ValueId` handles).
+//!
+//! Compares construction/dedup/sort (rungs 1–2), plus intern cost, deep
+//! equality, and join-probe throughput (rungs 2–3) on the tuple shapes
+//! IQL joins over.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use iql_model::OValue;
-use std::collections::{BTreeMap, BTreeSet};
+use iql_model::{OValue, ValueId, ValueInterner, ValueStore};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The strawman: string-keyed tuples, no interning.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -41,6 +48,26 @@ fn make_naive(n: usize) -> Vec<NaiveValue> {
         .collect()
 }
 
+/// Deep values with heavy shared substructure — the shape ν-values take
+/// after a few derivation rounds, where hash-consing pays off most.
+fn make_deep(n: usize) -> Vec<OValue> {
+    (0..n)
+        .map(|i| {
+            let leaf = |k: usize| {
+                OValue::tuple([
+                    ("name", OValue::str(&format!("node{}", k % 23))),
+                    ("rank", OValue::int((k % 7) as i64)),
+                ])
+            };
+            OValue::tuple([
+                ("left", leaf(i)),
+                ("right", leaf(i * 7)),
+                ("kids", OValue::set((0..4).map(|j| leaf((i + j) % 31)))),
+            ])
+        })
+        .collect()
+}
+
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ovalue_repr");
     group.sample_size(20);
@@ -71,6 +98,76 @@ fn bench(c: &mut Criterion) {
                 let mut v = v.clone();
                 v.sort();
                 v.len()
+            });
+        });
+    }
+    group.finish();
+
+    // Tree vs hash-consed arena: intern cost, equality, join probe.
+    let mut group = c.benchmark_group("ovalue_repr/arena");
+    group.sample_size(20);
+    for n in [1000usize, 10_000] {
+        let deep = make_deep(n);
+
+        // Cost of admission: interning the whole batch into a fresh arena.
+        group.bench_with_input(BenchmarkId::new("intern_batch", n), &deep, |b, v| {
+            b.iter(|| {
+                let mut store = ValueStore::new();
+                let ids: Vec<ValueId> = v.iter().map(|x| store.intern(x)).collect();
+                (store.len(), ids.len())
+            });
+        });
+
+        // Deep equality: all-pairs over a window, tree compare vs id compare.
+        let window = &deep[..deep.len().min(256)];
+        group.bench_with_input(BenchmarkId::new("tree_equality", n), &window, |b, v| {
+            b.iter(|| {
+                let mut eq = 0usize;
+                for a in v.iter() {
+                    for b2 in v.iter() {
+                        eq += usize::from(a == b2);
+                    }
+                }
+                eq
+            });
+        });
+        let mut store = ValueStore::new();
+        let win_ids: Vec<ValueId> = window.iter().map(|x| store.intern(x)).collect();
+        group.bench_with_input(BenchmarkId::new("id_equality", n), &win_ids, |b, v| {
+            b.iter(|| {
+                let mut eq = 0usize;
+                for &a in v.iter() {
+                    for &b2 in v.iter() {
+                        eq += usize::from(a == b2);
+                    }
+                }
+                eq
+            });
+        });
+
+        // Join probe: hash-map lookups keyed by whole values vs by ids —
+        // the inner loop of matching and condition-(†) dedup.
+        let tree_index: HashMap<&OValue, usize> =
+            deep.iter().enumerate().map(|(i, v)| (v, i)).collect();
+        group.bench_with_input(BenchmarkId::new("tree_join_probe", n), &deep, |b, v| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for probe in v.iter() {
+                    hits += usize::from(tree_index.contains_key(probe));
+                }
+                hits
+            });
+        });
+        let ids: Vec<ValueId> = deep.iter().map(|x| store.intern(x)).collect();
+        let id_index: HashMap<ValueId, usize> =
+            ids.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        group.bench_with_input(BenchmarkId::new("id_join_probe", n), &ids, |b, v| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for probe in v.iter() {
+                    hits += usize::from(id_index.contains_key(probe));
+                }
+                hits
             });
         });
     }

@@ -27,12 +27,24 @@
 use crate::ast::{Head, Literal, Program, Rule, Stage, Term, VarName};
 use crate::error::{IqlError, Result};
 use iql_model::iso::orbits;
-use iql_model::{ClassName, Instance, OValue, Oid, TypeExpr};
-use std::collections::{BTreeMap, BTreeSet};
+use iql_model::{
+    AttrName, ClassName, IdView, Instance, Node, OValue, Oid, Overlay, OverlayLog, TypeExpr,
+    ValueId, ValueInterner, ValueReader,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
-/// A valuation `θ` of rule variables to o-values.
+/// A valuation `θ` of rule variables to o-values — the public face of a
+/// valuation. Internally the evaluator works on [`IdBinding`]s over the
+/// instance's hash-consing [`iql_model::ValueStore`] and converts at the
+/// boundary.
 pub type Binding = BTreeMap<VarName, OValue>;
+
+/// A valuation over interned ids: `Copy` values, O(1) equality, and clones
+/// that copy machine words instead of o-value trees. Ids are relative to
+/// the working instance's store, possibly extended by a worker-local
+/// [`Overlay`] during the search phase.
+type IdBinding = BTreeMap<VarName, ValueId>;
 
 /// Evaluation limits and switches.
 ///
@@ -346,9 +358,11 @@ pub fn run_stage(
 }
 
 /// The facts added by one step — what semi-naive evaluation joins against.
+/// Relation deltas are interned ids into the working instance's store: the
+/// store is append-only, so ids minted in step `n` stay valid in step `n+1`.
 #[derive(Debug, Default, Clone)]
 struct Delta {
-    rels: BTreeMap<iql_model::RelName, BTreeSet<OValue>>,
+    rels: BTreeMap<iql_model::RelName, BTreeSet<ValueId>>,
     classes: BTreeMap<ClassName, BTreeSet<Oid>>,
 }
 
@@ -409,15 +423,21 @@ struct SearchTask {
 }
 
 /// What a search task produces: *pending* derivations only — guard-filtered
-/// valuations in canonical (plan/delta) order — plus local statistics.
-/// Nothing here touches the instance; all mutation happens in the
-/// deterministic merge phase.
+/// valuations in canonical (plan/delta) order — plus local statistics and
+/// the worker's overlay log. Binding ids below the log's base length are
+/// store ids of the frozen pre-step instance; ids at or above it index into
+/// the log and are remapped when the merge phase absorbs it. Nothing here
+/// touches the instance; all mutation happens in the deterministic merge.
 struct SearchOut {
-    fires: Vec<Binding>,
+    fires: Vec<IdBinding>,
     enum_fallbacks: usize,
+    log: OverlayLog,
 }
 
-/// Runs one search task against the frozen pre-step instance.
+/// Runs one search task against the frozen pre-step instance. Values the
+/// body conjures that the store has not seen (constants from the rule text,
+/// freshly built tuples/sets) are interned into a worker-local [`Overlay`];
+/// the base store is never touched, so tasks run in parallel borrow-free.
 fn run_search_task(
     task: &SearchTask,
     stage: &Stage,
@@ -426,22 +446,25 @@ fn run_search_task(
     delta_in: Option<&Delta>,
 ) -> Result<SearchOut> {
     let rule = &stage.rules[task.ri];
+    let view = work.id_view();
+    let mut ov = Overlay::new(work.store());
     let mut enum_fallbacks = 0usize;
-    let valuations: Vec<Binding> = if task.delta_driven {
+    let valuations: Vec<IdBinding> = if task.delta_driven {
         // One run per relation/class scan, with that scan restricted to the
         // previous step's delta (a valuation is new only if at least one of
         // its supporting facts is).
         let delta = delta_in.expect("delta-driven task requires a delta");
         let nscans = count_source_scans(rule)?;
-        let mut acc: BTreeSet<Binding> = BTreeSet::new();
+        let mut acc: BTreeSet<IdBinding> = BTreeSet::new();
         for i in 0..nscans {
-            let (vals, fb) = find_valuations(rule, work, cfg, Some((delta, i)), None)?;
+            let (vals, fb) =
+                find_valuations_id(rule, work, &view, &mut ov, cfg, Some((delta, i)), None)?;
             enum_fallbacks += fb;
             acc.extend(vals);
         }
         acc.into_iter().collect()
     } else {
-        let (vals, fb) = find_valuations(rule, work, cfg, None, task.outer)?;
+        let (vals, fb) = find_valuations_id(rule, work, &view, &mut ov, cfg, None, task.outer)?;
         enum_fallbacks += fb;
         vals
     };
@@ -449,9 +472,9 @@ fn run_search_task(
     for theta in valuations {
         let fire = if rule.head.is_deletion() {
             // Deletion rules fire when the fact to delete exists.
-            deletion_applicable(rule, &theta, work)
+            deletion_applicable_id(rule, &theta, &view, &mut ov)
         } else {
-            !head_satisfiable(rule, &theta, work)
+            !head_satisfiable_id(rule, &theta, &view, &mut ov)
         };
         if fire {
             fires.push(theta);
@@ -460,6 +483,7 @@ fn run_search_task(
     Ok(SearchOut {
         fires,
         enum_fallbacks,
+        log: ov.into_log(),
     })
 }
 
@@ -583,12 +607,29 @@ fn one_step(
 
     // Deterministic merge of the search outputs: fixed rule order (tasks
     // are (rule, chunk)-sorted by construction), then each task's canonical
-    // valuation order. The first error in task order wins.
-    let mut fires: Vec<(usize, Binding)> = Vec::new();
+    // valuation order. The first error in task order wins. Each task's
+    // overlay log is absorbed into the base store in that same order:
+    // chunks slice the outermost scan in extent order, so replaying the
+    // logs in task order reproduces the interning sequence of a sequential
+    // run id for id — which is what keeps parallel output bit-identical.
+    let mut fires: Vec<(usize, IdBinding)> = Vec::new();
     for (task, out) in tasks.iter().zip(results) {
         let out = out?;
         report.enum_fallbacks += out.enum_fallbacks;
+        let base_len = out.log.base_len();
+        let remap = work.store_mut().absorb(&out.log);
         for theta in out.fires {
+            let theta = theta
+                .into_iter()
+                .map(|(v, id)| {
+                    let id = if id.raw() < base_len {
+                        id
+                    } else {
+                        remap[(id.raw() - base_len) as usize]
+                    };
+                    (v, id)
+                })
+                .collect();
             fires.push((task.ri, theta));
         }
     }
@@ -602,8 +643,8 @@ fn one_step(
     // Phase 2: valuation-map (invention / choose) and fact derivation.
     let mut changed = false;
     let mut delta_out = Delta::default();
-    let mut assignments: BTreeMap<Oid, BTreeSet<OValue>> = BTreeMap::new();
-    let mut deletions: Vec<(usize, Binding)> = Vec::new();
+    let mut assignments: BTreeMap<Oid, BTreeSet<ValueId>> = BTreeMap::new();
+    let mut deletions: Vec<(usize, IdBinding)> = Vec::new();
     // Pre-step ν snapshot for condition (†).
     let predefined: BTreeSet<Oid> = work
         .objects()
@@ -631,7 +672,7 @@ fn one_step(
             continue;
         }
         // Extend θ over the invention variables.
-        let mut full = theta.clone();
+        let mut full = theta;
         for v in rule.invention_vars() {
             let class = match rule.var_types.get(&v) {
                 Some(TypeExpr::Class(p)) => *p,
@@ -650,15 +691,22 @@ fn one_step(
                 delta_out.classes.entry(class).or_default().insert(fresh);
                 fresh
             };
-            full.insert(v.clone(), OValue::Oid(oid));
+            let vid = work.store_mut().oid_id(oid);
+            full.insert(v.clone(), vid);
         }
-        // Derive the head fact.
+        // Derive the head fact. Head terms are evaluated over a split
+        // borrow of the working instance — mutable store (the head may
+        // build values the store has not seen) plus an id view of ρ/π/ν.
         match &rule.head {
             Head::Rel(r, t) => {
-                let v = eval_term(t, &full, work).ok_or_else(|| {
+                let v = {
+                    let (store, view) = work.store_and_view();
+                    eval_term_id(t, &full, &view, store)
+                }
+                .ok_or_else(|| {
                     IqlError::Invalid(format!("head term {t} undefined at application"))
                 })?;
-                if work.insert_unchecked(*r, v.clone())? {
+                if work.insert_id(*r, v)? {
                     report.facts_added += 1;
                     changed = true;
                     delta_out.rels.entry(*r).or_default().insert(v);
@@ -669,18 +717,26 @@ fn one_step(
                 // true for body-bound variables).
             }
             Head::SetMember(x, t) => {
-                let oid = binding_oid(&full, x)?;
-                let v = eval_term(t, &full, work).ok_or_else(|| {
+                let oid = binding_oid_id(&full, x, work.store())?;
+                let v = {
+                    let (store, view) = work.store_and_view();
+                    eval_term_id(t, &full, &view, store)
+                }
+                .ok_or_else(|| {
                     IqlError::Invalid(format!("head term {t} undefined at application"))
                 })?;
-                if work.add_set_member(oid, v)? {
+                if work.add_set_member_id(oid, v)? {
                     report.facts_added += 1;
                     changed = true;
                 }
             }
             Head::Assign(x, t) => {
-                let oid = binding_oid(&full, x)?;
-                let v = eval_term(t, &full, work).ok_or_else(|| {
+                let oid = binding_oid_id(&full, x, work.store())?;
+                let v = {
+                    let (store, view) = work.store_and_view();
+                    eval_term_id(t, &full, &view, store)
+                }
+                .ok_or_else(|| {
                     IqlError::Invalid(format!("head term {t} undefined at application"))
                 })?;
                 assignments.entry(oid).or_default().insert(v);
@@ -700,16 +756,21 @@ fn one_step(
             continue; // ambiguous parallel derivations — ignore all
         }
         let v = values.into_iter().next().expect("len checked");
-        if work.define_value(oid, v)? {
+        if work.define_value_id(oid, v)? {
             report.facts_added += 1;
             changed = true;
         }
     }
 
     // Phase 4: deletions (IQL*) — applied last; deletion wins over a
-    // same-step addition.
+    // same-step addition. Deletion is the cold path: resolve the binding
+    // ids back to o-value trees and reuse the tree-level removal API.
     for (ri, theta) in deletions {
         let rule = &stage.rules[ri];
+        let theta: Binding = theta
+            .iter()
+            .map(|(v, &id)| (v.clone(), work.store().resolve(id)))
+            .collect();
         match &rule.head {
             Head::DeleteRel(r, t) => {
                 if let Some(v) = eval_term(t, &theta, work) {
@@ -761,6 +822,22 @@ fn binding_oid(binding: &Binding, v: &VarName) -> Result<Oid> {
         other => Err(IqlError::Invalid(format!(
             "variable {v} should be bound to an oid, found {other:?}"
         ))),
+    }
+}
+
+fn binding_oid_id<R: ValueReader + ?Sized>(
+    binding: &IdBinding,
+    v: &VarName,
+    reader: &R,
+) -> Result<Oid> {
+    match binding.get(v).map(|&id| reader.as_oid(id)) {
+        Some(Some(o)) => Ok(o),
+        _ => {
+            let found = binding.get(v).map(|&id| reader.resolve(id));
+            Err(IqlError::Invalid(format!(
+                "variable {v} should be bound to an oid, found {found:?}"
+            )))
+        }
     }
 }
 
@@ -851,7 +928,11 @@ pub fn eval_term(term: &Term, binding: &Binding, inst: &Instance) -> Option<OVal
 /// union-coercion equalities (`w = v` with `w` typed at one branch of
 /// `v`'s union type) act as runtime branch filters — exactly how the
 /// paper's Example 3.4.3 discriminates union values.
-fn match_term_all(
+///
+/// This is the tree-level companion of the interned matcher the evaluator
+/// uses internally; it is exposed for tooling and tests that work with
+/// [`OValue`]s directly.
+pub fn match_term_all(
     pattern: &Term,
     value: &OValue,
     binding: &Binding,
@@ -957,7 +1038,178 @@ fn match_term_all(
     }
 }
 
-fn undo(binding: &mut Binding, trail: &mut Vec<VarName>, mark: usize) {
+// ---------------------------------------------------------------------
+// Interned term evaluation and pattern matching
+//
+// The evaluator's hot path works entirely on ValueIds: scans iterate
+// interned fact sets, joins probe id-keyed hash indexes, and bindings map
+// variables to Copy ids. Reads go through an IdView of the frozen
+// instance; values the rule text conjures out of thin air are interned
+// into the worker's Overlay (base-first lookup, so anything the base store
+// already knows keeps its base id — which makes base-id membership probes
+// sound even against overlay-produced ids).
+// ---------------------------------------------------------------------
+
+/// Evaluates a term under an id binding; `None` means the valuation is
+/// undefined on the term. The interned twin of [`eval_term`].
+fn eval_term_id<I: ValueInterner>(
+    term: &Term,
+    binding: &IdBinding,
+    view: &IdView<'_>,
+    interner: &mut I,
+) -> Option<ValueId> {
+    match term {
+        Term::Var(v) => binding.get(v).copied(),
+        Term::Const(c) => Some(interner.const_id(c.clone())),
+        Term::Rel(r) => {
+            let ids: Vec<ValueId> = view.relation_ids(*r).ok()?.iter().copied().collect();
+            Some(interner.set_id(ids))
+        }
+        Term::Class(p) => {
+            let oids: Vec<Oid> = view.class(*p).ok()?.iter().copied().collect();
+            let ids: Vec<ValueId> = oids.into_iter().map(|o| interner.oid_id(o)).collect();
+            Some(interner.set_id(ids))
+        }
+        Term::Deref(v) => {
+            let o = interner.as_oid(*binding.get(v)?)?;
+            view.value_id(o)
+        }
+        Term::Set(elems) => {
+            let mut ids = Vec::with_capacity(elems.len());
+            for e in elems {
+                ids.push(eval_term_id(e, binding, view, interner)?);
+            }
+            Some(interner.set_id(ids))
+        }
+        Term::Tuple(fields) => {
+            let mut entries = Vec::with_capacity(fields.len());
+            for (a, t) in fields {
+                entries.push((*a, eval_term_id(t, binding, view, interner)?));
+            }
+            Some(interner.tuple_id(entries))
+        }
+    }
+}
+
+/// The interned twin of [`match_term_all`]: collects every extension of
+/// `binding` matching `pattern` against the value behind `value`.
+fn match_term_all_id<I: ValueInterner>(
+    pattern: &Term,
+    value: ValueId,
+    binding: &IdBinding,
+    types: &BTreeMap<VarName, TypeExpr>,
+    view: &IdView<'_>,
+    interner: &mut I,
+    out: &mut Vec<IdBinding>,
+) {
+    match pattern {
+        Term::Var(v) => match binding.get(v) {
+            Some(&bound) => {
+                if bound == value {
+                    out.push(binding.clone());
+                }
+            }
+            None => {
+                if let Some(ty) = types.get(v) {
+                    if !ty.member_id(value, interner, view) {
+                        return; // ill-typed binding is not a valuation
+                    }
+                }
+                let mut b = binding.clone();
+                b.insert(v.clone(), value);
+                out.push(b);
+            }
+        },
+        Term::Const(c) => {
+            if matches!(interner.node(value), Node::Const(c2) if c == c2) {
+                out.push(binding.clone());
+            }
+        }
+        Term::Rel(_) | Term::Class(_) | Term::Deref(_) => {
+            if eval_term_id(pattern, binding, view, interner) == Some(value) {
+                out.push(binding.clone());
+            }
+        }
+        Term::Tuple(fields) => {
+            let Node::Tuple(entries) = interner.node(value) else {
+                return;
+            };
+            if fields.len() != entries.len()
+                || !fields.keys().copied().eq(entries.iter().map(|(a, _)| *a))
+            {
+                return;
+            }
+            // Both sides are attribute-sorted, so position i of the node
+            // is the value of the i-th pattern field.
+            let entries = Arc::clone(entries);
+            let mut frontier = vec![binding.clone()];
+            for ((_, p), &(_, vid)) in fields.iter().zip(entries.iter()) {
+                let mut next = Vec::new();
+                for b in &frontier {
+                    match_term_all_id(p, vid, b, types, view, interner, &mut next);
+                }
+                frontier = next;
+                if frontier.is_empty() {
+                    return;
+                }
+            }
+            out.extend(frontier);
+        }
+        Term::Set(pats) => {
+            let Node::Set(vals) = interner.node(value) else {
+                return;
+            };
+            // Bijective match, as in the tree matcher: every assignment of
+            // pattern elements to distinct set elements is produced.
+            if pats.len() != vals.len() {
+                return;
+            }
+            let vals = Arc::clone(vals);
+            #[allow(clippy::too_many_arguments)]
+            fn go<I: ValueInterner>(
+                pats: &[Term],
+                vals: &[ValueId],
+                used: &mut Vec<bool>,
+                binding: &IdBinding,
+                types: &BTreeMap<VarName, TypeExpr>,
+                view: &IdView<'_>,
+                interner: &mut I,
+                out: &mut Vec<IdBinding>,
+            ) {
+                let Some(p) = pats.first() else {
+                    out.push(binding.clone());
+                    return;
+                };
+                for (i, &v) in vals.iter().enumerate() {
+                    if used[i] {
+                        continue;
+                    }
+                    let mut exts = Vec::new();
+                    match_term_all_id(p, v, binding, types, view, interner, &mut exts);
+                    if !exts.is_empty() {
+                        used[i] = true;
+                        for ext in &exts {
+                            go(&pats[1..], vals, used, ext, types, view, interner, out);
+                        }
+                        used[i] = false;
+                    }
+                }
+            }
+            let mut used = vec![false; vals.len()];
+            let mut local = Vec::new();
+            go(
+                pats, &vals, &mut used, binding, types, view, interner, &mut local,
+            );
+            // Distinct assignment orders can produce identical bindings;
+            // dedup locally to keep valuations set-like.
+            local.sort();
+            local.dedup();
+            out.extend(local);
+        }
+    }
+}
+
+fn undo_id(binding: &mut IdBinding, trail: &mut Vec<VarName>, mark: usize) {
     while trail.len() > mark {
         let v = trail.pop().expect("trail non-empty");
         binding.remove(&v);
@@ -1167,24 +1419,24 @@ fn count_source_scans(rule: &Rule) -> Result<usize> {
 /// caller checks eligibility via [`outer_scan_len`]) iterates only that
 /// slice of its extent, in extent order — how one large rule is partitioned
 /// across parallel workers without perturbing valuation order.
-fn find_valuations(
+fn find_valuations_id(
     rule: &Rule,
     inst: &Instance,
+    view: &IdView<'_>,
+    ov: &mut Overlay<'_>,
     cfg: &EvalConfig,
     delta: Option<(&Delta, usize)>,
     outer: Option<(usize, usize)>,
-) -> Result<(Vec<Binding>, usize)> {
+) -> Result<(Vec<IdBinding>, usize)> {
     let plan = build_plan(rule)?;
     let enum_fallbacks = plan
         .iter()
         .filter(|op| matches!(op, Op::Enumerate { .. }))
         .count();
     let mut source_scan_idx = 0usize;
-    static EMPTY_FACTS: std::sync::OnceLock<BTreeSet<OValue>> = std::sync::OnceLock::new();
-    static EMPTY_OIDS: std::sync::OnceLock<BTreeSet<Oid>> = std::sync::OnceLock::new();
 
-    // ---- Execute the plan over a frontier of bindings. ----
-    let mut frontier: Vec<Binding> = vec![Binding::new()];
+    // ---- Execute the plan over a frontier of id bindings. ----
+    let mut frontier: Vec<IdBinding> = vec![IdBinding::new()];
     for (op_idx, op) in plan.iter().enumerate() {
         if frontier.is_empty() {
             return Ok((frontier, enum_fallbacks));
@@ -1193,7 +1445,7 @@ fn find_valuations(
             Some(range) if op_idx == 0 => Some(range),
             _ => None,
         };
-        let mut next: Vec<Binding> = Vec::new();
+        let mut next: Vec<IdBinding> = Vec::new();
         match op {
             Op::Scan { set, elem } => {
                 // Is this relation/class scan the differentiated position?
@@ -1209,123 +1461,138 @@ fn find_valuations(
                     }
                     _ => None,
                 };
-                // Materialize the slice of a partitioned outermost scan
-                // (extent order, so chunk concatenation preserves the
-                // sequential valuation order).
-                let sliced_facts: Option<BTreeSet<OValue>> = match (slice, set) {
-                    (Some((skip, take)), Term::Rel(r)) => {
-                        debug_assert!(restrict.is_none(), "chunked scans are never delta-driven");
-                        Some(
-                            inst.relation(*r)?
-                                .iter()
-                                .skip(skip)
-                                .take(take)
-                                .cloned()
-                                .collect(),
-                        )
-                    }
-                    _ => None,
-                };
-                let sliced_oids: Option<BTreeSet<Oid>> = match (slice, set) {
-                    (Some((skip, take)), Term::Class(p)) => {
-                        debug_assert!(restrict.is_none(), "chunked scans are never delta-driven");
-                        Some(
-                            inst.class(*p)?
-                                .iter()
-                                .skip(skip)
-                                .take(take)
-                                .copied()
-                                .collect(),
-                        )
-                    }
-                    _ => None,
-                };
-                // Per-scan hash indexes on bound tuple attributes: built
-                // lazily per attribute, probed per binding. Turns the
-                // nested-loop join into a hash join wherever the pattern
-                // shares a bound variable or constant with the scan.
-                let mut indexes: BTreeMap<
-                    iql_model::AttrName,
-                    std::collections::HashMap<OValue, Vec<&OValue>>,
-                > = BTreeMap::new();
-                for binding in &frontier {
-                    // Candidates to iterate.
-                    match set {
-                        Term::Rel(r) => {
-                            let facts = match (&sliced_facts, restrict) {
-                                (Some(s), _) => s,
-                                (None, Some(d)) => d
-                                    .rels
-                                    .get(r)
-                                    .unwrap_or_else(|| EMPTY_FACTS.get_or_init(BTreeSet::new)),
-                                (None, None) => inst.relation(*r)?,
-                            };
+                match set {
+                    Term::Rel(r) => {
+                        // Materialize the candidate ids once per scan: the
+                        // full extent, the delta, or the slice of a
+                        // partitioned outermost scan — always in id order,
+                        // so chunk concatenation preserves the sequential
+                        // valuation order.
+                        let facts: Vec<ValueId> = match (slice, restrict) {
+                            (Some((skip, take)), _) => {
+                                debug_assert!(
+                                    restrict.is_none(),
+                                    "chunked scans are never delta-driven"
+                                );
+                                view.relation_ids(*r)?
+                                    .iter()
+                                    .skip(skip)
+                                    .take(take)
+                                    .copied()
+                                    .collect()
+                            }
+                            (None, Some(d)) => d
+                                .rels
+                                .get(r)
+                                .map(|s| s.iter().copied().collect())
+                                .unwrap_or_default(),
+                            (None, None) => view.relation_ids(*r)?.iter().copied().collect(),
+                        };
+                        // Per-scan hash indexes on bound tuple attributes:
+                        // built lazily per attribute, probed per binding.
+                        // Keys and candidates are ids, so building hashes
+                        // u32s instead of o-value trees, and a probe is one
+                        // id hash. A probe key the base store has never
+                        // seen gets an overlay-local id, which correctly
+                        // misses every (base-id) index entry.
+                        let mut indexes: BTreeMap<AttrName, HashMap<ValueId, Vec<ValueId>>> =
+                            BTreeMap::new();
+                        for binding in &frontier {
                             let probe = if cfg.use_index {
-                                find_probe(elem, binding, inst)
+                                find_probe_id(elem, binding, view, ov)
                             } else {
                                 None
                             };
                             match probe {
                                 Some((attr, key)) => {
-                                    let idx = indexes
+                                    let index = indexes
                                         .entry(attr)
-                                        .or_insert_with(|| build_attr_index(facts, attr));
-                                    if let Some(cands) = idx.get(&key) {
-                                        for v in cands {
-                                            push_match(
+                                        .or_insert_with(|| build_attr_index_id(&facts, attr, &*ov));
+                                    if let Some(cands) = index.get(&key) {
+                                        for &fid in cands {
+                                            match_term_all_id(
                                                 elem,
-                                                v,
+                                                fid,
                                                 binding,
                                                 &rule.var_types,
+                                                view,
+                                                ov,
                                                 &mut next,
-                                                inst,
                                             );
                                         }
                                     }
                                 }
                                 None => {
-                                    for v in facts {
-                                        push_match(
+                                    for &fid in &facts {
+                                        match_term_all_id(
                                             elem,
-                                            v,
+                                            fid,
                                             binding,
                                             &rule.var_types,
+                                            view,
+                                            ov,
                                             &mut next,
-                                            inst,
                                         );
                                     }
                                 }
                             }
                         }
-                        Term::Class(p) => {
-                            let oids = match (&sliced_oids, restrict) {
-                                (Some(s), _) => s,
-                                (None, Some(d)) => d
-                                    .classes
-                                    .get(p)
-                                    .unwrap_or_else(|| EMPTY_OIDS.get_or_init(BTreeSet::new)),
-                                (None, None) => inst.class(*p)?,
-                            };
-                            for o in oids {
-                                push_match(
+                    }
+                    Term::Class(p) => {
+                        let oids: Vec<Oid> = match (slice, restrict) {
+                            (Some((skip, take)), _) => {
+                                debug_assert!(
+                                    restrict.is_none(),
+                                    "chunked scans are never delta-driven"
+                                );
+                                view.class(*p)?
+                                    .iter()
+                                    .skip(skip)
+                                    .take(take)
+                                    .copied()
+                                    .collect()
+                            }
+                            (None, Some(d)) => d
+                                .classes
+                                .get(p)
+                                .map(|s| s.iter().copied().collect())
+                                .unwrap_or_default(),
+                            (None, None) => view.class(*p)?.iter().copied().collect(),
+                        };
+                        for binding in &frontier {
+                            for &o in &oids {
+                                let vid = ov.oid_id(o);
+                                match_term_all_id(
                                     elem,
-                                    &OValue::Oid(*o),
+                                    vid,
                                     binding,
                                     &rule.var_types,
+                                    view,
+                                    ov,
                                     &mut next,
-                                    inst,
                                 );
                             }
                         }
-                        _ => {
-                            let Some(val) = eval_term(set, binding, inst) else {
+                    }
+                    _ => {
+                        for binding in &frontier {
+                            let Some(sid) = eval_term_id(set, binding, view, ov) else {
                                 continue; // undefined ⇒ unsatisfied
                             };
-                            let OValue::Set(elems) = val else {
-                                continue; // non-set ⇒ unsatisfied (typing!)
+                            let elems: Arc<[ValueId]> = match ov.node(sid) {
+                                Node::Set(e) => Arc::clone(e),
+                                _ => continue, // non-set ⇒ unsatisfied (typing!)
                             };
-                            for v in &elems {
-                                push_match(elem, v, binding, &rule.var_types, &mut next, inst);
+                            for &vid in elems.iter() {
+                                match_term_all_id(
+                                    elem,
+                                    vid,
+                                    binding,
+                                    &rule.var_types,
+                                    view,
+                                    ov,
+                                    &mut next,
+                                );
                             }
                         }
                     }
@@ -1333,27 +1600,30 @@ fn find_valuations(
             }
             Op::EqMatch { src, pattern } => {
                 for binding in &frontier {
-                    let Some(val) = eval_term(src, binding, inst) else {
+                    let Some(val) = eval_term_id(src, binding, view, ov) else {
                         continue;
                     };
-                    push_match(pattern, &val, binding, &rule.var_types, &mut next, inst);
+                    match_term_all_id(pattern, val, binding, &rule.var_types, view, ov, &mut next);
                 }
             }
             Op::Enumerate { var, ty } => {
                 let values = inst
                     .enumerate_type(ty, cfg.enum_budget)
                     .map_err(IqlError::Model)?;
+                // Intern in enumeration (tree) order — deterministic, and
+                // shared substructure across enumerated values is free.
+                let ids: Vec<ValueId> = values.iter().map(|v| ov.intern(v)).collect();
                 for binding in &frontier {
                     match binding.get(var) {
-                        Some(v) => {
-                            if values.contains(v) {
+                        Some(bound) => {
+                            if ids.contains(bound) {
                                 next.push(binding.clone());
                             }
                         }
                         None => {
-                            for v in &values {
+                            for &idv in &ids {
                                 let mut b = binding.clone();
-                                b.insert(var.clone(), v.clone());
+                                b.insert(var.clone(), idv);
                                 next.push(b);
                             }
                         }
@@ -1362,7 +1632,7 @@ fn find_valuations(
             }
             Op::Filter { lit } => {
                 for binding in &frontier {
-                    if literal_satisfied(lit, binding, inst) {
+                    if literal_satisfied_id(lit, binding, view, ov) {
                         next.push(binding.clone());
                     }
                 }
@@ -1375,11 +1645,12 @@ fn find_valuations(
 
 /// Finds an indexable (attribute, key) pair: a tuple-pattern field whose
 /// term is fully evaluable under the current binding.
-fn find_probe(
+fn find_probe_id<I: ValueInterner>(
     elem: &Term,
-    binding: &Binding,
-    inst: &Instance,
-) -> Option<(iql_model::AttrName, OValue)> {
+    binding: &IdBinding,
+    view: &IdView<'_>,
+    interner: &mut I,
+) -> Option<(AttrName, ValueId)> {
     let Term::Tuple(fields) = elem else {
         return None;
     };
@@ -1387,7 +1658,7 @@ fn find_probe(
         let mut vs = BTreeSet::new();
         t.vars(&mut vs);
         if vs.iter().all(|v| binding.contains_key(v)) {
-            if let Some(key) = eval_term(t, binding, inst) {
+            if let Some(key) = eval_term_id(t, binding, view, interner) {
                 return Some((*attr, key));
             }
         }
@@ -1395,50 +1666,62 @@ fn find_probe(
     None
 }
 
-/// Builds a hash index over a relation's tuples keyed by one attribute.
-fn build_attr_index(
-    facts: &BTreeSet<OValue>,
-    attr: iql_model::AttrName,
-) -> std::collections::HashMap<OValue, Vec<&OValue>> {
-    let mut idx: std::collections::HashMap<OValue, Vec<&OValue>> = Default::default();
-    for v in facts {
-        if let OValue::Tuple(fields) = v {
-            if let Some(key) = fields.get(&attr) {
-                idx.entry(key.clone()).or_default().push(v);
+/// Builds a hash index over a relation's tuples keyed by one attribute:
+/// key id → fact ids, via a binary search of each tuple node's sorted
+/// attribute entries (no tree walks, no cloning).
+fn build_attr_index_id<R: ValueReader + ?Sized>(
+    facts: &[ValueId],
+    attr: AttrName,
+    reader: &R,
+) -> HashMap<ValueId, Vec<ValueId>> {
+    let mut idx: HashMap<ValueId, Vec<ValueId>> = HashMap::new();
+    for &fid in facts {
+        if let Node::Tuple(entries) = reader.node(fid) {
+            if let Ok(i) = entries.binary_search_by_key(&attr, |&(a, _)| a) {
+                idx.entry(entries[i].1).or_default().push(fid);
             }
         }
     }
     idx
 }
 
-fn push_match(
-    pattern: &Term,
-    value: &OValue,
-    binding: &Binding,
-    types: &BTreeMap<VarName, TypeExpr>,
-    out: &mut Vec<Binding>,
-    inst: &Instance,
-) {
-    match_term_all(pattern, value, binding, types, inst, out);
-}
-
-/// `I ⊨ θ lit` for a fully-bound literal.
-fn literal_satisfied(lit: &Literal, binding: &Binding, inst: &Instance) -> bool {
+/// `I ⊨ θ lit` for a fully-bound literal. Membership in a relation or
+/// class extent is decided against the id sets directly — no set value is
+/// materialized for the common `x ∈ R` / `x ∉ R` probes.
+fn literal_satisfied_id<I: ValueInterner>(
+    lit: &Literal,
+    binding: &IdBinding,
+    view: &IdView<'_>,
+    interner: &mut I,
+) -> bool {
     match lit {
         Literal::Member {
             set,
             elem,
             positive,
         } => {
-            let (Some(sv), Some(ev)) = (
-                eval_term(set, binding, inst),
-                eval_term(elem, binding, inst),
-            ) else {
+            let Some(ev) = eval_term_id(elem, binding, view, interner) else {
                 return false; // valuation must be defined on both terms
             };
-            match sv {
-                OValue::Set(s) => s.contains(&ev) == *positive,
-                _ => false,
+            match set {
+                Term::Rel(r) => view
+                    .relation_ids(*r)
+                    .map(|s| s.contains(&ev) == *positive)
+                    .unwrap_or(false),
+                Term::Class(p) => {
+                    let Ok(s) = view.class(*p) else { return false };
+                    let member = interner.as_oid(ev).map(|o| s.contains(&o)).unwrap_or(false);
+                    member == *positive
+                }
+                _ => {
+                    let Some(sv) = eval_term_id(set, binding, view, interner) else {
+                        return false;
+                    };
+                    match interner.set_contains(sv, ev) {
+                        Some(m) => m == *positive,
+                        None => false, // non-set ⇒ unsatisfied
+                    }
+                }
             }
         }
         Literal::Eq {
@@ -1447,8 +1730,8 @@ fn literal_satisfied(lit: &Literal, binding: &Binding, inst: &Instance) -> bool 
             positive,
         } => {
             let (Some(lv), Some(rv)) = (
-                eval_term(left, binding, inst),
-                eval_term(right, binding, inst),
+                eval_term_id(left, binding, view, interner),
+                eval_term_id(right, binding, view, interner),
             ) else {
                 return false;
             };
@@ -1464,38 +1747,52 @@ fn literal_satisfied(lit: &Literal, binding: &Binding, inst: &Instance) -> bool 
 
 /// Is there an extension `θ̄` of `θ` over the invention variables such that
 /// `I ⊨ θ̄ head`? (If so, the pair is *not* in the valuation-domain.)
-fn head_satisfiable(rule: &Rule, theta: &Binding, inst: &Instance) -> bool {
+///
+/// Fully-bound heads reduce to a single id-set membership probe. With
+/// invention variables, candidate facts are pattern-matched by id; an
+/// overlay-local id on either side proves the value is absent from the
+/// frozen base store, so base-id comparisons stay sound throughout.
+fn head_satisfiable_id<I: ValueInterner>(
+    rule: &Rule,
+    theta: &IdBinding,
+    view: &IdView<'_>,
+    interner: &mut I,
+) -> bool {
     let no_invention = rule.invention_vars().is_empty();
     match &rule.head {
         Head::Rel(r, t) => {
-            let Ok(facts) = inst.relation(*r) else {
+            let Ok(facts) = view.relation_ids(*r) else {
                 return false;
             };
             if no_invention {
                 // Fully bound head: a set-membership probe suffices.
-                return match eval_term(t, theta, inst) {
+                return match eval_term_id(t, theta, view, interner) {
                     Some(v) => facts.contains(&v),
                     None => false,
                 };
             }
-            facts.iter().any(|v| {
+            facts.iter().any(|&fid| {
                 let mut b = theta.clone();
                 let mut trail = Vec::new();
-                match_term_extension(t, v, &mut b, &mut trail, inst, rule)
+                match_term_extension_id(t, fid, &mut b, &mut trail, view, interner, rule)
             })
         }
         Head::Class(p, v) => match theta.get(v) {
-            Some(OValue::Oid(o)) => inst.class(*p).map(|s| s.contains(o)).unwrap_or(false),
-            Some(_) => false,
+            Some(&id) => match interner.as_oid(id) {
+                Some(o) => view.class(*p).map(|s| s.contains(&o)).unwrap_or(false),
+                None => false,
+            },
             // Invention variable: satisfied iff some existing oid inhabits P.
-            None => inst.class(*p).map(|s| !s.is_empty()).unwrap_or(false),
+            None => view.class(*p).map(|s| !s.is_empty()).unwrap_or(false),
         },
         Head::SetMember(x, t) => {
             let candidates: Vec<Oid> = match theta.get(x) {
-                Some(OValue::Oid(o)) => vec![*o],
-                Some(_) => return false,
+                Some(&id) => match interner.as_oid(id) {
+                    Some(o) => vec![o],
+                    None => return false,
+                },
                 None => match rule.var_types.get(x) {
-                    Some(TypeExpr::Class(p)) => inst
+                    Some(TypeExpr::Class(p)) => view
                         .class(*p)
                         .map(|s| s.iter().copied().collect())
                         .unwrap_or_default(),
@@ -1503,42 +1800,48 @@ fn head_satisfiable(rule: &Rule, theta: &Binding, inst: &Instance) -> bool {
                 },
             };
             candidates.iter().any(|o| {
-                let Some(OValue::Set(s)) = inst.value(*o) else {
+                let Some(sid) = view.value_id(*o) else {
                     return false;
                 };
+                let elems: Arc<[ValueId]> = match interner.node(sid) {
+                    Node::Set(e) => Arc::clone(e),
+                    _ => return false,
+                };
                 if no_invention {
-                    return match eval_term(t, theta, inst) {
-                        Some(v) => s.contains(&v),
+                    return match eval_term_id(t, theta, view, interner) {
+                        Some(v) => elems.binary_search(&v).is_ok(),
                         None => false,
                     };
                 }
-                s.iter().any(|member| {
+                elems.iter().any(|&member| {
                     let mut b = theta.clone();
                     let mut trail = Vec::new();
-                    match_term_extension(t, member, &mut b, &mut trail, inst, rule)
+                    match_term_extension_id(t, member, &mut b, &mut trail, view, interner, rule)
                 })
             })
         }
         Head::Assign(x, t) => {
             let candidates: Vec<Oid> = match theta.get(x) {
-                Some(OValue::Oid(o)) => vec![*o],
-                Some(_) => return false,
+                Some(&id) => match interner.as_oid(id) {
+                    Some(o) => vec![o],
+                    None => return false,
+                },
                 None => match rule.var_types.get(x) {
-                    Some(TypeExpr::Class(p)) => inst
+                    Some(TypeExpr::Class(p)) => view
                         .class(*p)
                         .map(|s| s.iter().copied().collect())
                         .unwrap_or_default(),
                     _ => return false,
                 },
             };
-            candidates.iter().any(|o| match inst.value(*o) {
-                Some(v) => {
+            candidates.iter().any(|o| match view.value_id(*o) {
+                Some(vid) => {
                     if no_invention {
-                        return eval_term(t, theta, inst).as_ref() == Some(v);
+                        return eval_term_id(t, theta, view, interner) == Some(vid);
                     }
                     let mut b = theta.clone();
                     let mut trail = Vec::new();
-                    match_term_extension(t, v, &mut b, &mut trail, inst, rule)
+                    match_term_extension_id(t, vid, &mut b, &mut trail, view, interner, rule)
                 }
                 None => false,
             })
@@ -1547,109 +1850,130 @@ fn head_satisfiable(rule: &Rule, theta: &Binding, inst: &Instance) -> bool {
     }
 }
 
-/// Like [`match_term`], but unbound variables may only bind to values of
-/// their declared type (extensions assign invention variables *existing*
-/// objects of their class).
-fn match_term_extension(
+/// Like [`match_term_all_id`], but finds *one* extension, mutating the
+/// binding with trail-based backtracking; unbound variables may only bind
+/// to values of their declared type (extensions assign invention variables
+/// *existing* objects of their class).
+#[allow(clippy::too_many_arguments)]
+fn match_term_extension_id<I: ValueInterner>(
     pattern: &Term,
-    value: &OValue,
-    binding: &mut Binding,
+    value: ValueId,
+    binding: &mut IdBinding,
     trail: &mut Vec<VarName>,
-    inst: &Instance,
+    view: &IdView<'_>,
+    interner: &mut I,
     rule: &Rule,
 ) -> bool {
     match pattern {
         Term::Var(v) => match binding.get(v) {
-            Some(bound) => bound == value,
+            Some(&bound) => bound == value,
             None => {
                 // Extension: value must inhabit the variable's type.
                 if let Some(ty) = rule.var_types.get(v) {
-                    if !ty.member(value, inst) {
+                    if !ty.member_id(value, interner, view) {
                         return false;
                     }
                 }
-                binding.insert(v.clone(), value.clone());
+                binding.insert(v.clone(), value);
                 trail.push(v.clone());
                 true
             }
         },
-        Term::Tuple(fields) => match value {
-            OValue::Tuple(vals) => {
-                if fields.len() != vals.len() || !fields.keys().eq(vals.keys()) {
+        Term::Tuple(fields) => {
+            let Node::Tuple(entries) = interner.node(value) else {
+                return false;
+            };
+            if fields.len() != entries.len()
+                || !fields.keys().copied().eq(entries.iter().map(|(a, _)| *a))
+            {
+                return false;
+            }
+            let entries = Arc::clone(entries);
+            let mark = trail.len();
+            for ((_, p), &(_, vid)) in fields.iter().zip(entries.iter()) {
+                if !match_term_extension_id(p, vid, binding, trail, view, interner, rule) {
+                    undo_id(binding, trail, mark);
                     return false;
                 }
-                let mark = trail.len();
-                for (a, p) in fields {
-                    if !match_term_extension(p, &vals[a], binding, trail, inst, rule) {
-                        undo(binding, trail, mark);
-                        return false;
-                    }
-                }
-                true
             }
-            _ => false,
-        },
-        Term::Set(pats) => match value {
-            OValue::Set(vals) => {
-                if pats.len() != vals.len() {
-                    return false;
-                }
-                let vals: Vec<&OValue> = vals.iter().collect();
-                fn go(
-                    pats: &[Term],
-                    vals: &[&OValue],
-                    used: &mut Vec<bool>,
-                    binding: &mut Binding,
-                    trail: &mut Vec<VarName>,
-                    inst: &Instance,
-                    rule: &Rule,
-                ) -> bool {
-                    let Some(p) = pats.first() else { return true };
-                    for (i, v) in vals.iter().enumerate() {
-                        if used[i] {
-                            continue;
-                        }
-                        let mark = trail.len();
-                        if match_term_extension(p, v, binding, trail, inst, rule) {
-                            used[i] = true;
-                            if go(&pats[1..], vals, used, binding, trail, inst, rule) {
-                                return true;
-                            }
-                            used[i] = false;
-                        }
-                        undo(binding, trail, mark);
-                    }
-                    false
-                }
-                let mut used = vec![false; vals.len()];
-                go(pats, &vals, &mut used, binding, trail, inst, rule)
+            true
+        }
+        Term::Set(pats) => {
+            let Node::Set(vals) = interner.node(value) else {
+                return false;
+            };
+            if pats.len() != vals.len() {
+                return false;
             }
-            _ => false,
-        },
-        other => match eval_term(other, binding, inst) {
-            Some(v) => &v == value,
+            let vals = Arc::clone(vals);
+            #[allow(clippy::too_many_arguments)]
+            fn go<I: ValueInterner>(
+                pats: &[Term],
+                vals: &[ValueId],
+                used: &mut Vec<bool>,
+                binding: &mut IdBinding,
+                trail: &mut Vec<VarName>,
+                view: &IdView<'_>,
+                interner: &mut I,
+                rule: &Rule,
+            ) -> bool {
+                let Some(p) = pats.first() else { return true };
+                for (i, &v) in vals.iter().enumerate() {
+                    if used[i] {
+                        continue;
+                    }
+                    let mark = trail.len();
+                    if match_term_extension_id(p, v, binding, trail, view, interner, rule) {
+                        used[i] = true;
+                        if go(&pats[1..], vals, used, binding, trail, view, interner, rule) {
+                            return true;
+                        }
+                        used[i] = false;
+                    }
+                    undo_id(binding, trail, mark);
+                }
+                false
+            }
+            let mut used = vec![false; vals.len()];
+            go(pats, &vals, &mut used, binding, trail, view, interner, rule)
+        }
+        other => match eval_term_id(other, binding, view, interner) {
+            Some(v) => v == value,
             None => false,
         },
     }
 }
 
 /// Does the deletion head's target fact exist under `θ`?
-fn deletion_applicable(rule: &Rule, theta: &Binding, inst: &Instance) -> bool {
+fn deletion_applicable_id<I: ValueInterner>(
+    rule: &Rule,
+    theta: &IdBinding,
+    view: &IdView<'_>,
+    interner: &mut I,
+) -> bool {
     match &rule.head {
-        Head::DeleteRel(r, t) => match eval_term(t, theta, inst) {
-            Some(v) => inst.relation(*r).map(|s| s.contains(&v)).unwrap_or(false),
+        Head::DeleteRel(r, t) => match eval_term_id(t, theta, view, interner) {
+            Some(v) => view
+                .relation_ids(*r)
+                .map(|s| s.contains(&v))
+                .unwrap_or(false),
             None => false,
         },
-        Head::DeleteOid(p, x) => match theta.get(x) {
-            Some(OValue::Oid(o)) => inst.class(*p).map(|s| s.contains(o)).unwrap_or(false),
-            _ => false,
+        Head::DeleteOid(p, x) => match theta.get(x).and_then(|&id| interner.as_oid(id)) {
+            Some(o) => view.class(*p).map(|s| s.contains(&o)).unwrap_or(false),
+            None => false,
         },
-        Head::DeleteSetMember(x, t) => match (theta.get(x), eval_term(t, theta, inst)) {
-            (Some(OValue::Oid(o)), Some(v)) => {
-                matches!(inst.value(*o), Some(OValue::Set(s)) if s.contains(&v))
-            }
-            _ => false,
-        },
+        Head::DeleteSetMember(x, t) => {
+            let Some(o) = theta.get(x).and_then(|&id| interner.as_oid(id)) else {
+                return false;
+            };
+            let Some(v) = eval_term_id(t, theta, view, interner) else {
+                return false;
+            };
+            view.value_id(o)
+                .map(|sid| interner.set_contains(sid, v) == Some(true))
+                .unwrap_or(false)
+        }
         _ => false,
     }
 }

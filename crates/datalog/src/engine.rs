@@ -7,14 +7,22 @@
 //! occurrence restricted to the previous round's delta (Balbin–Ramamohanarao
 //! style), which is where the asymptotic win over naive evaluation — and
 //! over IQL's naive inflationary evaluator — comes from (experiment E11).
+//!
+//! Internally the engine runs on the interned representation of
+//! [`crate::interned`]: each `eval` call interns the EDB and the program's
+//! constants into a [`ConstPool`] and compiles every rule once — variables
+//! to dense substitution slots, constants to [`CId`]s — so the join
+//! matches, probes, and hashes `u32` ids instead of [`Constant`]s, and
+//! first-column probes hit the relations' incremental index with no
+//! per-round rebuild. The public API speaks [`Database`] throughout;
+//! conversion happens once at entry and once at exit.
 
 use crate::ast::{Atom, Database, DlTerm, Program, Rule, Tuple};
+use crate::interned::{CId, ConstPool, IdDatabase, IdRelation, IdTuple};
 use crate::stratify::stratify;
 use crate::{DlError, Result};
 use iql_model::Constant;
 use std::collections::{BTreeSet, HashMap};
-
-type Subst = HashMap<String, Constant>;
 
 /// Statistics from one evaluation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -58,162 +66,262 @@ impl std::fmt::Display for Strategy {
     }
 }
 
-fn term_value<'a>(t: &'a DlTerm, subst: &'a Subst) -> Option<&'a Constant> {
-    match t {
-        DlTerm::Const(c) => Some(c),
-        DlTerm::Var(v) => subst.get(v),
+// ---------------------------------------------------------------------
+// Rule compilation
+// ---------------------------------------------------------------------
+
+/// A compiled atom argument: an interned constant or a substitution slot.
+#[derive(Debug, Clone, Copy)]
+enum ArgSpec {
+    Const(CId),
+    Var(u32),
+}
+
+/// A compiled atom: relation name plus argument specs.
+struct CAtom<'r> {
+    rel: &'r str,
+    args: Vec<ArgSpec>,
+}
+
+/// A rule compiled against a [`ConstPool`]: variables renamed to dense
+/// slots (the substitution is a flat `Vec<Option<CId>>`, not a string-keyed
+/// map), constants interned, positives/negatives pre-split.
+struct CompiledRule<'r> {
+    head_rel: &'r str,
+    head: Vec<ArgSpec>,
+    /// `(body index, atom)` of each positive literal, in body order. The
+    /// body index is what a semi-naive delta position refers to.
+    positives: Vec<(usize, CAtom<'r>)>,
+    negatives: Vec<CAtom<'r>>,
+    nslots: usize,
+}
+
+fn compile_atom<'r>(
+    atom: &'r Atom,
+    pool: &mut ConstPool,
+    slots: &mut HashMap<&'r str, u32>,
+) -> CAtom<'r> {
+    let args = atom
+        .args
+        .iter()
+        .map(|t| match t {
+            DlTerm::Const(c) => ArgSpec::Const(pool.intern(c)),
+            DlTerm::Var(v) => {
+                let next = u32::try_from(slots.len()).expect("slot overflow");
+                ArgSpec::Var(*slots.entry(v.as_str()).or_insert(next))
+            }
+        })
+        .collect();
+    CAtom {
+        rel: &atom.rel,
+        args,
     }
 }
 
-/// Extends `subst` by matching `atom`'s args against `tuple`.
-fn match_tuple(atom: &Atom, tuple: &Tuple, subst: &Subst) -> Option<Subst> {
-    let mut out = subst.clone();
-    for (t, c) in atom.args.iter().zip(tuple.iter()) {
-        match t {
-            DlTerm::Const(k) => {
-                if k != c {
-                    return None;
+fn compile_rule<'r>(rule: &'r Rule, pool: &mut ConstPool) -> CompiledRule<'r> {
+    let mut slots: HashMap<&str, u32> = HashMap::new();
+    let positives = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.positive)
+        .map(|(i, l)| (i, compile_atom(&l.atom, pool, &mut slots)))
+        .collect();
+    let negatives = rule
+        .body
+        .iter()
+        .filter(|l| !l.positive)
+        .map(|l| compile_atom(&l.atom, pool, &mut slots))
+        .collect();
+    let head = compile_atom(&rule.head, pool, &mut slots);
+    CompiledRule {
+        head_rel: head.rel,
+        head: head.args,
+        positives,
+        negatives,
+        nslots: slots.len(),
+    }
+}
+
+fn arg_value(a: &ArgSpec, subst: &[Option<CId>]) -> Option<CId> {
+    match a {
+        ArgSpec::Const(k) => Some(*k),
+        ArgSpec::Var(s) => subst[*s as usize],
+    }
+}
+
+/// Extends `subst` in place by matching `atom`'s args against `tuple`,
+/// recording newly bound slots on `touched`. On mismatch the caller
+/// unwinds to its trail mark — no substitution maps are cloned anywhere
+/// in the join.
+fn match_tuple(
+    atom: &CAtom<'_>,
+    tuple: &[CId],
+    subst: &mut [Option<CId>],
+    touched: &mut Vec<u32>,
+) -> bool {
+    for (a, &c) in atom.args.iter().zip(tuple.iter()) {
+        match a {
+            ArgSpec::Const(k) => {
+                if *k != c {
+                    return false;
                 }
             }
-            DlTerm::Var(v) => match out.get(v) {
+            ArgSpec::Var(s) => match subst[*s as usize] {
                 Some(bound) => {
                     if bound != c {
-                        return None;
+                        return false;
                     }
                 }
                 None => {
-                    out.insert(v.clone(), c.clone());
+                    subst[*s as usize] = Some(c);
+                    touched.push(*s);
                 }
             },
         }
     }
-    Some(out)
+    true
+}
+
+fn unwind(subst: &mut [Option<CId>], touched: &mut Vec<u32>, mark: usize) {
+    while touched.len() > mark {
+        let s = touched.pop().expect("trail non-empty");
+        subst[s as usize] = None;
+    }
 }
 
 /// Joins the positive body atoms left to right over `read`, with atom
 /// `delta_at` (if any) reading from `delta` instead. Negative literals are
 /// checked against `neg_view` once all variables are bound (safety
 /// guarantees boundness). Calls `emit` per satisfying substitution.
-#[allow(clippy::too_many_arguments)]
 fn join_rule(
-    rule: &Rule,
-    read: &Database,
-    delta: Option<(&Database, usize)>,
-    neg_view: &Database,
-    emit: &mut dyn FnMut(Tuple),
+    rule: &CompiledRule<'_>,
+    read: &IdDatabase,
+    delta: Option<(&IdDatabase, usize)>,
+    neg_view: &IdDatabase,
+    emit: &mut dyn FnMut(IdTuple),
 ) {
-    let positives: Vec<(usize, &Atom)> = rule
-        .body
-        .iter()
-        .enumerate()
-        .filter(|(_, l)| l.positive)
-        .map(|(i, l)| (i, &l.atom))
-        .collect();
-
+    /// A probe index: the relation's incremental column-0 index, borrowed,
+    /// or an ad-hoc one built for a rarer probe column.
+    enum Probe<'d> {
+        Borrowed(&'d HashMap<CId, Vec<u32>>),
+        Built(HashMap<CId, Vec<u32>>),
+    }
+    impl Probe<'_> {
+        fn get(&self, key: CId) -> Option<&[u32]> {
+            let map = match self {
+                Probe::Borrowed(m) => *m,
+                Probe::Built(m) => m,
+            };
+            map.get(&key).map(Vec::as_slice)
+        }
+    }
     // Per-atom access plans, computed ONCE per rule evaluation: the probe
     // column of atom k is the first argument that is a constant or a
-    // variable bound by atoms 0..k — a static property of the atom order —
-    // and its hash index is built here instead of being rebuilt for every
-    // partial substitution inside the join.
-    struct AtomPlan<'a> {
-        rel: &'a crate::ast::Relation,
-        probe: Option<(usize, HashMap<&'a Constant, Vec<&'a Tuple>>)>,
+    // variable bound by atoms 0..k — a static property of the atom order.
+    // Column-0 probes borrow the relation's incremental index; others are
+    // hashed here once (u32 keys) instead of per partial substitution.
+    struct AtomPlan<'d> {
+        rel: &'d IdRelation,
+        probe: Option<(usize, Probe<'d>)>,
     }
-    let mut bound: std::collections::HashSet<&str> = std::collections::HashSet::new();
-    let mut plans: Vec<Option<AtomPlan>> = Vec::with_capacity(positives.len());
-    for (body_idx, atom) in &positives {
+    let mut bound = vec![false; rule.nslots];
+    let mut plans: Vec<Option<AtomPlan>> = Vec::with_capacity(rule.positives.len());
+    for (body_idx, atom) in &rule.positives {
         let source = match delta {
             Some((d, at)) if at == *body_idx => d,
             _ => read,
         };
-        let plan = source.relation(&atom.rel).map(|rel| {
-            let probe_col = atom.args.iter().position(|t| match t {
-                DlTerm::Const(_) => true,
-                DlTerm::Var(v) => bound.contains(v.as_str()),
+        let plan = source.relation(atom.rel).map(|rel| {
+            let probe_col = atom.args.iter().position(|a| match a {
+                ArgSpec::Const(_) => true,
+                ArgSpec::Var(s) => bound[*s as usize],
             });
-            AtomPlan {
-                rel,
-                probe: probe_col.map(|col| (col, rel.index(col))),
-            }
+            let probe = probe_col.map(|col| {
+                let idx = if col == 0 {
+                    Probe::Borrowed(rel.index0())
+                } else {
+                    Probe::Built(rel.build_index(col))
+                };
+                (col, idx)
+            });
+            AtomPlan { rel, probe }
         });
-        for t in &atom.args {
-            if let DlTerm::Var(v) = t {
-                bound.insert(v);
+        for a in &atom.args {
+            if let ArgSpec::Var(s) = a {
+                bound[*s as usize] = true;
             }
         }
         plans.push(plan);
     }
 
     fn recurse(
-        positives: &[(usize, &Atom)],
+        rule: &CompiledRule<'_>,
         plans: &[Option<AtomPlan>],
         k: usize,
-        subst: Subst,
-        rule: &Rule,
-        neg_view: &Database,
-        emit: &mut dyn FnMut(Tuple),
+        subst: &mut [Option<CId>],
+        touched: &mut Vec<u32>,
+        neg_view: &IdDatabase,
+        emit: &mut dyn FnMut(IdTuple),
     ) {
-        if k == positives.len() {
+        if k == rule.positives.len() {
             // Negative literals.
-            for lit in rule.body.iter().filter(|l| !l.positive) {
-                let tuple: Option<Tuple> = lit
-                    .atom
-                    .args
-                    .iter()
-                    .map(|t| term_value(t, &subst).cloned())
-                    .collect();
+            for neg in &rule.negatives {
+                let tuple: Option<IdTuple> = neg.args.iter().map(|a| arg_value(a, subst)).collect();
                 let Some(tuple) = tuple else { return };
                 if neg_view
-                    .relation(&lit.atom.rel)
+                    .relation(neg.rel)
                     .is_some_and(|r| r.contains(&tuple))
                 {
                     return;
                 }
             }
             // Head.
-            let head: Tuple = rule
+            let head: IdTuple = rule
                 .head
-                .args
                 .iter()
-                .map(|t| {
-                    term_value(t, &subst)
-                        .expect("safety: head vars bound")
-                        .clone()
-                })
+                .map(|a| arg_value(a, subst).expect("safety: head vars bound"))
                 .collect();
             emit(head);
             return;
         }
-        let (_, atom) = positives[k];
+        let atom = &rule.positives[k].1;
         let Some(plan) = &plans[k] else { return };
         match &plan.probe {
             Some((col, idx)) => {
-                let Some(key) = term_value(&atom.args[*col], &subst) else {
+                let Some(key) = arg_value(&atom.args[*col], subst) else {
                     return;
                 };
-                if let Some(candidates) = idx.get(key) {
-                    for tuple in candidates {
-                        if let Some(next) = match_tuple(atom, tuple, &subst) {
-                            recurse(positives, plans, k + 1, next, rule, neg_view, emit);
+                if let Some(positions) = idx.get(key) {
+                    for &pos in positions {
+                        let mark = touched.len();
+                        if match_tuple(atom, plan.rel.tuple_at(pos), subst, touched) {
+                            recurse(rule, plans, k + 1, subst, touched, neg_view, emit);
                         }
+                        unwind(subst, touched, mark);
                     }
                 }
             }
             None => {
                 for tuple in plan.rel.iter() {
-                    if let Some(next) = match_tuple(atom, tuple, &subst) {
-                        recurse(positives, plans, k + 1, next, rule, neg_view, emit);
+                    let mark = touched.len();
+                    if match_tuple(atom, tuple, subst, touched) {
+                        recurse(rule, plans, k + 1, subst, touched, neg_view, emit);
                     }
+                    unwind(subst, touched, mark);
                 }
             }
         }
     }
-    recurse(&positives, &plans, 0, Subst::new(), rule, neg_view, emit);
+    let mut subst = vec![None; rule.nslots];
+    let mut touched = Vec::new();
+    recurse(rule, &plans, 0, &mut subst, &mut touched, neg_view, emit);
 }
 
 /// Answers a single-atom query against a database: all substitutions of
 /// the atom's variables matched by stored tuples, as result tuples in
-/// variable-occurrence order.
+/// variable-occurrence order. A one-shot scan, so it stays on the tree
+/// representation — no interning pass is worth it for a single atom.
 pub fn query(db: &Database, atom: &Atom) -> Vec<Tuple> {
     let Some(rel) = db.relation(&atom.rel) else {
         return Vec::new();
@@ -228,7 +336,18 @@ pub fn query(db: &Database, atom: &Atom) -> Vec<Tuple> {
     }
     let mut out = Vec::new();
     for tuple in rel.iter() {
-        if let Some(subst) = match_tuple(atom, tuple, &Subst::new()) {
+        let mut subst: HashMap<&str, &Constant> = HashMap::new();
+        let ok = atom.args.iter().zip(tuple.iter()).all(|(t, c)| match t {
+            DlTerm::Const(k) => k == c,
+            DlTerm::Var(v) => match subst.get(v.as_str()) {
+                Some(bound) => *bound == c,
+                None => {
+                    subst.insert(v, c);
+                    true
+                }
+            },
+        });
+        if ok {
             out.push(vars.iter().map(|v| subst[*v].clone()).collect());
         }
     }
@@ -241,14 +360,14 @@ pub fn query(db: &Database, atom: &Atom) -> Vec<Tuple> {
 /// work within a fixpoint round. Tasks only *read* the round's frozen
 /// databases and produce pending head tuples.
 struct JoinTask<'r, 'd> {
-    rule: &'r Rule,
-    read: &'d Database,
-    delta: Option<(&'d Database, usize)>,
-    neg_view: &'d Database,
+    rule: &'d CompiledRule<'r>,
+    read: &'d IdDatabase,
+    delta: Option<(&'d IdDatabase, usize)>,
+    neg_view: &'d IdDatabase,
 }
 
 impl JoinTask<'_, '_> {
-    fn run(&self) -> Vec<Tuple> {
+    fn run(&self) -> Vec<IdTuple> {
         let mut out = Vec::new();
         join_rule(self.rule, self.read, self.delta, self.neg_view, &mut |t| {
             out.push(t)
@@ -261,11 +380,11 @@ impl JoinTask<'_, '_> {
 /// tuples *in task order* — the merge below walks that order sequentially,
 /// so insertion order, statistics, and the fixpoint are bit-identical to a
 /// single-threaded run regardless of worker scheduling.
-fn run_join_tasks(tasks: &[JoinTask<'_, '_>], threads: usize) -> Vec<Vec<Tuple>> {
+fn run_join_tasks(tasks: &[JoinTask<'_, '_>], threads: usize) -> Vec<Vec<IdTuple>> {
     if threads <= 1 || tasks.len() <= 1 {
         return tasks.iter().map(JoinTask::run).collect();
     }
-    let slots: Vec<std::sync::OnceLock<Vec<Tuple>>> =
+    let slots: Vec<std::sync::OnceLock<Vec<IdTuple>>> =
         tasks.iter().map(|_| std::sync::OnceLock::new()).collect();
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let workers = threads.min(tasks.len());
@@ -326,38 +445,67 @@ pub fn eval_with(
     threads: usize,
 ) -> Result<(Database, EvalStats)> {
     let threads = effective_threads(threads);
-    match strategy {
+    // The interning boundary: constants cross into the id world here and
+    // back out at the end. Derivation only recombines constants already
+    // present in the EDB or the program, so the pool never grows after
+    // compilation.
+    let mut pool = ConstPool::default();
+    let db = IdDatabase::intern_from(edb, &mut pool)?;
+    let (out, stats) = match strategy {
         Strategy::Naive => {
             require_positive(prog)?;
-            full_rounds(prog, edb, threads)
+            let rules: Vec<CompiledRule> = prog
+                .rules
+                .iter()
+                .map(|r| compile_rule(r, &mut pool))
+                .collect();
+            full_rounds(&rules, db, threads)?
         }
         Strategy::SemiNaive => {
             require_positive(prog)?;
+            let rules: Vec<CompiledRule> = prog
+                .rules
+                .iter()
+                .map(|r| compile_rule(r, &mut pool))
+                .collect();
             let mut stats = EvalStats {
                 threads,
                 ..EvalStats::default()
             };
-            let db = seminaive_stratum(prog, edb.clone(), &Database::new(), threads, &mut stats)?;
-            Ok((db, stats))
+            let db = seminaive_stratum(&rules, db, &IdDatabase::new(), threads, &mut stats)?;
+            (db, stats)
         }
-        Strategy::Inflationary => full_rounds(prog, edb, threads),
+        Strategy::Inflationary => {
+            let rules: Vec<CompiledRule> = prog
+                .rules
+                .iter()
+                .map(|r| compile_rule(r, &mut pool))
+                .collect();
+            full_rounds(&rules, db, threads)?
+        }
         Strategy::Stratified => {
             let strata = stratify(prog)?;
-            let mut db = edb.clone();
+            let mut db = db;
             let mut stats = EvalStats {
                 threads,
                 ..EvalStats::default()
             };
             for stratum in &strata {
+                let rules: Vec<CompiledRule> = stratum
+                    .rules
+                    .iter()
+                    .map(|r| compile_rule(r, &mut pool))
+                    .collect();
                 // Negation inside a stratum only mentions lower-stratum
                 // relations, which are final in `db` — freeze them as the
                 // negation view.
                 let neg_view = db.clone();
-                db = seminaive_stratum(stratum, db, &neg_view, threads, &mut stats)?;
+                db = seminaive_stratum(&rules, db, &neg_view, threads, &mut stats)?;
             }
-            Ok((db, stats))
+            (db, stats)
         }
-    }
+    };
+    Ok((out.resolve(&pool)?, stats))
 }
 
 /// Semi-naive (and the positive half of naive) reject negation up front.
@@ -379,8 +527,11 @@ fn require_positive(prog: &Program) -> Result<()> {
 /// this inflationary Datalog¬ when negation is present, Abiteboul–Vianu /
 /// Kolaitis–Papadimitriou style; on positive programs it is the naive
 /// baseline). Exactly the semantics IQL generalizes (Section 3.2).
-fn full_rounds(prog: &Program, edb: &Database, threads: usize) -> Result<(Database, EvalStats)> {
-    let mut db = edb.clone();
+fn full_rounds(
+    rules: &[CompiledRule<'_>],
+    mut db: IdDatabase,
+    threads: usize,
+) -> Result<(IdDatabase, EvalStats)> {
     let mut stats = EvalStats {
         threads,
         ..EvalStats::default()
@@ -388,8 +539,7 @@ fn full_rounds(prog: &Program, edb: &Database, threads: usize) -> Result<(Databa
     loop {
         stats.rounds += 1;
         let outs = {
-            let tasks: Vec<JoinTask> = prog
-                .rules
+            let tasks: Vec<JoinTask> = rules
                 .iter()
                 .map(|rule| JoinTask {
                     rule,
@@ -401,10 +551,10 @@ fn full_rounds(prog: &Program, edb: &Database, threads: usize) -> Result<(Databa
             run_join_tasks(&tasks, threads)
         };
         let mut changed = false;
-        for (rule, tuples) in prog.rules.iter().zip(outs) {
+        for (rule, tuples) in rules.iter().zip(outs) {
             for t in tuples {
                 stats.derivations += 1;
-                if db.insert(&rule.head.rel, t)? {
+                if db.insert(rule.head_rel, t)? {
                     changed = true;
                 }
             }
@@ -418,21 +568,20 @@ fn full_rounds(prog: &Program, edb: &Database, threads: usize) -> Result<(Databa
 /// Semi-naive core, with `neg_view` holding the (frozen, lower-stratum)
 /// relations negative literals read.
 fn seminaive_stratum(
-    prog: &Program,
-    mut db: Database,
-    neg_view: &Database,
+    rules: &[CompiledRule<'_>],
+    mut db: IdDatabase,
+    neg_view: &IdDatabase,
     threads: usize,
     stats: &mut EvalStats,
-) -> Result<Database> {
-    let idb: BTreeSet<&str> = prog.idb();
+) -> Result<IdDatabase> {
+    let idb: BTreeSet<&str> = rules.iter().map(|r| r.head_rel).collect();
 
     // Round 0: evaluate every rule on the current database.
-    let mut delta = Database::new();
+    let mut delta = IdDatabase::new();
     stats.rounds += 1;
     {
         let outs = {
-            let tasks: Vec<JoinTask> = prog
-                .rules
+            let tasks: Vec<JoinTask> = rules
                 .iter()
                 .map(|rule| JoinTask {
                     rule,
@@ -443,11 +592,11 @@ fn seminaive_stratum(
                 .collect();
             run_join_tasks(&tasks, threads)
         };
-        for (rule, tuples) in prog.rules.iter().zip(outs) {
+        for (rule, tuples) in rules.iter().zip(outs) {
             for t in tuples {
                 stats.derivations += 1;
-                if db.insert(&rule.head.rel, t.clone())? {
-                    delta.insert(&rule.head.rel, t)?;
+                if db.insert(rule.head_rel, t.clone())? {
+                    delta.insert(rule.head_rel, t)?;
                 }
             }
         }
@@ -458,31 +607,31 @@ fn seminaive_stratum(
         stats.rounds += 1;
         let (heads, outs) = {
             let mut tasks: Vec<JoinTask> = Vec::new();
-            for rule in &prog.rules {
-                for (i, lit) in rule.body.iter().enumerate() {
-                    if !lit.positive || !idb.contains(lit.atom.rel.as_str()) {
+            for rule in rules {
+                for (i, atom) in &rule.positives {
+                    if !idb.contains(atom.rel) {
                         continue;
                     }
-                    if delta.relation(&lit.atom.rel).is_none_or(|r| r.is_empty()) {
+                    if delta.relation(atom.rel).is_none_or(|r| r.is_empty()) {
                         continue;
                     }
                     tasks.push(JoinTask {
                         rule,
                         read: &db,
-                        delta: Some((&delta, i)),
+                        delta: Some((&delta, *i)),
                         neg_view,
                     });
                 }
             }
-            let heads: Vec<&Rule> = tasks.iter().map(|t| t.rule).collect();
+            let heads: Vec<&str> = tasks.iter().map(|t| t.rule.head_rel).collect();
             (heads, run_join_tasks(&tasks, threads))
         };
-        let mut next_delta = Database::new();
-        for (rule, tuples) in heads.into_iter().zip(outs) {
+        let mut next_delta = IdDatabase::new();
+        for (head_rel, tuples) in heads.into_iter().zip(outs) {
             for t in tuples {
                 stats.derivations += 1;
-                if db.insert(&rule.head.rel, t.clone())? {
-                    next_delta.insert(&rule.head.rel, t)?;
+                if db.insert(head_rel, t.clone())? {
+                    next_delta.insert(head_rel, t)?;
                 }
             }
         }

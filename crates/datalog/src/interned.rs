@@ -1,0 +1,277 @@
+//! The engine's interned runtime representation.
+//!
+//! Evaluation never joins on [`Constant`]s directly: a per-evaluation
+//! [`ConstPool`] interns every constant of the EDB and the program once,
+//! and from then on tuples are dense arrays of [`CId`]s — `Copy` handles
+//! with O(1) equality and trivially cheap hashing. Relations keep their
+//! tuples in insertion order (making fixpoint iteration deterministic,
+//! unlike a `HashSet` walk) next to a membership set and an *incremental*
+//! first-column index, so the most common join probe needs no per-round
+//! index rebuild at all. The [`crate::Database`] ↔ [`IdDatabase`]
+//! conversion happens exactly once per `eval` call, at the boundary; no
+//! interned type leaks into the public API.
+
+use crate::ast::Database;
+use crate::{DlError, Result};
+use iql_model::Constant;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// An interned constant: an index into the evaluation's [`ConstPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct CId(u32);
+
+/// A tuple of interned constants.
+pub(crate) type IdTuple = Box<[CId]>;
+
+/// Interner mapping [`Constant`]s to dense [`CId`]s, scoped to one
+/// evaluation. Derivation can only recombine existing constants (head
+/// arguments are rule constants or variables bound to stored tuples), so
+/// the pool is complete once the EDB and the program are interned.
+#[derive(Debug, Default)]
+pub(crate) struct ConstPool {
+    consts: Vec<Constant>,
+    map: HashMap<Constant, CId>,
+}
+
+impl ConstPool {
+    /// Interns `c`, returning its stable id.
+    pub(crate) fn intern(&mut self, c: &Constant) -> CId {
+        if let Some(&id) = self.map.get(c) {
+            return id;
+        }
+        let id = CId(u32::try_from(self.consts.len()).expect("constant pool overflow"));
+        self.consts.push(c.clone());
+        self.map.insert(c.clone(), id);
+        id
+    }
+
+    /// The constant behind an id.
+    pub(crate) fn resolve(&self, id: CId) -> &Constant {
+        &self.consts[id.0 as usize]
+    }
+}
+
+/// A relation over interned tuples: append-only insertion-ordered storage,
+/// a membership set, and a first-column index maintained on insert.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IdRelation {
+    /// Arity; fixed by the first insert.
+    arity: Option<usize>,
+    /// Tuples in insertion order — the deterministic scan order.
+    tuples: Vec<IdTuple>,
+    /// Membership.
+    seen: HashSet<IdTuple>,
+    /// First column → positions in `tuples`. Column 0 is the probe column
+    /// of the overwhelmingly common join shape (`Tc(x, y), Edge(y, z)`
+    /// probes `Edge` on its first column), so it is kept incrementally
+    /// instead of being rebuilt per rule evaluation.
+    index0: HashMap<CId, Vec<u32>>,
+}
+
+impl IdRelation {
+    /// Inserts a tuple; returns whether it was new.
+    pub(crate) fn insert(&mut self, t: IdTuple) -> Result<bool> {
+        match self.arity {
+            None => self.arity = Some(t.len()),
+            Some(a) if a != t.len() => {
+                return Err(DlError::Arity {
+                    rel: String::new(),
+                    expected: a,
+                    found: t.len(),
+                })
+            }
+            _ => {}
+        }
+        if self.seen.contains(&t) {
+            return Ok(false);
+        }
+        let pos = u32::try_from(self.tuples.len()).expect("relation overflow");
+        if let Some(&c0) = t.first() {
+            self.index0.entry(c0).or_default().push(pos);
+        }
+        self.tuples.push(t.clone());
+        self.seen.insert(t);
+        Ok(true)
+    }
+
+    /// Membership test.
+    pub(crate) fn contains(&self, t: &[CId]) -> bool {
+        self.seen.contains(t)
+    }
+
+    /// The tuples, in insertion order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &IdTuple> {
+        self.tuples.iter()
+    }
+
+    /// The tuple at `pos` (a position from an index).
+    pub(crate) fn tuple_at(&self, pos: u32) -> &IdTuple {
+        &self.tuples[pos as usize]
+    }
+
+    /// Number of tuples.
+    pub(crate) fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub(crate) fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The incremental first-column index.
+    pub(crate) fn index0(&self) -> &HashMap<CId, Vec<u32>> {
+        &self.index0
+    }
+
+    /// Builds a positions index on an arbitrary column (used for the rarer
+    /// non-first-column probes; column 0 probes borrow [`Self::index0`]).
+    pub(crate) fn build_index(&self, col: usize) -> HashMap<CId, Vec<u32>> {
+        let mut idx: HashMap<CId, Vec<u32>> = HashMap::new();
+        for (pos, t) in self.tuples.iter().enumerate() {
+            if let Some(&c) = t.get(col) {
+                idx.entry(c).or_default().push(pos as u32);
+            }
+        }
+        idx
+    }
+}
+
+/// A database over interned relations.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IdDatabase {
+    relations: BTreeMap<String, IdRelation>,
+}
+
+impl IdDatabase {
+    /// An empty database.
+    pub(crate) fn new() -> IdDatabase {
+        IdDatabase::default()
+    }
+
+    /// The relation named `r`, if present.
+    pub(crate) fn relation(&self, r: &str) -> Option<&IdRelation> {
+        self.relations.get(r)
+    }
+
+    /// Inserts a tuple into relation `r` (created if needed).
+    pub(crate) fn insert(&mut self, r: &str, t: IdTuple) -> Result<bool> {
+        self.relations
+            .entry(r.to_string())
+            .or_default()
+            .insert(t)
+            .map_err(|e| match e {
+                DlError::Arity {
+                    expected, found, ..
+                } => DlError::Arity {
+                    rel: r.to_string(),
+                    expected,
+                    found,
+                },
+                other => other,
+            })
+    }
+
+    /// Total tuple count.
+    pub(crate) fn size(&self) -> usize {
+        self.relations.values().map(IdRelation::len).sum()
+    }
+
+    /// Interns every tuple of `db`.
+    pub(crate) fn intern_from(db: &Database, pool: &mut ConstPool) -> Result<IdDatabase> {
+        let mut out = IdDatabase::new();
+        for name in db.names() {
+            // Materialize the relation entry even when empty, so the
+            // round-trip preserves the exact relation-name set.
+            out.relations.entry(name.to_string()).or_default();
+            if let Some(rel) = db.relation(name) {
+                for t in rel.iter() {
+                    let it: IdTuple = t.iter().map(|c| pool.intern(c)).collect();
+                    out.insert(name, it)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resolves every tuple back to constants.
+    pub(crate) fn resolve(&self, pool: &ConstPool) -> Result<Database> {
+        let mut out = Database::new();
+        for (name, rel) in &self.relations {
+            out.relation_mut(name);
+            for t in rel.iter() {
+                out.insert(name, t.iter().map(|&id| pool.resolve(id).clone()).collect())?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(pool: &mut ConstPool, n: i64) -> CId {
+        pool.intern(&Constant::int(n))
+    }
+
+    #[test]
+    fn pool_interns_and_resolves() {
+        let mut pool = ConstPool::default();
+        let a = cid(&mut pool, 1);
+        let b = cid(&mut pool, 2);
+        assert_ne!(a, b);
+        assert_eq!(cid(&mut pool, 1), a, "re-interning is stable");
+        assert_eq!(pool.resolve(a), &Constant::int(1));
+        assert_eq!(pool.resolve(b), &Constant::int(2));
+    }
+
+    #[test]
+    fn relation_dedups_and_indexes_first_column() {
+        let mut pool = ConstPool::default();
+        let (a, b, c) = (cid(&mut pool, 1), cid(&mut pool, 2), cid(&mut pool, 3));
+        let mut rel = IdRelation::default();
+        assert!(rel.insert(vec![a, b].into()).unwrap());
+        assert!(!rel.insert(vec![a, b].into()).unwrap(), "duplicate");
+        assert!(rel.insert(vec![a, c].into()).unwrap());
+        assert!(rel.insert(vec![b, c].into()).unwrap());
+        assert_eq!(rel.len(), 3);
+        assert!(rel.contains(&[a, c]));
+        assert_eq!(rel.index0()[&a].len(), 2);
+        assert_eq!(rel.index0()[&b], vec![2]);
+        // Arbitrary-column index agrees with a scan.
+        let idx1 = rel.build_index(1);
+        assert_eq!(idx1[&c].len(), 2);
+        // Insertion order is preserved.
+        let scan: Vec<&IdTuple> = rel.iter().collect();
+        assert_eq!(scan[0].as_ref(), &[a, b]);
+        assert_eq!(scan[2].as_ref(), &[b, c]);
+    }
+
+    #[test]
+    fn relation_arity_enforced() {
+        let mut pool = ConstPool::default();
+        let a = cid(&mut pool, 1);
+        let mut rel = IdRelation::default();
+        rel.insert(vec![a, a].into()).unwrap();
+        assert!(matches!(
+            rel.insert(vec![a].into()),
+            Err(DlError::Arity { .. })
+        ));
+    }
+
+    #[test]
+    fn database_roundtrip_preserves_contents_and_names() {
+        let mut db = Database::new();
+        db.insert("Edge", vec![Constant::int(1), Constant::int(2)])
+            .unwrap();
+        db.insert("Edge", vec![Constant::int(2), Constant::str("x")])
+            .unwrap();
+        db.relation_mut("Empty"); // empty relation survives the round-trip
+        let mut pool = ConstPool::default();
+        let idb = IdDatabase::intern_from(&db, &mut pool).unwrap();
+        assert_eq!(idb.size(), 2);
+        let back = idb.resolve(&pool).unwrap();
+        assert_eq!(back, db);
+    }
+}

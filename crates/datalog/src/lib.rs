@@ -23,6 +23,7 @@
 pub mod ast;
 pub mod convert;
 pub mod engine;
+mod interned;
 pub mod stratify;
 
 pub use ast::{parse_program, Atom, Database, DlTerm, Lit, Program, Relation, Rule};
@@ -56,7 +57,8 @@ pub enum DlError {
     /// Negation through a recursive cycle — not stratifiable.
     NotStratifiable(String),
     /// Semi-naive evaluation requires a positive program (use
-    /// [`eval_stratified`] or [`eval_inflationary`] for negation).
+    /// [`Strategy::Stratified`] or [`Strategy::Inflationary`] for
+    /// negation).
     NegationUnsupported(String),
 }
 

@@ -20,6 +20,7 @@ use crate::error::ModelError;
 use crate::instance::Instance;
 use crate::names::ClassName;
 use crate::schema::Schema;
+use crate::store::ValueReader;
 use crate::types::{OidClasses, TypeExpr};
 use crate::Result;
 use std::collections::{BTreeMap, BTreeSet};
@@ -204,13 +205,17 @@ impl SchemaWithIsa {
             inst,
             isa: &self.isa,
         };
+        // Membership checks run on interned ids: shared substructure is
+        // visited via the store, and a failing value is resolved to a tree
+        // only to render the error.
+        let store = inst.store();
         for r in self.schema.relations() {
             let ty = self.schema.relation_type(r)?;
-            for v in inst.relation(r)? {
-                if !ty.member(v, &view) {
+            for &fid in inst.relation_ids(r)? {
+                if !ty.member_id(fid, store, &view) {
                     return Err(ModelError::IllTypedRelation {
                         rel: r,
-                        value: v.to_string(),
+                        value: store.resolve(fid).to_string(),
                     });
                 }
             }
@@ -219,13 +224,13 @@ impl SchemaWithIsa {
             let tp = self.merged_type(p)?;
             let set_valued = matches!(tp, TypeExpr::Set(_));
             for o in inst.class(p)? {
-                match inst.value(*o) {
-                    Some(v) => {
-                        if !tp.member(v, &view) {
+                match inst.value_id(*o) {
+                    Some(vid) => {
+                        if !tp.member_id(vid, store, &view) {
                             return Err(ModelError::IllTypedOid {
                                 class: p,
                                 oid: o.raw(),
-                                value: v.to_string(),
+                                value: store.resolve(vid).to_string(),
                             });
                         }
                     }

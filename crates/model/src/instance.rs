@@ -23,6 +23,7 @@ use crate::idgen::{Oid, OidGen};
 use crate::names::{ClassName, RelName};
 use crate::ovalue::OValue;
 use crate::schema::Schema;
+use crate::store::{ValueId, ValueInterner, ValueReader, ValueStore};
 use crate::types::{ClassMap, EnumUniverse, OidClasses};
 use crate::Result;
 use std::collections::{BTreeMap, BTreeSet};
@@ -62,6 +63,13 @@ impl fmt::Display for GroundFact {
 }
 
 /// An instance `(ρ, π, ν)` of a schema.
+///
+/// The instance keeps **two representations of the same data** in lockstep:
+/// the `OValue` trees (`relations`, `nu`) that back the public API, display,
+/// and equality, and an interned mirror (`rel_ids`, `nu_ids`) over a
+/// hash-consing [`ValueStore`] that gives the evaluators `Copy` handles with
+/// O(1) equality and cached oid metadata. Every mutator maintains both; the
+/// mirrors are an implementation detail and never diverge observably.
 #[derive(Clone)]
 pub struct Instance {
     schema: Arc<Schema>,
@@ -71,12 +79,20 @@ pub struct Instance {
     /// Inverse of `π` — enforces disjointness and gives O(log n) class-of.
     oid_class: BTreeMap<Oid, ClassName>,
     gen: OidGen,
+    /// Hash-consing arena for the interned mirror of `ρ` and `ν`.
+    store: ValueStore,
+    /// `ρ` as interned ids — mirrors `relations` exactly.
+    rel_ids: BTreeMap<RelName, BTreeSet<ValueId>>,
+    /// `ν` as interned ids — mirrors `nu` exactly.
+    nu_ids: BTreeMap<Oid, ValueId>,
 }
 
 impl Instance {
     /// An empty instance of `schema`: all relations and classes empty.
     pub fn new(schema: Arc<Schema>) -> Instance {
-        let relations = schema.relations().map(|r| (r, BTreeSet::new())).collect();
+        let relations: BTreeMap<RelName, BTreeSet<OValue>> =
+            schema.relations().map(|r| (r, BTreeSet::new())).collect();
+        let rel_ids = relations.keys().map(|r| (*r, BTreeSet::new())).collect();
         let classes = schema.classes().map(|c| (c, BTreeSet::new())).collect();
         Instance {
             schema,
@@ -85,6 +101,9 @@ impl Instance {
             nu: BTreeMap::new(),
             oid_class: BTreeMap::new(),
             gen: OidGen::new(),
+            store: ValueStore::new(),
+            rel_ids,
+            nu_ids: BTreeMap::new(),
         }
     }
 
@@ -119,12 +138,45 @@ impl Instance {
     /// whose well-typedness is guaranteed statically by rule-head typing
     /// (Section 3.3).
     pub fn insert_unchecked(&mut self, r: RelName, v: OValue) -> Result<bool> {
-        self.note_oids_of(&v);
-        let set = self
-            .relations
+        if !self.relations.contains_key(&r) {
+            return Err(ModelError::UnknownRelation(r));
+        }
+        let id = self.intern_noting_oids(&v);
+        if !self
+            .rel_ids
+            .get_mut(&r)
+            .expect("mirrors relations")
+            .insert(id)
+        {
+            return Ok(false);
+        }
+        self.relations
+            .get_mut(&r)
+            .expect("mirrors rel_ids")
+            .insert(v);
+        Ok(true)
+    }
+
+    /// Id-native variant of [`Instance::insert_unchecked`]: `id` must come
+    /// from this instance's [`ValueStore`]. The tree mirror is materialized
+    /// only when the fact is genuinely new.
+    pub fn insert_id(&mut self, r: RelName, id: ValueId) -> Result<bool> {
+        let ids = self
+            .rel_ids
             .get_mut(&r)
             .ok_or(ModelError::UnknownRelation(r))?;
-        Ok(set.insert(v))
+        if !ids.insert(id) {
+            return Ok(false);
+        }
+        for &o in self.store.oids(id) {
+            self.gen.reserve_above(o);
+        }
+        let v = self.store.resolve(id);
+        self.relations
+            .get_mut(&r)
+            .expect("mirrors rel_ids")
+            .insert(v);
+        Ok(true)
     }
 
     /// Removes `v` from `ρ(R)`; returns whether it was present.
@@ -133,7 +185,15 @@ impl Instance {
             .relations
             .get_mut(&r)
             .ok_or(ModelError::UnknownRelation(r))?;
-        Ok(set.remove(v))
+        if !set.remove(v) {
+            return Ok(false);
+        }
+        let id = self.store.intern(v);
+        self.rel_ids
+            .get_mut(&r)
+            .expect("mirrors relations")
+            .remove(&id);
+        Ok(true)
     }
 
     // ------------------------------------------------------------------
@@ -186,6 +246,8 @@ impl Instance {
             .insert(oid);
         if self.schema.is_set_valued_class(p)? {
             self.nu.insert(oid, OValue::empty_set());
+            let empty = self.store.set_id(Vec::new());
+            self.nu_ids.insert(oid, empty);
         }
         Ok(())
     }
@@ -225,7 +287,29 @@ impl Instance {
         if self.nu.contains_key(&oid) {
             return Ok(false);
         }
-        self.note_oids_of(&v);
+        let id = self.intern_noting_oids(&v);
+        self.nu_ids.insert(oid, id);
+        self.nu.insert(oid, v);
+        Ok(true)
+    }
+
+    /// Id-native variant of [`Instance::define_value`]: `id` must come from
+    /// this instance's [`ValueStore`].
+    pub fn define_value_id(&mut self, oid: Oid, id: ValueId) -> Result<bool> {
+        let class = self.class_of(oid).ok_or(ModelError::StrayOid(oid.raw()))?;
+        if self.schema.is_set_valued_class(class)? {
+            return Err(ModelError::Invalid(format!(
+                "oid {oid} of class {class} is set-valued; use add_set_member"
+            )));
+        }
+        if self.nu_ids.contains_key(&oid) {
+            return Ok(false);
+        }
+        for &o in self.store.oids(id) {
+            self.gen.reserve_above(o);
+        }
+        let v = self.store.resolve(id);
+        self.nu_ids.insert(oid, id);
         self.nu.insert(oid, v);
         Ok(true)
     }
@@ -239,9 +323,49 @@ impl Instance {
                 "oid {oid} of class {class} is not set-valued; use define_value"
             )));
         }
-        self.note_oids_of(&v);
+        let id = self.intern_noting_oids(&v);
+        self.add_set_member_mirrored(oid, id, v)
+    }
+
+    /// Id-native variant of [`Instance::add_set_member`]: `id` must come from
+    /// this instance's [`ValueStore`].
+    pub fn add_set_member_id(&mut self, oid: Oid, id: ValueId) -> Result<bool> {
+        let class = self.class_of(oid).ok_or(ModelError::StrayOid(oid.raw()))?;
+        if !self.schema.is_set_valued_class(class)? {
+            return Err(ModelError::Invalid(format!(
+                "oid {oid} of class {class} is not set-valued; use define_value"
+            )));
+        }
+        for &o in self.store.oids(id) {
+            self.gen.reserve_above(o);
+        }
+        let v = self.store.resolve(id);
+        self.add_set_member_mirrored(oid, id, v)
+    }
+
+    /// Shared tail of the two `add_set_member` flavours: updates both the
+    /// interned and the tree representation of `ν(oid)`.
+    fn add_set_member_mirrored(&mut self, oid: Oid, id: ValueId, v: OValue) -> Result<bool> {
+        let old = *self
+            .nu_ids
+            .get(&oid)
+            .expect("set-valued oids always carry a set value");
+        if self.store.set_contains(old, id) == Some(true) {
+            return Ok(false);
+        }
+        let mut elems = self
+            .store
+            .as_set(old)
+            .expect("set-valued value is a set")
+            .to_vec();
+        elems.push(id);
+        let new_id = self.store.set_id(elems);
+        self.nu_ids.insert(oid, new_id);
         match self.nu.get_mut(&oid) {
-            Some(OValue::Set(s)) => Ok(s.insert(v)),
+            Some(OValue::Set(s)) => {
+                s.insert(v);
+                Ok(true)
+            }
             _ => unreachable!("set-valued oids always carry a set value"),
         }
     }
@@ -253,7 +377,8 @@ impl Instance {
         if self.class_of(oid).is_none() {
             return Err(ModelError::StrayOid(oid.raw()));
         }
-        self.note_oids_of(&v);
+        let id = self.intern_noting_oids(&v);
+        self.nu_ids.insert(oid, id);
         self.nu.insert(oid, v);
         Ok(())
     }
@@ -263,8 +388,11 @@ impl Instance {
     pub fn undefine_value(&mut self, oid: Oid) -> Result<()> {
         if self.is_set_valued(oid) {
             self.nu.insert(oid, OValue::empty_set());
+            let empty = self.store.set_id(Vec::new());
+            self.nu_ids.insert(oid, empty);
         } else {
             self.nu.remove(&oid);
+            self.nu_ids.remove(&oid);
         }
         Ok(())
     }
@@ -311,33 +439,119 @@ impl Instance {
                 }
             }
         }
+        // Deletion is the one cold, non-inflationary path: rather than
+        // patching the interned mirror edit-by-edit, rebuild it from the
+        // surviving trees (re-interning is cheap — shared nodes dedup).
+        self.rebuild_id_mirrors();
         Ok(())
     }
 
-    fn note_oids_of(&mut self, v: &OValue) {
-        // Keep the generator above any oid that enters the instance, so
-        // invention can never collide with adopted oids.
-        let mut oids = BTreeSet::new();
-        v.collect_oids(&mut oids);
-        for o in oids {
+    /// Interns `v` and keeps the oid generator above any oid it mentions, so
+    /// invention can never collide with adopted oids. Uses the store's
+    /// cached oid metadata instead of re-walking the tree.
+    fn intern_noting_oids(&mut self, v: &OValue) -> ValueId {
+        let id = self.store.intern(v);
+        for &o in self.store.oids(id) {
             self.gen.reserve_above(o);
         }
+        id
+    }
+
+    /// Recomputes `rel_ids`/`nu_ids` from the tree representation. Only the
+    /// deletion cascade needs this; every inflationary mutator maintains the
+    /// mirrors incrementally.
+    fn rebuild_id_mirrors(&mut self) {
+        let store = &mut self.store;
+        self.rel_ids = self
+            .relations
+            .iter()
+            .map(|(r, set)| (*r, set.iter().map(|v| store.intern(v)).collect()))
+            .collect();
+        self.nu_ids = self.nu.iter().map(|(o, v)| (*o, store.intern(v))).collect();
+    }
+
+    // ------------------------------------------------------------------
+    // Interned view — the ValueId mirror of ρ and ν
+    // ------------------------------------------------------------------
+
+    /// The hash-consing arena backing the interned mirror. Ids obtained
+    /// from accessors on this instance resolve through this store.
+    pub fn store(&self) -> &ValueStore {
+        &self.store
+    }
+
+    /// Mutable access to the arena — for interning query-side values and
+    /// absorbing worker overlays. The store is append-only, so this cannot
+    /// invalidate any id already handed out.
+    pub fn store_mut(&mut self) -> &mut ValueStore {
+        &mut self.store
+    }
+
+    /// Interns an o-value into this instance's store without inserting it
+    /// anywhere. Equal values get equal ids.
+    pub fn intern_value(&mut self, v: &OValue) -> ValueId {
+        self.store.intern(v)
+    }
+
+    /// `ρ(R)` as interned ids — mirrors [`Instance::relation`] exactly.
+    pub fn relation_ids(&self, r: RelName) -> Result<&BTreeSet<ValueId>> {
+        self.rel_ids.get(&r).ok_or(ModelError::UnknownRelation(r))
+    }
+
+    /// `ν(oid)` as an interned id — mirrors [`Instance::value`] exactly.
+    pub fn value_id(&self, oid: Oid) -> Option<ValueId> {
+        self.nu_ids.get(&oid).copied()
+    }
+
+    /// The whole of `ν` as interned ids.
+    pub fn value_id_map(&self) -> &BTreeMap<Oid, ValueId> {
+        &self.nu_ids
+    }
+
+    /// A read-only view of the interned mirror (ρ, π, ν as ids) that does
+    /// **not** borrow the store — so callers can hold it alongside a
+    /// worker-local [`crate::Overlay`] over [`Instance::store`].
+    pub fn id_view(&self) -> IdView<'_> {
+        IdView {
+            schema: &self.schema,
+            rel_ids: &self.rel_ids,
+            classes: &self.classes,
+            nu_ids: &self.nu_ids,
+            oid_class: &self.oid_class,
+        }
+    }
+
+    /// Splits a mutable instance borrow into the mutable store and the
+    /// read-only id view — how the evaluator's apply phase interns derived
+    /// values while reading the current mirrors.
+    pub fn store_and_view(&mut self) -> (&mut ValueStore, IdView<'_>) {
+        (
+            &mut self.store,
+            IdView {
+                schema: &self.schema,
+                rel_ids: &self.rel_ids,
+                classes: &self.classes,
+                nu_ids: &self.nu_ids,
+                oid_class: &self.oid_class,
+            },
+        )
     }
 
     // ------------------------------------------------------------------
     // Derived views
     // ------------------------------------------------------------------
 
-    /// `objects(I)` — every oid occurring in the instance.
+    /// `objects(I)` — every oid occurring in the instance. Uses the store's
+    /// cached per-node oid sets instead of re-walking value trees.
     pub fn objects(&self) -> BTreeSet<Oid> {
         let mut out: BTreeSet<Oid> = self.oid_class.keys().copied().collect();
-        for set in self.relations.values() {
-            for v in set {
-                v.collect_oids(&mut out);
+        for ids in self.rel_ids.values() {
+            for &id in ids {
+                out.extend(self.store.oids(id).iter().copied());
             }
         }
-        for v in self.nu.values() {
-            v.collect_oids(&mut out);
+        for &id in self.nu_ids.values() {
+            out.extend(self.store.oids(id).iter().copied());
         }
         out
     }
@@ -388,17 +602,14 @@ impl Instance {
     /// Total number of ground facts — the instance "size" used for
     /// data-complexity statements (Section 5).
     pub fn fact_count(&self) -> usize {
-        let rel: usize = self.relations.values().map(BTreeSet::len).sum();
+        let rel: usize = self.rel_ids.values().map(BTreeSet::len).sum();
         let cls: usize = self.classes.values().map(BTreeSet::len).sum();
         let vals: usize = self
-            .nu
+            .nu_ids
             .iter()
-            .map(|(o, v)| {
+            .map(|(o, &id)| {
                 if self.is_set_valued(*o) {
-                    match v {
-                        OValue::Set(s) => s.len(),
-                        _ => 0,
-                    }
+                    self.store.as_set(id).map_or(0, <[ValueId]>::len)
                 } else {
                     1
                 }
@@ -652,6 +863,58 @@ impl Instance {
 }
 
 impl OidClasses for Instance {
+    fn oid_in_class(&self, oid: Oid, class: ClassName) -> bool {
+        self.class_of(oid) == Some(class)
+    }
+}
+
+/// A borrow of an instance's interned mirror that leaves the backing
+/// [`ValueStore`] free — see [`Instance::id_view`] and
+/// [`Instance::store_and_view`].
+#[derive(Clone, Copy)]
+pub struct IdView<'a> {
+    schema: &'a Arc<Schema>,
+    rel_ids: &'a BTreeMap<RelName, BTreeSet<ValueId>>,
+    classes: &'a BTreeMap<ClassName, BTreeSet<Oid>>,
+    nu_ids: &'a BTreeMap<Oid, ValueId>,
+    oid_class: &'a BTreeMap<Oid, ClassName>,
+}
+
+impl<'a> IdView<'a> {
+    /// The instance's schema.
+    pub fn schema(&self) -> &'a Arc<Schema> {
+        self.schema
+    }
+
+    /// `ρ(R)` as interned ids.
+    pub fn relation_ids(&self, r: RelName) -> Result<&'a BTreeSet<ValueId>> {
+        self.rel_ids.get(&r).ok_or(ModelError::UnknownRelation(r))
+    }
+
+    /// `π(P)` — the extent of class `p`.
+    pub fn class(&self, p: ClassName) -> Result<&'a BTreeSet<Oid>> {
+        self.classes.get(&p).ok_or(ModelError::UnknownClass(p))
+    }
+
+    /// `ν(oid)` as an interned id.
+    pub fn value_id(&self, oid: Oid) -> Option<ValueId> {
+        self.nu_ids.get(&oid).copied()
+    }
+
+    /// The class an oid belongs to, if any.
+    pub fn class_of(&self, oid: Oid) -> Option<ClassName> {
+        self.oid_class.get(&oid).copied()
+    }
+
+    /// Is `oid` set-valued (its class's type is `{t}`)?
+    pub fn is_set_valued(&self, oid: Oid) -> bool {
+        self.class_of(oid)
+            .and_then(|p| self.schema.is_set_valued_class(p).ok())
+            .unwrap_or(false)
+    }
+}
+
+impl OidClasses for IdView<'_> {
     fn oid_in_class(&self, oid: Oid, class: ClassName) -> bool {
         self.class_of(oid) == Some(class)
     }

@@ -19,7 +19,9 @@
 
 use crate::idgen::Oid;
 use crate::instance::Instance;
+use crate::names::RelName;
 use crate::ovalue::OValue;
+use crate::store::{Node, ValueId, ValueReader, ValueStore};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
@@ -28,9 +30,27 @@ type Color = u64;
 
 /// Computes content-derived colors for every oid of the instance.
 /// Colors are comparable *across* instances because they hash structure,
-/// never raw oid ids.
+/// never raw oid ids (or [`ValueId`]s, which are just as instance-local).
 fn refine_colors(inst: &Instance) -> BTreeMap<Oid, Color> {
+    let store = inst.store();
     let oids: Vec<Oid> = inst.objects().into_iter().collect();
+
+    // Per-oid fact occurrences, computed once up front: the store caches
+    // the oid set of every interned node, so finding which facts mention
+    // an oid is a scan over each fact's precomputed sorted oid slice —
+    // not a `mentions_oid` tree walk per (oid, fact, round).
+    let mut occurrences: BTreeMap<Oid, Vec<(RelName, ValueId)>> =
+        oids.iter().map(|&o| (o, Vec::new())).collect();
+    for r in inst.schema().relations() {
+        for &fid in inst.relation_ids(r).expect("schema relation") {
+            for &o in store.oids(fid) {
+                if let Some(list) = occurrences.get_mut(&o) {
+                    list.push((r, fid));
+                }
+            }
+        }
+    }
+
     let mut colors: BTreeMap<Oid, Color> = oids
         .iter()
         .map(|&o| {
@@ -50,20 +70,16 @@ fn refine_colors(inst: &Instance) -> BTreeMap<Oid, Color> {
         for &o in &oids {
             let mut h = DefaultHasher::new();
             colors[&o].hash(&mut h);
-            if let Some(v) = inst.value(o) {
-                hash_skeleton(v, &colors, &mut h);
+            if let Some(vid) = inst.value_id(o) {
+                hash_skeleton(store, vid, &colors, &mut h);
             }
             // Occurrences in relations: multiset of focused skeletons.
             let mut occ: Vec<u64> = Vec::new();
-            for r in inst.schema().relations() {
-                for fact in inst.relation(r).expect("schema relation") {
-                    if fact.mentions_oid(o) {
-                        let mut fh = DefaultHasher::new();
-                        r.as_str().hash(&mut fh);
-                        hash_focused(fact, o, &colors, &mut fh);
-                        occ.push(fh.finish());
-                    }
-                }
+            for &(r, fid) in &occurrences[&o] {
+                let mut fh = DefaultHasher::new();
+                r.as_str().hash(&mut fh);
+                hash_focused(store, fid, o, &colors, &mut fh);
+                occ.push(fh.finish());
             }
             occ.sort_unstable();
             occ.hash(&mut h);
@@ -77,31 +93,36 @@ fn refine_colors(inst: &Instance) -> BTreeMap<Oid, Color> {
     colors
 }
 
-/// Hashes an o-value with oids replaced by their colors.
-fn hash_skeleton(v: &OValue, colors: &BTreeMap<Oid, Color>, h: &mut DefaultHasher) {
-    match v {
-        OValue::Const(c) => {
+/// Hashes an interned o-value with oids replaced by their colors.
+fn hash_skeleton(
+    store: &ValueStore,
+    id: ValueId,
+    colors: &BTreeMap<Oid, Color>,
+    h: &mut DefaultHasher,
+) {
+    match store.node(id) {
+        Node::Const(c) => {
             0u8.hash(h);
             c.hash(h);
         }
-        OValue::Oid(o) => {
+        Node::Oid(o) => {
             1u8.hash(h);
             colors.get(o).copied().unwrap_or(0).hash(h);
         }
-        OValue::Tuple(fields) => {
+        Node::Tuple(fields) => {
             2u8.hash(h);
-            for (a, fv) in fields {
+            for &(a, fv) in fields.iter() {
                 a.as_str().hash(h);
-                hash_skeleton(fv, colors, h);
+                hash_skeleton(store, fv, colors, h);
             }
         }
-        OValue::Set(elems) => {
+        Node::Set(elems) => {
             3u8.hash(h);
             let mut hs: Vec<u64> = elems
                 .iter()
-                .map(|e| {
+                .map(|&e| {
                     let mut eh = DefaultHasher::new();
-                    hash_skeleton(e, colors, &mut eh);
+                    hash_skeleton(store, e, colors, &mut eh);
                     eh.finish()
                 })
                 .collect();
@@ -112,13 +133,19 @@ fn hash_skeleton(v: &OValue, colors: &BTreeMap<Oid, Color>, h: &mut DefaultHashe
 }
 
 /// Like [`hash_skeleton`] but distinguishes the focused oid from others.
-fn hash_focused(v: &OValue, focus: Oid, colors: &BTreeMap<Oid, Color>, h: &mut DefaultHasher) {
-    match v {
-        OValue::Const(c) => {
+fn hash_focused(
+    store: &ValueStore,
+    id: ValueId,
+    focus: Oid,
+    colors: &BTreeMap<Oid, Color>,
+    h: &mut DefaultHasher,
+) {
+    match store.node(id) {
+        Node::Const(c) => {
             0u8.hash(h);
             c.hash(h);
         }
-        OValue::Oid(o) => {
+        Node::Oid(o) => {
             if *o == focus {
                 9u8.hash(h);
             } else {
@@ -126,20 +153,20 @@ fn hash_focused(v: &OValue, focus: Oid, colors: &BTreeMap<Oid, Color>, h: &mut D
                 colors.get(o).copied().unwrap_or(0).hash(h);
             }
         }
-        OValue::Tuple(fields) => {
+        Node::Tuple(fields) => {
             2u8.hash(h);
-            for (a, fv) in fields {
+            for &(a, fv) in fields.iter() {
                 a.as_str().hash(h);
-                hash_focused(fv, focus, colors, h);
+                hash_focused(store, fv, focus, colors, h);
             }
         }
-        OValue::Set(elems) => {
+        Node::Set(elems) => {
             3u8.hash(h);
             let mut hs: Vec<u64> = elems
                 .iter()
-                .map(|e| {
+                .map(|&e| {
                     let mut eh = DefaultHasher::new();
-                    hash_focused(e, focus, colors, &mut eh);
+                    hash_focused(store, e, focus, colors, &mut eh);
                     eh.finish()
                 })
                 .collect();

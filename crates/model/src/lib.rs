@@ -34,16 +34,18 @@ pub mod iso;
 pub mod names;
 pub mod ovalue;
 pub mod schema;
+pub mod store;
 pub mod types;
 
 pub use constant::Constant;
 pub use error::ModelError;
 pub use idgen::{Oid, OidGen};
 pub use inherit::{IsaHierarchy, SchemaWithIsa};
-pub use instance::{GroundFact, Instance};
+pub use instance::{GroundFact, IdView, Instance};
 pub use names::{AttrName, ClassName, RelName};
 pub use ovalue::OValue;
 pub use schema::{Schema, SchemaBuilder};
+pub use store::{Node, Overlay, OverlayLog, ValueId, ValueInterner, ValueReader, ValueStore};
 pub use types::{ClassMap, EnumUniverse, OidClasses, TypeExpr};
 
 /// Crate-wide result alias.

@@ -173,6 +173,9 @@ impl OValue {
     /// Applies an oid renaming to this tree, leaving unmapped oids in place.
     /// This is the action of an O-isomorphism on o-values (Section 4.1).
     pub fn rename_oids(&self, map: &BTreeMap<Oid, Oid>) -> OValue {
+        if map.is_empty() {
+            return self.clone();
+        }
         match self {
             OValue::Const(c) => OValue::Const(c.clone()),
             OValue::Oid(o) => OValue::Oid(*map.get(o).unwrap_or(o)),
@@ -190,6 +193,9 @@ impl OValue {
     /// in place. Together with [`OValue::rename_oids`] this is the action
     /// of a DO-isomorphism (Section 4.1).
     pub fn rename_constants(&self, map: &BTreeMap<Constant, Constant>) -> OValue {
+        if map.is_empty() {
+            return self.clone();
+        }
         match self {
             OValue::Const(c) => OValue::Const(map.get(c).cloned().unwrap_or_else(|| c.clone())),
             OValue::Oid(o) => OValue::Oid(*o),

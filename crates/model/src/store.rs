@@ -1,0 +1,885 @@
+//! Hash-consed o-values: an interned arena of canonical value nodes.
+//!
+//! [`OValue`] represents the paper's o-values as plain trees — ideal as a
+//! parse/display/API surface, but every comparison, hash, and clone pays
+//! O(tree). This module adds the classic *hash-consing* representation on
+//! top: a [`ValueStore`] arena maps each structurally-canonical node
+//! (constant, oid, tuple of `(AttrName, ValueId)`, set of `ValueId`) to a
+//! unique, dense [`ValueId`]. Interning is injective on canonical forms, so
+//!
+//! * equality and hashing of whole values are O(1) (`u32` compare),
+//! * shared substructure is stored once,
+//! * per-node metadata (oid set, depth, size) is computed once at intern
+//!   time and reused forever.
+//!
+//! The arena is append-only: a `ValueId` stays valid for the life of the
+//! store. The boundary contract with the tree world is *lossless*:
+//! `resolve(intern(v)) == v` for every `OValue`, and `intern(a) ==
+//! intern(b)` iff `a == b`.
+//!
+//! [`Overlay`] layers a worker-local interner over a frozen base store so
+//! parallel evaluation can intern new values without synchronization, then
+//! replay them deterministically into the base via [`ValueStore::absorb`].
+
+use crate::constant::Constant;
+use crate::idgen::Oid;
+use crate::names::AttrName;
+use crate::ovalue::OValue;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// A handle to an interned o-value: dense, `Copy`, O(1) equality/hash.
+///
+/// Ids are ordered by interning order, so a `BTreeSet<ValueId>` iterates in
+/// first-occurrence order — deterministic for deterministic construction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueId(u32);
+
+impl ValueId {
+    /// The raw index into the arena. For display and external maps only.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One structurally-canonical node of the interned representation.
+///
+/// Canonicalization invariants (enforced by the constructors, relied on by
+/// the injectivity argument):
+///
+/// * `Tuple` entries are strictly sorted by attribute (hence distinct);
+/// * `Set` elements are strictly sorted by id (hence duplicate-free) —
+///   sorting by *id* is canonical because interning is injective, so equal
+///   ids are equal values.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Node {
+    /// A constant leaf.
+    Const(Constant),
+    /// An oid leaf.
+    Oid(Oid),
+    /// A tuple node; entries strictly sorted by attribute.
+    Tuple(Arc<[(AttrName, ValueId)]>),
+    /// A set node; elements strictly sorted by id.
+    Set(Arc<[ValueId]>),
+}
+
+/// Cached per-node facts, computed once at intern time.
+#[derive(Clone)]
+struct Meta {
+    node: Node,
+    /// Sorted, distinct oids of the whole subtree. Empty ⇔ oid-free.
+    oids: Arc<[Oid]>,
+    /// Does the subtree mention any constant?
+    has_consts: bool,
+    /// Height of the tree (leaves and empty constructors are 1).
+    depth: u32,
+    /// Node count of the resolved tree (shared substructure counted per
+    /// occurrence, matching [`OValue::size`]); saturating.
+    size: u32,
+}
+
+/// Read access to interned nodes and their metadata — implemented by both
+/// [`ValueStore`] and [`Overlay`], so evaluation code can run against either.
+pub trait ValueReader {
+    /// The node behind `id`. Panics on a foreign id.
+    fn node(&self, id: ValueId) -> &Node;
+    /// The sorted, distinct oids of the subtree behind `id`.
+    fn oids(&self, id: ValueId) -> &[Oid];
+
+    /// Does the subtree behind `id` mention any oid?
+    fn contains_oids(&self, id: ValueId) -> bool {
+        !self.oids(id).is_empty()
+    }
+
+    /// Does the subtree behind `id` mention `oid`?
+    fn mentions_oid(&self, id: ValueId, oid: Oid) -> bool {
+        self.oids(id).binary_search(&oid).is_ok()
+    }
+
+    /// Rebuilds the o-value tree behind `id` (the lossless inverse of
+    /// interning).
+    fn resolve(&self, id: ValueId) -> OValue {
+        match self.node(id) {
+            Node::Const(c) => OValue::Const(c.clone()),
+            Node::Oid(o) => OValue::Oid(*o),
+            Node::Tuple(fields) => OValue::Tuple(
+                fields
+                    .iter()
+                    .map(|(a, v)| (*a, self.resolve(*v)))
+                    .collect::<BTreeMap<_, _>>(),
+            ),
+            Node::Set(elems) => OValue::Set(elems.iter().map(|v| self.resolve(*v)).collect()),
+        }
+    }
+
+    /// The oid behind `id`, if it is an oid leaf.
+    fn as_oid(&self, id: ValueId) -> Option<Oid> {
+        match self.node(id) {
+            Node::Oid(o) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// The elements behind `id`, if it is a set node (sorted by id).
+    fn as_set(&self, id: ValueId) -> Option<&[ValueId]> {
+        match self.node(id) {
+            Node::Set(elems) => Some(elems),
+            _ => None,
+        }
+    }
+
+    /// Is `member` an element of the set behind `id`? `None` if `id` is not
+    /// a set. O(log n) — elements are sorted by id.
+    fn set_contains(&self, id: ValueId, member: ValueId) -> Option<bool> {
+        self.as_set(id).map(|s| s.binary_search(&member).is_ok())
+    }
+}
+
+/// Write access: interning new values. Everything goes through the four
+/// canonical constructors, which maintain the [`Node`] invariants.
+pub trait ValueInterner: ValueReader {
+    /// Interns a constant leaf.
+    fn const_id(&mut self, c: Constant) -> ValueId;
+    /// Interns an oid leaf.
+    fn oid_id(&mut self, o: Oid) -> ValueId;
+    /// Interns a tuple node; `fields` may arrive in any attribute order but
+    /// must have distinct attributes.
+    fn tuple_id(&mut self, fields: Vec<(AttrName, ValueId)>) -> ValueId;
+    /// Interns a set node; `elems` may arrive unsorted and with duplicates.
+    fn set_id(&mut self, elems: Vec<ValueId>) -> ValueId;
+
+    /// Interns a whole o-value tree.
+    fn intern(&mut self, v: &OValue) -> ValueId {
+        match v {
+            OValue::Const(c) => self.const_id(c.clone()),
+            OValue::Oid(o) => self.oid_id(*o),
+            OValue::Tuple(fields) => {
+                let ids: Vec<(AttrName, ValueId)> = fields
+                    .iter()
+                    .map(|(a, child)| (*a, self.intern(child)))
+                    .collect();
+                self.tuple_id(ids)
+            }
+            OValue::Set(elems) => {
+                let ids: Vec<ValueId> = elems.iter().map(|e| self.intern(e)).collect();
+                self.set_id(ids)
+            }
+        }
+    }
+}
+
+/// The hash-consing arena. Append-only; cloning is cheap-ish (nodes share
+/// their `Arc` spines).
+#[derive(Clone, Default)]
+pub struct ValueStore {
+    entries: Vec<Meta>,
+    map: HashMap<Node, ValueId>,
+    empty_oids: Arc<[Oid]>,
+}
+
+impl ValueStore {
+    /// An empty store.
+    pub fn new() -> ValueStore {
+        ValueStore {
+            entries: Vec::new(),
+            map: HashMap::new(),
+            empty_oids: Arc::from([]),
+        }
+    }
+
+    /// Number of interned nodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The id of an already-interned canonical node, if present.
+    pub fn lookup(&self, node: &Node) -> Option<ValueId> {
+        self.map.get(node).copied()
+    }
+
+    /// Height of the tree behind `id`.
+    pub fn depth(&self, id: ValueId) -> u32 {
+        self.entries[id.0 as usize].depth
+    }
+
+    /// Node count of the resolved tree behind `id` (saturating).
+    pub fn size(&self, id: ValueId) -> u32 {
+        self.entries[id.0 as usize].size
+    }
+
+    /// Does the subtree behind `id` mention any constant?
+    pub fn contains_constants(&self, id: ValueId) -> bool {
+        self.entries[id.0 as usize].has_consts
+    }
+
+    fn insert_node(&mut self, node: Node) -> ValueId {
+        if let Some(id) = self.map.get(&node) {
+            return *id;
+        }
+        let meta = self.compute_meta(node.clone());
+        let id =
+            ValueId(u32::try_from(self.entries.len()).expect("value store exhausted (2^32 nodes)"));
+        self.entries.push(meta);
+        self.map.insert(node, id);
+        id
+    }
+
+    fn compute_meta(&self, node: Node) -> Meta {
+        let (oids, has_consts, depth, size) = match &node {
+            Node::Const(_) => (Arc::clone(&self.empty_oids), true, 1, 1),
+            Node::Oid(o) => (Arc::from([*o]), false, 1, 1),
+            Node::Tuple(fields) => self.combine_meta(fields.iter().map(|(_, v)| *v)),
+            Node::Set(elems) => self.combine_meta(elems.iter().copied()),
+        };
+        Meta {
+            node,
+            oids,
+            has_consts,
+            depth,
+            size,
+        }
+    }
+
+    fn combine_meta<I: Iterator<Item = ValueId>>(
+        &self,
+        children: I,
+    ) -> (Arc<[Oid]>, bool, u32, u32) {
+        let mut oids: Vec<Oid> = Vec::new();
+        let mut single: Option<&Arc<[Oid]>> = None;
+        let mut merged = false;
+        let mut has_consts = false;
+        let mut depth = 0u32;
+        let mut size = 1u32;
+        for child in children {
+            let m = &self.entries[child.0 as usize];
+            has_consts |= m.has_consts;
+            depth = depth.max(m.depth);
+            size = size.saturating_add(m.size);
+            if m.oids.is_empty() {
+                continue;
+            }
+            match single {
+                None if !merged => single = Some(&m.oids),
+                _ => {
+                    if let Some(first) = single.take() {
+                        oids.extend_from_slice(first);
+                    }
+                    merged = true;
+                    oids.extend_from_slice(&m.oids);
+                }
+            }
+        }
+        let oids = match (single, merged) {
+            // Exactly one oid-bearing child: share its (sorted) slice.
+            (Some(one), false) => Arc::clone(one),
+            (None, false) => Arc::clone(&self.empty_oids),
+            _ => {
+                oids.sort_unstable();
+                oids.dedup();
+                Arc::from(oids)
+            }
+        };
+        (oids, has_consts, depth + 1, size)
+    }
+
+    /// Replays a worker [`OverlayLog`] into this store, in the overlay's
+    /// creation order, and returns the mapping from overlay-local index to
+    /// base id. The store must be the one the overlay was layered over (and
+    /// may only have grown — by earlier `absorb` calls — since the overlay
+    /// froze it); ids below the log's base length are stable by
+    /// append-onlyness. Replay order is deterministic, so absorbing the
+    /// per-task logs of a chunked parallel search reproduces the sequential
+    /// interning order exactly.
+    pub fn absorb(&mut self, log: &OverlayLog) -> Vec<ValueId> {
+        debug_assert!(self.entries.len() >= log.base_len as usize);
+        let mut remap: Vec<ValueId> = Vec::with_capacity(log.nodes.len());
+        let fix = |id: ValueId, remap: &Vec<ValueId>| -> ValueId {
+            if id.0 < log.base_len {
+                id
+            } else {
+                remap[(id.0 - log.base_len) as usize]
+            }
+        };
+        for node in &log.nodes {
+            let new_id = match node {
+                Node::Const(c) => self.const_id(c.clone()),
+                Node::Oid(o) => self.oid_id(*o),
+                Node::Tuple(fields) => {
+                    let fixed: Vec<(AttrName, ValueId)> =
+                        fields.iter().map(|(a, v)| (*a, fix(*v, &remap))).collect();
+                    self.tuple_id(fixed)
+                }
+                Node::Set(elems) => {
+                    // Re-sort through set_id: remapping may permute ids.
+                    let fixed: Vec<ValueId> = elems.iter().map(|v| fix(*v, &remap)).collect();
+                    self.set_id(fixed)
+                }
+            };
+            remap.push(new_id);
+        }
+        remap
+    }
+
+    /// Applies an oid renaming to the value behind `id`, reusing ids for
+    /// every subtree the map does not touch (checked against the cached oid
+    /// metadata, so untouched subtrees cost O(oids) — no tree walk). The
+    /// interned counterpart of [`OValue::rename_oids`].
+    pub fn rename_oids_id(&mut self, id: ValueId, map: &BTreeMap<Oid, Oid>) -> ValueId {
+        if map.is_empty() {
+            return id;
+        }
+        let mut memo: HashMap<ValueId, ValueId> = HashMap::new();
+        self.rename_oids_rec(id, map, &mut memo)
+    }
+
+    fn rename_oids_rec(
+        &mut self,
+        id: ValueId,
+        map: &BTreeMap<Oid, Oid>,
+        memo: &mut HashMap<ValueId, ValueId>,
+    ) -> ValueId {
+        if let Some(done) = memo.get(&id) {
+            return *done;
+        }
+        // Untouched subtree: none of its oids are renamed.
+        if !self.oids(id).iter().any(|o| map.contains_key(o)) {
+            memo.insert(id, id);
+            return id;
+        }
+        let out = match self.entries[id.0 as usize].node.clone() {
+            Node::Const(_) => id,
+            Node::Oid(o) => {
+                let renamed = *map.get(&o).unwrap_or(&o);
+                self.oid_id(renamed)
+            }
+            Node::Tuple(fields) => {
+                let fixed: Vec<(AttrName, ValueId)> = fields
+                    .iter()
+                    .map(|(a, v)| (*a, self.rename_oids_rec(*v, map, memo)))
+                    .collect();
+                self.tuple_id(fixed)
+            }
+            Node::Set(elems) => {
+                let fixed: Vec<ValueId> = elems
+                    .iter()
+                    .map(|v| self.rename_oids_rec(*v, map, memo))
+                    .collect();
+                self.set_id(fixed)
+            }
+        };
+        memo.insert(id, out);
+        out
+    }
+
+    /// Applies a constant renaming to the value behind `id`, reusing ids for
+    /// constant-free subtrees (checked against cached metadata). The
+    /// interned counterpart of [`OValue::rename_constants`].
+    pub fn rename_constants_id(
+        &mut self,
+        id: ValueId,
+        map: &BTreeMap<Constant, Constant>,
+    ) -> ValueId {
+        if map.is_empty() {
+            return id;
+        }
+        let mut memo: HashMap<ValueId, ValueId> = HashMap::new();
+        self.rename_constants_rec(id, map, &mut memo)
+    }
+
+    fn rename_constants_rec(
+        &mut self,
+        id: ValueId,
+        map: &BTreeMap<Constant, Constant>,
+        memo: &mut HashMap<ValueId, ValueId>,
+    ) -> ValueId {
+        if let Some(done) = memo.get(&id) {
+            return *done;
+        }
+        if !self.entries[id.0 as usize].has_consts {
+            memo.insert(id, id);
+            return id;
+        }
+        let out = match self.entries[id.0 as usize].node.clone() {
+            Node::Const(c) => match map.get(&c) {
+                Some(renamed) => self.const_id(renamed.clone()),
+                None => id,
+            },
+            Node::Oid(_) => id,
+            Node::Tuple(fields) => {
+                let fixed: Vec<(AttrName, ValueId)> = fields
+                    .iter()
+                    .map(|(a, v)| (*a, self.rename_constants_rec(*v, map, memo)))
+                    .collect();
+                self.tuple_id(fixed)
+            }
+            Node::Set(elems) => {
+                let fixed: Vec<ValueId> = elems
+                    .iter()
+                    .map(|v| self.rename_constants_rec(*v, map, memo))
+                    .collect();
+                self.set_id(fixed)
+            }
+        };
+        memo.insert(id, out);
+        out
+    }
+}
+
+impl fmt::Debug for ValueStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ValueStore({} nodes)", self.len())
+    }
+}
+
+impl ValueReader for ValueStore {
+    fn node(&self, id: ValueId) -> &Node {
+        &self.entries[id.0 as usize].node
+    }
+
+    fn oids(&self, id: ValueId) -> &[Oid] {
+        &self.entries[id.0 as usize].oids
+    }
+}
+
+impl ValueInterner for ValueStore {
+    fn const_id(&mut self, c: Constant) -> ValueId {
+        self.insert_node(Node::Const(c))
+    }
+
+    fn oid_id(&mut self, o: Oid) -> ValueId {
+        self.insert_node(Node::Oid(o))
+    }
+
+    fn tuple_id(&mut self, mut fields: Vec<(AttrName, ValueId)>) -> ValueId {
+        fields.sort_by_key(|f| f.0);
+        debug_assert!(
+            fields.windows(2).all(|w| w[0].0 < w[1].0),
+            "tuple attributes must be distinct"
+        );
+        self.insert_node(Node::Tuple(Arc::from(fields)))
+    }
+
+    fn set_id(&mut self, mut elems: Vec<ValueId>) -> ValueId {
+        elems.sort_unstable();
+        elems.dedup();
+        self.insert_node(Node::Set(Arc::from(elems)))
+    }
+}
+
+/// The nodes a worker-local [`Overlay`] interned beyond its frozen base, in
+/// creation order — everything [`ValueStore::absorb`] needs to replay them.
+#[derive(Clone, Debug, Default)]
+pub struct OverlayLog {
+    base_len: u32,
+    nodes: Vec<Node>,
+}
+
+impl OverlayLog {
+    /// The size the base store had when the overlay froze it — ids below
+    /// this are base ids and survive [`ValueStore::absorb`] unchanged.
+    pub fn base_len(&self) -> u32 {
+        self.base_len
+    }
+
+    /// Number of overlay-local nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Did the overlay intern nothing new?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// A worker-local interner layered over a frozen base store.
+///
+/// Lookups hit the base first, so a value already interned in the base
+/// always resolves to its base id — an overlay-local id (`≥ base.len()`)
+/// therefore *proves* the value is absent from the base, which is what makes
+/// membership probes against base-built indexes sound without promotion.
+/// New nodes get consecutive local ids; the creation log is replayed into
+/// the base by [`ValueStore::absorb`] during the deterministic merge phase.
+pub struct Overlay<'a> {
+    base: &'a ValueStore,
+    base_len: u32,
+    local: Vec<Meta>,
+    map: HashMap<Node, ValueId>,
+    empty_oids: Arc<[Oid]>,
+}
+
+impl<'a> Overlay<'a> {
+    /// A fresh overlay over `base` (frozen for the overlay's lifetime).
+    pub fn new(base: &'a ValueStore) -> Overlay<'a> {
+        Overlay {
+            base,
+            base_len: u32::try_from(base.len()).expect("value store exhausted"),
+            local: Vec::new(),
+            map: HashMap::new(),
+            empty_oids: Arc::from([]),
+        }
+    }
+
+    /// Total nodes visible (base + local).
+    pub fn len(&self) -> usize {
+        self.base_len as usize + self.local.len()
+    }
+
+    /// Is the overlay (including its base) empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extracts the creation log for [`ValueStore::absorb`].
+    pub fn into_log(self) -> OverlayLog {
+        OverlayLog {
+            base_len: self.base_len,
+            nodes: self.local.into_iter().map(|m| m.node).collect(),
+        }
+    }
+
+    fn meta(&self, id: ValueId) -> &Meta {
+        if id.0 < self.base_len {
+            &self.base.entries[id.0 as usize]
+        } else {
+            &self.local[(id.0 - self.base_len) as usize]
+        }
+    }
+
+    fn insert_node(&mut self, node: Node) -> ValueId {
+        if let Some(id) = self.base.lookup(&node) {
+            return id;
+        }
+        if let Some(id) = self.map.get(&node) {
+            return *id;
+        }
+        let meta = self.compute_meta(node.clone());
+        let id = ValueId(
+            self.base_len
+                .checked_add(u32::try_from(self.local.len()).expect("overlay exhausted"))
+                .expect("value store exhausted (2^32 nodes)"),
+        );
+        self.local.push(meta);
+        self.map.insert(node, id);
+        id
+    }
+
+    fn compute_meta(&self, node: Node) -> Meta {
+        let (oids, has_consts, depth, size) = match &node {
+            Node::Const(_) => (Arc::clone(&self.empty_oids), true, 1, 1),
+            Node::Oid(o) => (Arc::from([*o]), false, 1, 1),
+            Node::Tuple(fields) => self.combine_meta(fields.iter().map(|(_, v)| *v)),
+            Node::Set(elems) => self.combine_meta(elems.iter().copied()),
+        };
+        Meta {
+            node,
+            oids,
+            has_consts,
+            depth,
+            size,
+        }
+    }
+
+    fn combine_meta<I: Iterator<Item = ValueId>>(
+        &self,
+        children: I,
+    ) -> (Arc<[Oid]>, bool, u32, u32) {
+        let mut oids: Vec<Oid> = Vec::new();
+        let mut has_consts = false;
+        let mut depth = 0u32;
+        let mut size = 1u32;
+        for child in children {
+            let m = self.meta(child);
+            has_consts |= m.has_consts;
+            depth = depth.max(m.depth);
+            size = size.saturating_add(m.size);
+            oids.extend_from_slice(&m.oids);
+        }
+        oids.sort_unstable();
+        oids.dedup();
+        let oids: Arc<[Oid]> = if oids.is_empty() {
+            Arc::clone(&self.empty_oids)
+        } else {
+            Arc::from(oids)
+        };
+        (oids, has_consts, depth + 1, size)
+    }
+}
+
+impl fmt::Debug for Overlay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Overlay({} base + {} local nodes)",
+            self.base_len,
+            self.local.len()
+        )
+    }
+}
+
+impl ValueReader for Overlay<'_> {
+    fn node(&self, id: ValueId) -> &Node {
+        &self.meta(id).node
+    }
+
+    fn oids(&self, id: ValueId) -> &[Oid] {
+        &self.meta(id).oids
+    }
+}
+
+impl ValueInterner for Overlay<'_> {
+    fn const_id(&mut self, c: Constant) -> ValueId {
+        self.insert_node(Node::Const(c))
+    }
+
+    fn oid_id(&mut self, o: Oid) -> ValueId {
+        self.insert_node(Node::Oid(o))
+    }
+
+    fn tuple_id(&mut self, mut fields: Vec<(AttrName, ValueId)>) -> ValueId {
+        fields.sort_by_key(|f| f.0);
+        debug_assert!(
+            fields.windows(2).all(|w| w[0].0 < w[1].0),
+            "tuple attributes must be distinct"
+        );
+        self.insert_node(Node::Tuple(Arc::from(fields)))
+    }
+
+    fn set_id(&mut self, mut elems: Vec<ValueId>) -> ValueId {
+        elems.sort_unstable();
+        elems.dedup();
+        self.insert_node(Node::Set(Arc::from(elems)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::idgen::Oid;
+
+    fn o(n: u64) -> Oid {
+        Oid::from_raw(n)
+    }
+
+    fn sample() -> OValue {
+        OValue::tuple([
+            ("name", OValue::str("Adam")),
+            (
+                "children",
+                OValue::set([OValue::oid(o(2)), OValue::oid(o(3)), OValue::oid(o(4))]),
+            ),
+            ("spouse", OValue::oid(o(1))),
+        ])
+    }
+
+    #[test]
+    fn intern_resolve_roundtrip() {
+        let mut s = ValueStore::new();
+        let v = sample();
+        let id = s.intern(&v);
+        assert_eq!(s.resolve(id), v);
+        let es = s.intern(&OValue::empty_set());
+        assert_eq!(s.resolve(es), OValue::empty_set());
+        let ut = s.intern(&OValue::unit());
+        assert_eq!(s.resolve(ut), OValue::unit());
+    }
+
+    #[test]
+    fn intern_is_injective_and_idempotent() {
+        let mut s = ValueStore::new();
+        let a = s.intern(&sample());
+        let b = s.intern(&sample());
+        assert_eq!(a, b, "equal values get equal ids");
+        let c = s.intern(&OValue::str("Adam"));
+        assert_ne!(a, c);
+        // {} vs [] — the paper's favourite distinction survives interning.
+        let empty_set = s.intern(&OValue::empty_set());
+        let empty_tuple = s.intern(&OValue::unit());
+        assert_ne!(empty_set, empty_tuple);
+    }
+
+    #[test]
+    fn set_canonicalization_by_id() {
+        let mut s = ValueStore::new();
+        let one = s.intern(&OValue::int(1));
+        let two = s.intern(&OValue::int(2));
+        let a = s.set_id(vec![two, one, one]);
+        let b = s.set_id(vec![one, two]);
+        assert_eq!(a, b);
+        assert_eq!(s.as_set(a).unwrap(), &[one, two]);
+        assert_eq!(s.set_contains(a, one), Some(true));
+        assert_eq!(s.set_contains(one, two), None);
+    }
+
+    #[test]
+    fn shared_substructure_is_stored_once() {
+        let mut s = ValueStore::new();
+        let shared = OValue::set([OValue::int(1), OValue::int(2)]);
+        let a = OValue::tuple([("x", shared.clone())]);
+        let b = OValue::tuple([("y", shared.clone())]);
+        s.intern(&a);
+        let before = s.len();
+        s.intern(&b);
+        // Only the new tuple node is added; the shared set is reused.
+        assert_eq!(s.len(), before + 1);
+    }
+
+    #[test]
+    fn metadata_is_cached_correctly() {
+        let mut s = ValueStore::new();
+        let v = sample();
+        let id = s.intern(&v);
+        assert!(s.contains_oids(id));
+        assert!(s.contains_constants(id));
+        assert_eq!(
+            s.oids(id),
+            &[o(1), o(2), o(3), o(4)],
+            "sorted distinct subtree oids"
+        );
+        assert!(s.mentions_oid(id, o(3)));
+        assert!(!s.mentions_oid(id, o(9)));
+        assert_eq!(s.size(id), v.size() as u32);
+        // depth: tuple(1) → set(2) → oid leaf(3) counted from leaves up.
+        assert_eq!(s.depth(id), 3);
+        let leaf = s.intern(&OValue::int(7));
+        assert_eq!(s.depth(leaf), 1);
+        assert!(!s.contains_oids(leaf));
+    }
+
+    #[test]
+    fn overlay_prefers_base_ids() {
+        let mut base = ValueStore::new();
+        let base_id = base.intern(&sample());
+        let one = base.intern(&OValue::int(1));
+        let mut ov = Overlay::new(&base);
+        assert_eq!(ov.intern(&sample()), base_id);
+        // A composite of known parts that exists in base resolves to base.
+        assert_eq!(ov.intern(&OValue::int(1)), one);
+        // A genuinely new value gets a local id past the base.
+        let new = ov.intern(&OValue::set([OValue::int(1), OValue::str("zzz")]));
+        assert!(new.raw() as usize >= base.len());
+        assert_eq!(
+            ov.resolve(new),
+            OValue::set([OValue::int(1), OValue::str("zzz")])
+        );
+    }
+
+    #[test]
+    fn absorb_replays_deterministically() {
+        let mut base = ValueStore::new();
+        base.intern(&OValue::int(1));
+        let novel = OValue::tuple([("a", OValue::int(1)), ("b", OValue::str("new"))]);
+        let novel2 = OValue::set([novel.clone(), OValue::int(1)]);
+
+        let (local_ids, log) = {
+            let mut ov = Overlay::new(&base);
+            let x = ov.intern(&novel);
+            let y = ov.intern(&novel2);
+            (vec![x, y], ov.into_log())
+        };
+        let remap = base.absorb(&log);
+        let base_len = log.base_len;
+        let fix = |id: ValueId| -> ValueId {
+            if id.raw() < base_len {
+                id
+            } else {
+                remap[(id.raw() - base_len) as usize]
+            }
+        };
+        assert_eq!(base.resolve(fix(local_ids[0])), novel);
+        assert_eq!(base.resolve(fix(local_ids[1])), novel2);
+        // Absorbing the same log twice dedups to the same ids.
+        let remap2 = base.absorb(&log);
+        assert_eq!(remap, remap2);
+    }
+
+    #[test]
+    fn two_overlays_absorb_in_task_order() {
+        let mut base = ValueStore::new();
+        base.intern(&OValue::int(0));
+        let frozen = base.clone();
+        // Two workers intern overlapping novel values against the same
+        // frozen base.
+        let mut ov1 = Overlay::new(&frozen);
+        let a1 = ov1.intern(&OValue::str("x"));
+        let mut ov2 = Overlay::new(&frozen);
+        let a2 = ov2.intern(&OValue::str("x"));
+        let b2 = ov2.intern(&OValue::str("y"));
+        assert_eq!(a1, a2, "same frozen base, same local numbering");
+        let log1 = ov1.into_log();
+        let log2 = ov2.into_log();
+        let r1 = base.absorb(&log1);
+        let r2 = base.absorb(&log2);
+        assert_eq!(r1[0], r2[0], "shared value dedups across tasks");
+        assert_ne!(r2[(b2.raw() - log2.base_len) as usize], r2[0]);
+    }
+
+    #[test]
+    fn rename_oids_id_reuses_untouched_subtrees() {
+        let mut s = ValueStore::new();
+        let untouched = s.intern(&OValue::set([OValue::oid(o(10)), OValue::int(5)]));
+        let v = OValue::tuple([
+            ("keep", OValue::set([OValue::oid(o(10)), OValue::int(5)])),
+            ("move", OValue::oid(o(1))),
+        ]);
+        let id = s.intern(&v);
+        // Empty map: identity, no work.
+        assert_eq!(s.rename_oids_id(id, &BTreeMap::new()), id);
+        let map = BTreeMap::from([(o(1), o(99))]);
+        let renamed = s.rename_oids_id(id, &map);
+        assert_ne!(renamed, id);
+        assert_eq!(s.resolve(renamed), v.rename_oids(&map));
+        // The untouched subtree keeps its id inside the renamed tuple.
+        match s.node(renamed) {
+            Node::Tuple(fields) => {
+                let keep = fields.iter().find(|(a, _)| a.as_str() == "keep").unwrap();
+                assert_eq!(keep.1, untouched);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn rename_constants_id_reuses_constant_free_subtrees() {
+        let mut s = ValueStore::new();
+        let oid_only = s.intern(&OValue::set([OValue::oid(o(1)), OValue::oid(o(2))]));
+        let v = OValue::tuple([
+            ("who", OValue::set([OValue::oid(o(1)), OValue::oid(o(2))])),
+            ("name", OValue::str("Adam")),
+        ]);
+        let id = s.intern(&v);
+        assert_eq!(s.rename_constants_id(id, &BTreeMap::new()), id);
+        let map = BTreeMap::from([(Constant::str("Adam"), Constant::str("Adamo"))]);
+        let renamed = s.rename_constants_id(id, &map);
+        assert_eq!(s.resolve(renamed), v.rename_constants(&map));
+        match s.node(renamed) {
+            Node::Tuple(fields) => {
+                let who = fields.iter().find(|(a, _)| a.as_str() == "who").unwrap();
+                assert_eq!(who.1, oid_only);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn ids_are_ordered_by_interning_order() {
+        let mut s = ValueStore::new();
+        let a = s.intern(&OValue::str("first"));
+        let b = s.intern(&OValue::str("second"));
+        let c = s.intern(&OValue::str("first"));
+        assert!(a < b);
+        assert_eq!(a, c);
+    }
+}

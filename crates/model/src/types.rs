@@ -255,6 +255,45 @@ impl TypeExpr {
         }
     }
 
+    /// `v ∈ ⟦t⟧π` over an interned value — the [`TypeExpr::member`] check
+    /// against a [`crate::ValueId`] read through any [`ValueReader`], without
+    /// materializing the tree.
+    pub fn member_id<R, C>(&self, id: crate::ValueId, reader: &R, ctx: &C) -> bool
+    where
+        R: crate::ValueReader + ?Sized,
+        C: OidClasses + ?Sized,
+    {
+        use crate::Node;
+        match self {
+            TypeExpr::Empty => false,
+            TypeExpr::Base => matches!(reader.node(id), Node::Const(_)),
+            TypeExpr::Class(p) => match reader.node(id) {
+                Node::Oid(o) => ctx.oid_in_class(*o, *p),
+                _ => false,
+            },
+            TypeExpr::Tuple(fields) => match reader.node(id) {
+                Node::Tuple(vals) => {
+                    // Node tuples are sorted by attribute, as are TypeExpr
+                    // tuples (BTreeMap) — walk both in lockstep.
+                    vals.len() == fields.len()
+                        && fields
+                            .iter()
+                            .zip(vals.iter())
+                            .all(|((a, t), (a2, val))| a == a2 && t.member_id(*val, reader, ctx))
+                }
+                _ => false,
+            },
+            TypeExpr::Set(t) => match reader.node(id) {
+                Node::Set(elems) => elems.iter().all(|e| t.member_id(*e, reader, ctx)),
+                _ => false,
+            },
+            TypeExpr::Union(a, b) => a.member_id(id, reader, ctx) || b.member_id(id, reader, ctx),
+            TypeExpr::Intersect(a, b) => {
+                a.member_id(id, reader, ctx) && b.member_id(id, reader, ctx)
+            }
+        }
+    }
+
     /// `v ∈ ⟦t⟧*π` — the `*`-interpretation of Section 6.2, where a tuple
     /// type `[A1:t1,…,Ak:tk]` denotes records with *at least* fields
     /// `A1..Ak` (of the right `*`-types) plus arbitrary extra fields.

@@ -20,8 +20,11 @@ use crate::forest::{Forest, Node, NodeId};
 use crate::vschema::{VError, VInstance, VResult, VSchema};
 use iql_core::eval::{run, EvalConfig};
 use iql_core::Program;
-use iql_model::{AttrName, ClassName, Instance, OValue, Oid, TypeExpr};
-use std::collections::{BTreeMap, BTreeSet};
+use iql_model::{
+    AttrName, ClassName, Instance, Node as StoreNode, OValue, Oid, TypeExpr, ValueId, ValueReader,
+    ValueStore,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// The (class, canonical node) → oid mapping φ produces.
@@ -134,6 +137,11 @@ fn value_of(
 /// ψ: translates an object instance (over a classes-only schema, `ν`
 /// total) into a v-instance — the unique solution of the equation system
 /// `{o = ν(o)}`, with duplicates eliminated by bisimulation.
+///
+/// ν values are read as interned [`ValueId`] graphs, not trees: substructure
+/// the store shares (hash-consing) becomes a *shared forest node* here, so
+/// the forest handed to bisimulation is proportional to the number of
+/// distinct subvalues, not to the sum of tree sizes.
 pub fn psi(inst: &Instance) -> VResult<VInstance> {
     let schema = inst.schema();
     if schema.relations().next().is_some() {
@@ -145,28 +153,28 @@ pub fn psi(inst: &Instance) -> VResult<VInstance> {
     let mut oids: Vec<Oid> = Vec::new();
     for p in schema.classes() {
         for o in inst.class(p).map_err(VError::Model)? {
-            if inst.value(*o).is_none() {
+            if inst.value_id(*o).is_none() {
                 return Err(VError::UndefinedOid(o.raw()));
             }
             oids.push(*o);
         }
     }
     // Reserve a forest slot per oid, then fill from ν.
+    let store = inst.store();
     let mut forest = Forest::new();
     let slot: BTreeMap<Oid, NodeId> = oids.iter().map(|o| (*o, forest.reserve())).collect();
+    let mut memo: HashMap<ValueId, NodeId> = HashMap::new();
     for o in &oids {
-        let v = inst.value(*o).expect("checked total");
-        let node = build_node(&mut forest, v, &slot)?;
-        // `build_node` returns the content for composite values; alias bare
-        // oid values are rejected by v-typing (T(P) is never a class name).
-        match node {
-            Built::Fresh(content) => forest.set_node(slot[o], content),
-            Built::Existing(_) => {
-                return Err(VError::Invalid(format!(
-                    "ν({o}) is a bare oid; v-schemas forbid T(P) = P' (Def 7.1.1)"
-                )))
-            }
+        let vid = inst.value_id(*o).expect("checked total");
+        // Bare-oid ν values are rejected by v-typing (T(P) is never a
+        // class name, Def 7.1.1), so every slot gets composite content.
+        if matches!(store.node(vid), StoreNode::Oid(_)) {
+            return Err(VError::Invalid(format!(
+                "ν({o}) is a bare oid; v-schemas forbid T(P) = P' (Def 7.1.1)"
+            )));
         }
+        let content = node_content(&mut forest, store, vid, &slot, &mut memo)?;
+        forest.set_node(slot[o], content);
     }
     let classes = schema
         .classes()
@@ -183,52 +191,58 @@ pub fn psi(inst: &Instance) -> VResult<VInstance> {
     Ok(VInstance { forest, classes }.canonicalize())
 }
 
-enum Built {
-    /// A composite node's content (to be installed in a slot or pushed).
-    Fresh(Node),
-    /// A reference to an existing node (an oid leaf).
-    Existing(NodeId),
-}
-
-fn build_node(forest: &mut Forest, v: &OValue, slot: &BTreeMap<Oid, NodeId>) -> VResult<Built> {
-    match v {
-        OValue::Const(c) => Ok(Built::Fresh(Node::Const(c.clone()))),
-        OValue::Oid(o) => slot
-            .get(o)
-            .copied()
-            .map(Built::Existing)
-            .ok_or(VError::UndefinedOid(o.raw())),
-        OValue::Tuple(fields) => {
+/// The forest content of an interned composite value (children built via
+/// [`child_node`]). Callers install it into a slot exactly once.
+fn node_content(
+    forest: &mut Forest,
+    store: &ValueStore,
+    id: ValueId,
+    slot: &BTreeMap<Oid, NodeId>,
+    memo: &mut HashMap<ValueId, NodeId>,
+) -> VResult<Node> {
+    match store.node(id) {
+        StoreNode::Const(c) => Ok(Node::Const(c.clone())),
+        StoreNode::Oid(_) => unreachable!("callers handle oid leaves"),
+        StoreNode::Tuple(fields) => {
+            let fields = Arc::clone(fields);
             let mut out: BTreeMap<AttrName, NodeId> = BTreeMap::new();
-            for (a, fv) in fields {
-                let child = match build_node(forest, fv, slot)? {
-                    Built::Existing(n) => n,
-                    Built::Fresh(content) => {
-                        let id = forest.reserve();
-                        forest.set_node(id, content);
-                        id
-                    }
-                };
-                out.insert(*a, child);
+            for &(a, fv) in fields.iter() {
+                out.insert(a, child_node(forest, store, fv, slot, memo)?);
             }
-            Ok(Built::Fresh(Node::Tuple(out)))
+            Ok(Node::Tuple(out))
         }
-        OValue::Set(elems) => {
+        StoreNode::Set(elems) => {
+            let elems = Arc::clone(elems);
             let mut out = BTreeSet::new();
-            for e in elems {
-                let child = match build_node(forest, e, slot)? {
-                    Built::Existing(n) => n,
-                    Built::Fresh(content) => {
-                        let id = forest.reserve();
-                        forest.set_node(id, content);
-                        id
-                    }
-                };
-                out.insert(child);
+            for &e in elems.iter() {
+                out.insert(child_node(forest, store, e, slot, memo)?);
             }
-            Ok(Built::Fresh(Node::Set(out)))
+            Ok(Node::Set(out))
         }
     }
+}
+
+/// The forest node for an interned child value: oid leaves resolve to the
+/// oid's reserved slot, and every other [`ValueId`] maps to one memoized
+/// forest node — shared subvalues stay shared.
+fn child_node(
+    forest: &mut Forest,
+    store: &ValueStore,
+    id: ValueId,
+    slot: &BTreeMap<Oid, NodeId>,
+    memo: &mut HashMap<ValueId, NodeId>,
+) -> VResult<NodeId> {
+    if let StoreNode::Oid(o) = store.node(id) {
+        return slot.get(o).copied().ok_or(VError::UndefinedOid(o.raw()));
+    }
+    if let Some(&n) = memo.get(&id) {
+        return Ok(n);
+    }
+    let n = forest.reserve();
+    memo.insert(id, n);
+    let content = node_content(forest, store, id, slot, memo)?;
+    forest.set_node(n, content);
+    Ok(n)
 }
 
 /// IQLv (Theorem 7.1.5 / Figure 2): runs an IQL program on a value-based

@@ -3,6 +3,8 @@
 //! point, and the bit-identical guarantee of parallel evaluation — all
 //! dependency-free so tier-1 catches accidental breakage.
 
+#![deny(deprecated)]
+
 use iql::lang::programs::{
     graph_to_class_program, parallel_join_program, transitive_closure_program,
 };

@@ -2,6 +2,8 @@
 //! flattener across a gallery of schemas, and the copies machinery at odd
 //! sizes.
 
+#![deny(deprecated)]
+
 use iql::lang::encode::{decode, encode, flat_schema, generate_flattener};
 use iql::model::iso::are_o_isomorphic;
 use iql::prelude::*;

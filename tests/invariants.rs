@@ -2,6 +2,8 @@
 //! permutation, constant renaming, and both evaluator modes, checking the
 //! db-transformation invariants of Definition 4.1.1 across the board.
 
+#![deny(deprecated)]
+
 use iql::lang::programs::*;
 use iql::model::iso::are_o_isomorphic;
 use iql::prelude::*;
@@ -165,5 +167,51 @@ fn battery_no_constants_invented() {
                 "constant {c} appeared from nowhere in {prog}"
             );
         }
+    }
+}
+
+#[test]
+fn cached_counts_agree_with_ground_facts() {
+    // `fact_count` and `objects` now run off the store's cached per-node
+    // oid metadata and the id mirrors. They must agree exactly with the
+    // slow reference derived from the ground-fact representation — on the
+    // Genesis instance and on every evaluated battery output.
+    use iql::model::instance::{genesis_instance, GroundFact};
+    use iql::model::Oid;
+    use std::collections::BTreeSet;
+
+    fn reference_counts(inst: &Instance) -> (usize, BTreeSet<Oid>) {
+        let facts = inst.ground_facts();
+        let mut objects = BTreeSet::new();
+        for f in &facts {
+            match f {
+                GroundFact::Rel(_, v) => v.collect_oids(&mut objects),
+                GroundFact::Class(_, o) => {
+                    objects.insert(*o);
+                }
+                GroundFact::SetMember(o, v) | GroundFact::Value(o, v) => {
+                    objects.insert(*o);
+                    v.collect_oids(&mut objects);
+                }
+            }
+        }
+        // ν entries that produce no fact (empty set value / undefined
+        // value) still put their oid in scope via the class facts, so the
+        // ground-fact walk is a complete reference for `objects`.
+        (facts.len(), objects)
+    }
+
+    let (genesis, _) = genesis_instance();
+    let mut instances = vec![genesis];
+    for (prog, rel, attrs) in binary_input_programs() {
+        let input = build_input(&prog, rel, attrs, &EDGES);
+        let out = run(&prog, &input, &EvalConfig::default()).unwrap();
+        instances.push(out.full);
+        instances.push(out.output);
+    }
+    for inst in &instances {
+        let (ref_count, ref_objects) = reference_counts(inst);
+        assert_eq!(inst.fact_count(), ref_count, "fact_count drifted");
+        assert_eq!(inst.objects(), ref_objects, "objects drifted");
     }
 }

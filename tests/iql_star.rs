@@ -1,6 +1,8 @@
 //! Integration tests pinning IQL\* (deletions, Section 4.5) corner cases
 //! and the interaction of additions and deletions within one step.
 
+#![deny(deprecated)]
+
 use iql::prelude::*;
 use std::sync::Arc;
 

@@ -2,6 +2,8 @@
 //! cases, precedence, error positions, and the sublanguage classifier on a
 //! battery of programs.
 
+#![deny(deprecated)]
+
 use iql::lang::parser::{parse_type, parse_unit};
 use iql::lang::sublang::{classify, SubLanguage};
 use iql::lang::IqlError;

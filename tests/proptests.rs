@@ -2,6 +2,8 @@
 //! normalization, subtyping soundness, engine agreement, translation
 //! round-trips, and determinacy.
 
+#![deny(deprecated)]
+
 use iql::model::types::{ClassMap, EnumUniverse};
 use iql::model::{Oid, OidGen};
 use iql::prelude::*;
@@ -554,5 +556,77 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hash-consed value store: intern/resolve round-trip and injectivity
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `resolve(intern(v)) == v` for arbitrary o-values, including ones
+    /// that mention oids. The arena is a lossless mirror of the tree.
+    #[test]
+    fn intern_resolve_roundtrip(v in arb_ovalue_with_oids()) {
+        use iql::model::{ValueInterner, ValueReader, ValueStore};
+        let mut store = ValueStore::new();
+        let id = store.intern(&v);
+        prop_assert_eq!(store.resolve(id), v.clone());
+        // Interning is idempotent: the same tree maps to the same id.
+        prop_assert_eq!(store.intern(&v), id);
+    }
+
+    /// Interning is injective on canonical forms: two values get the same
+    /// id exactly when they are equal as o-values. This is the O(1)
+    /// equality contract every downstream layer relies on.
+    #[test]
+    fn intern_is_injective(
+        a in arb_ovalue_with_oids(),
+        b in arb_ovalue_with_oids(),
+    ) {
+        use iql::model::{ValueInterner, ValueStore};
+        let mut store = ValueStore::new();
+        let ia = store.intern(&a);
+        let ib = store.intern(&b);
+        prop_assert_eq!(ia == ib, a == b, "id equality must mirror value equality");
+    }
+
+    /// Pure (oid-free) values have an empty cached oid set; values built
+    /// around a known oid report it. The metadata drives `objects(I)` and
+    /// the isomorphism refinement, so it must be exact.
+    #[test]
+    fn cached_oid_metadata_is_exact(v in arb_ovalue_with_oids()) {
+        use iql::model::{ValueInterner, ValueReader, ValueStore};
+        use std::collections::BTreeSet;
+        let mut store = ValueStore::new();
+        let id = store.intern(&v);
+        let mut expected = BTreeSet::new();
+        v.collect_oids(&mut expected);
+        let cached: BTreeSet<Oid> = store.oids(id).iter().copied().collect();
+        prop_assert_eq!(cached, expected);
+    }
+}
+
+/// Regression for the paper's Section 2 Genesis instance: ν(adam) and
+/// ν(eve) mention each other's oids (spouse fields), so the *instance* is
+/// cyclic even though every interned value is a finite DAG — oid leaves
+/// cut the cycle. Interning each ν-value must round-trip and stay stable.
+#[test]
+fn cyclic_nu_values_intern_losslessly() {
+    use iql::model::instance::genesis_instance;
+    use iql::model::{ValueInterner, ValueReader, ValueStore};
+    let (inst, _oids) = genesis_instance();
+    let mut fresh = ValueStore::new();
+    for o in inst.objects() {
+        let Some(vid) = inst.value_id(o) else {
+            continue;
+        };
+        let v = inst.store().resolve(vid);
+        assert_eq!(inst.value(o), Some(&v), "id mirror drifted from ν");
+        let re = fresh.intern(&v);
+        assert_eq!(fresh.resolve(re), v, "round-trip through a fresh store");
+        assert_eq!(fresh.intern(&v), re, "re-interning is stable");
     }
 }

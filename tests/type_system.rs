@@ -3,6 +3,8 @@
 //! Section 6.2, inheritance validation, and typing failures surfaced
 //! through the full parse → check pipeline.
 
+#![deny(deprecated)]
+
 use iql::model::inherit::{star_intersect, university_schema};
 use iql::model::{ClassMap, ClassName, Oid};
 use iql::prelude::*;
