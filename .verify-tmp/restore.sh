@@ -1,0 +1,15 @@
+#!/bin/sh
+# Undo strip.sh: restore manifests, bench crate, and dep-requiring test files.
+set -e
+cd /root/repo
+B=.verify-tmp
+[ -e "$B/stripped" ] || { echo "not stripped"; exit 0; }
+cp "$B/root-Cargo.toml" Cargo.toml
+for c in model core datalog algebra vtree; do
+  cp "$B/$c-Cargo.toml" "crates/$c/Cargo.toml"
+done
+mv "$B/bench" crates/bench
+cp "$B/bench-Cargo.toml" crates/bench/Cargo.toml
+mv "$B/invariants.rs" "$B/paper_examples.rs" "$B/proptests.rs" tests/
+rm -f Cargo.lock "$B/stripped"
+echo "restored"

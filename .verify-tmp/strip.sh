@@ -1,0 +1,19 @@
+#!/bin/sh
+# Temporarily remove network-only dev-deps (rand/proptest/criterion) so the
+# workspace builds offline. Restore with restore.sh before committing.
+set -e
+cd /root/repo
+B=.verify-tmp
+[ -e "$B/stripped" ] && { echo "already stripped"; exit 0; }
+cp Cargo.toml "$B/root-Cargo.toml"
+for c in model core datalog algebra vtree bench; do
+  cp "crates/$c/Cargo.toml" "$B/$c-Cargo.toml"
+done
+mv crates/bench "$B/bench"
+mv tests/invariants.rs tests/paper_examples.rs tests/proptests.rs "$B/"
+sed -i '/proptest/d; /^rand/d; /criterion/d' Cargo.toml
+for c in model core datalog algebra vtree; do
+  sed -i '/proptest/d; /^rand/d; /criterion/d' "crates/$c/Cargo.toml"
+done
+touch "$B/stripped"
+echo "stripped"
