@@ -1,0 +1,70 @@
+//! E18 — cost-based join planning ablation.
+//!
+//! Two workloads, each run planner-on vs planner-off:
+//!
+//! * `skewed` — the `skewed_join_program` three-way join whose last link
+//!   is the equality `w = w2`: the syntactic plan crosses the big join
+//!   result with `Tiny` and filters afterwards, while the planner starts
+//!   from `Tiny`, binds through the equality, and probes the persistent
+//!   indexes — so planner-on should win by a wide margin as `keys` grows.
+//! * `parallel_join` — the `parallel_join_program` regression guard: its
+//!   rules are already well-ordered, so the planner must not lose more
+//!   than noise here.
+//!
+//! The planner is a pure optimization — both arms of every pair produce
+//! the bit-identical output instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iql_bench::{edge_instance, random_digraph, skewed_join_instance, skewed_join_tables};
+use iql_core::eval::{run, EvalConfig};
+use iql_core::programs::{parallel_join_program, skewed_join_program};
+
+fn planner_config(on: bool) -> EvalConfig {
+    EvalConfig::builder()
+        .max_steps(100_000)
+        .enum_budget(1 << 22)
+        .planner(on)
+        .build()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_planner");
+    group.sample_size(10);
+
+    let skewed = skewed_join_program();
+    for keys in [500usize, 2000] {
+        let (big, mid, tiny) = skewed_join_tables(keys, 8, 200);
+        let input = skewed_join_instance(&skewed, &big, &mid, &tiny);
+        for on in [true, false] {
+            let cfg = planner_config(on);
+            let arm = if on { "planner-on" } else { "planner-off" };
+            group.bench_with_input(
+                BenchmarkId::new(format!("skewed/{arm}"), keys),
+                &input,
+                |b, input| {
+                    b.iter(|| run(&skewed, input, &cfg).unwrap());
+                },
+            );
+        }
+    }
+
+    let guard = parallel_join_program();
+    let edges = random_digraph(80, 320, 11);
+    let input = edge_instance(&guard, "Edge", ("src", "dst"), &edges);
+    for on in [true, false] {
+        let cfg = planner_config(on);
+        let arm = if on { "planner-on" } else { "planner-off" };
+        group.bench_with_input(
+            BenchmarkId::new(format!("parallel_join/{arm}"), 80),
+            &input,
+            |b, input| {
+                b.iter(|| run(&guard, input, &cfg).unwrap());
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

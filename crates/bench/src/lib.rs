@@ -45,6 +45,33 @@ pub fn edge_instance(
     input
 }
 
+/// Builds the `skewed_join_program` input instance from its three tables
+/// (see [`workloads::skewed_join_tables`]).
+pub fn skewed_join_instance(
+    prog: &Program,
+    big: &[(String, String)],
+    mid: &[(String, String)],
+    tiny: &[(String, String)],
+) -> Instance {
+    let mut input = Instance::new(Arc::clone(&prog.input));
+    for (rel, (a1, a2), rows) in [
+        ("Big", ("k", "v"), big),
+        ("Mid", ("k", "w"), mid),
+        ("Tiny", ("w", "t"), tiny),
+    ] {
+        let r = RelName::new(rel);
+        for (x, y) in rows {
+            input
+                .insert_unchecked(
+                    r,
+                    OValue::tuple([(a1, OValue::str(x)), (a2, OValue::str(y))]),
+                )
+                .expect("relation declared");
+        }
+    }
+    input
+}
+
 /// Builds an input instance holding one unary relation of string values.
 pub fn unary_instance(prog: &Program, rel: &str, attr: &str, values: &[String]) -> Instance {
     let mut input = Instance::new(Arc::clone(&prog.input));

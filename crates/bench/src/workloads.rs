@@ -58,6 +58,31 @@ pub fn grouped_pairs(keys: usize, per_key: usize) -> Vec<(String, String)> {
     out
 }
 
+/// The skewed three-relation join workload behind `skewed_join_program`:
+/// `Big` holds `keys × fanout` tuples, `Mid` maps every key to one join
+/// value, and `Tiny` keeps only `survivors` of those values — so a plan
+/// that scans `Big` first discards almost everything at `Tiny`, while a
+/// plan that starts from `Tiny` touches `survivors × fanout` tuples.
+#[allow(clippy::type_complexity)]
+pub fn skewed_join_tables(
+    keys: usize,
+    fanout: usize,
+    survivors: usize,
+) -> (
+    Vec<(String, String)>,
+    Vec<(String, String)>,
+    Vec<(String, String)>,
+) {
+    let big = (0..keys)
+        .flat_map(|k| (0..fanout).map(move |v| (format!("k{k}"), format!("v{k}_{v}"))))
+        .collect();
+    let mid = (0..keys).map(|k| (format!("k{k}"), format!("w{k}"))).collect();
+    let tiny = (0..survivors.min(keys))
+        .map(|k| (format!("w{k}"), format!("t{k}")))
+        .collect();
+    (big, mid, tiny)
+}
+
 /// A universe of `n` distinct constants — the powerset workload.
 pub fn universe(n: usize) -> Vec<String> {
     (0..n).map(|i| format!("d{i}")).collect()
@@ -113,6 +138,15 @@ mod tests {
         let g = grouped_pairs(3, 4);
         assert_eq!(g.len(), 12);
         assert!(g.iter().filter(|(k, _)| k == "k1").count() == 4);
+    }
+
+    #[test]
+    fn skewed_join_tables_shape() {
+        let (big, mid, tiny) = skewed_join_tables(10, 3, 2);
+        assert_eq!(big.len(), 30);
+        assert_eq!(mid.len(), 10);
+        assert_eq!(tiny.len(), 2);
+        assert!(tiny.iter().all(|(w, _)| w == "w0" || w == "w1"));
     }
 
     #[test]

@@ -26,12 +26,14 @@
 
 use crate::ast::{Head, Literal, Program, Rule, Stage, Term, VarName};
 use crate::error::{IqlError, Result};
+use crate::planner::{build_plan, plan_rule, Op, PlanSource, RulePlan};
 use iql_model::iso::orbits;
 use iql_model::{
     AttrName, ClassName, IdView, Instance, Node, OValue, Oid, Overlay, OverlayLog, TypeExpr,
-    ValueId, ValueInterner, ValueReader,
+    ValueId, ValueInterner, ValueReader, ValueStore,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
 use std::sync::Arc;
 
 /// A valuation `θ` of rule variables to o-values — the public face of a
@@ -74,6 +76,14 @@ pub struct EvalConfig {
     /// Build per-scan hash indexes on bound tuple attributes (the ablation
     /// knob for the `eval_indexing` benchmark; on by default).
     pub use_index: bool,
+    /// Cost-based join planning: reorder body literals by estimated
+    /// selectivity from the instance's cardinality statistics and probe the
+    /// instance's *persistent* secondary indexes instead of rebuilding
+    /// per-step hash maps. A pure optimization — outputs are bit-identical
+    /// with the planner on or off (the merge phase canonicalizes fire order
+    /// wherever it is observable). The ablation knob for the `eval_planner`
+    /// benchmark; on by default.
+    pub use_planner: bool,
     /// Delta-driven (semi-naive) evaluation of eligible rules: rules whose
     /// bodies read only relations/classes (no dereferences, no enumeration
     /// fallbacks, no choose, no deletion heads) are re-evaluated only
@@ -106,6 +116,7 @@ impl Default for EvalConfig {
             max_facts: 10_000_000,
             check_output: true,
             use_index: true,
+            use_planner: true,
             use_seminaive: true,
             nondeterministic_choice: false,
             threads: 1,
@@ -174,6 +185,12 @@ impl EvalConfigBuilder {
         self
     }
 
+    /// Toggles cost-based join planning over persistent indexes.
+    pub fn planner(mut self, on: bool) -> Self {
+        self.cfg.use_planner = on;
+        self
+    }
+
     /// Toggles delta-driven (semi-naive) evaluation of eligible rules.
     pub fn seminaive(mut self, on: bool) -> Self {
         self.cfg.use_seminaive = on;
@@ -228,6 +245,14 @@ pub struct EvalReport {
     pub enum_fallbacks: usize,
     /// Facts deleted (IQL\*).
     pub facts_deleted: usize,
+    /// Rule plans the cost-based planner reordered away from textual order
+    /// (counted per step — plans are rebuilt as statistics evolve).
+    pub plans_reordered: usize,
+    /// Scan probes answered by a persistent secondary index.
+    pub index_hits: usize,
+    /// Scan probes that fell back to a per-step rebuilt local index (delta
+    /// or chunk-restricted scans, or planner-off runs).
+    pub index_misses: usize,
     /// Per-step wall-clock timings, in evaluation order. Timing varies run
     /// to run; compare [`EvalReport::counters`] when checking determinism.
     pub step_timings: Vec<StepTiming>,
@@ -249,6 +274,8 @@ pub type RunCounters<'a> = (
 impl EvalReport {
     /// The run's deterministic counters, without wall-clock timings —
     /// identical across reruns and thread counts of the same program/input.
+    /// Planner counters are excluded: they describe *how* the engine
+    /// evaluated (ablation-arm-dependent), not *what* it computed.
     pub fn counters(&self) -> RunCounters<'_> {
         (
             self.steps,
@@ -257,6 +284,28 @@ impl EvalReport {
             self.enum_fallbacks,
             self.facts_deleted,
             &self.rule_fires,
+        )
+    }
+}
+
+impl fmt::Display for EvalReport {
+    /// Two summary lines: the semantic counters, then the planner's
+    /// decisions — what `iql run --stats` prints.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "steps={} stages={} invented={} facts_added={} facts_deleted={} enum_fallbacks={}",
+            self.steps,
+            self.stages,
+            self.invented,
+            self.facts_added,
+            self.facts_deleted,
+            self.enum_fallbacks,
+        )?;
+        write!(
+            f,
+            "planner: plans_reordered={} index_hits={} index_misses={}",
+            self.plans_reordered, self.index_hits, self.index_misses,
         )
     }
 }
@@ -431,7 +480,27 @@ struct SearchTask {
 struct SearchOut {
     fires: Vec<IdBinding>,
     enum_fallbacks: usize,
+    index_hits: usize,
+    index_misses: usize,
     log: OverlayLog,
+}
+
+/// Per-task scan statistics, threaded through [`find_valuations_id`].
+#[derive(Default)]
+struct ScanCounters {
+    /// Probes answered by a persistent secondary index.
+    index_hits: usize,
+    /// Probes answered by a per-step rebuilt local index.
+    index_misses: usize,
+}
+
+/// Does the previous step's delta contain any fact a scan over `source`
+/// could draw? An empty source makes the whole delta-restricted run empty.
+fn delta_has_source(delta: &Delta, source: &PlanSource) -> bool {
+    match source {
+        PlanSource::Rel(r) => delta.rels.get(r).is_some_and(|s| !s.is_empty()),
+        PlanSource::Class(p) => delta.classes.get(p).is_some_and(|s| !s.is_empty()),
+    }
 }
 
 /// Runs one search task against the frozen pre-step instance. Values the
@@ -441,6 +510,7 @@ struct SearchOut {
 fn run_search_task(
     task: &SearchTask,
     stage: &Stage,
+    plan: &RulePlan<'_>,
     work: &Instance,
     cfg: &EvalConfig,
     delta_in: Option<&Delta>,
@@ -449,23 +519,46 @@ fn run_search_task(
     let view = work.id_view();
     let mut ov = Overlay::new(work.store());
     let mut enum_fallbacks = 0usize;
+    let mut counters = ScanCounters::default();
     let valuations: Vec<IdBinding> = if task.delta_driven {
         // One run per relation/class scan, with that scan restricted to the
         // previous step's delta (a valuation is new only if at least one of
-        // its supporting facts is).
+        // its supporting facts is). Positions whose source has no delta
+        // facts are skipped — their restricted run is empty by definition.
         let delta = delta_in.expect("delta-driven task requires a delta");
-        let nscans = count_source_scans(rule)?;
         let mut acc: BTreeSet<IdBinding> = BTreeSet::new();
-        for i in 0..nscans {
-            let (vals, fb) =
-                find_valuations_id(rule, work, &view, &mut ov, cfg, Some((delta, i)), None)?;
-            enum_fallbacks += fb;
+        for i in 0..plan.nscans() {
+            if !delta_has_source(delta, &plan.sources[i]) {
+                continue;
+            }
+            let vals = find_valuations_id(
+                rule,
+                plan,
+                work,
+                &view,
+                &mut ov,
+                cfg,
+                Some((delta, i)),
+                None,
+                &mut counters,
+            )?;
+            enum_fallbacks += plan.enum_fallbacks;
             acc.extend(vals);
         }
         acc.into_iter().collect()
     } else {
-        let (vals, fb) = find_valuations_id(rule, work, &view, &mut ov, cfg, None, task.outer)?;
-        enum_fallbacks += fb;
+        let vals = find_valuations_id(
+            rule,
+            plan,
+            work,
+            &view,
+            &mut ov,
+            cfg,
+            None,
+            task.outer,
+            &mut counters,
+        )?;
+        enum_fallbacks += plan.enum_fallbacks;
         vals
     };
     let mut fires = Vec::new();
@@ -483,6 +576,8 @@ fn run_search_task(
     Ok(SearchOut {
         fires,
         enum_fallbacks,
+        index_hits: counters.index_hits,
+        index_misses: counters.index_misses,
         log: ov.into_log(),
     })
 }
@@ -492,12 +587,11 @@ fn run_search_task(
 /// source scan and contain no enumeration fallback (enumeration cost would
 /// be duplicated per chunk, and fallback counters would drift from the
 /// sequential run).
-fn outer_scan_len(rule: &Rule, inst: &Instance) -> Option<usize> {
-    let plan = build_plan(rule).ok()?;
-    if plan.iter().any(|op| matches!(op, Op::Enumerate { .. })) {
+fn outer_scan_len(plan: &RulePlan<'_>, inst: &Instance) -> Option<usize> {
+    if plan.enum_fallbacks > 0 {
         return None;
     }
-    match plan.first() {
+    match plan.ops.first() {
         Some(Op::Scan {
             set: Term::Rel(r), ..
         }) => inst.relation(*r).ok().map(|s| s.len()),
@@ -532,6 +626,15 @@ fn one_step(
     // and oid numbering — is bit-identical to the sequential run.
     let search_started = std::time::Instant::now();
     let nthreads = cfg.effective_threads();
+    // Plan every rule once per step, before the instance freezes: the
+    // planner reads cardinality statistics and ensures the persistent
+    // indexes its probe choices rely on (the one part needing `&mut`).
+    let plans: Vec<RulePlan<'_>> = stage
+        .rules
+        .iter()
+        .map(|r| plan_rule(r, work, cfg))
+        .collect::<Result<Vec<_>>>()?;
+    report.plans_reordered += plans.iter().filter(|p| p.reordered).count();
     // Deletions un-block guards (a deleted head fact lets an old valuation
     // fire again), so any deletion rule in the stage disables delta-driven
     // evaluation for the whole stage.
@@ -543,6 +646,14 @@ fn one_step(
             && !stage_deletes
             && rule_seminaive_eligible(rule);
         if delta_driven {
+            // Early exit: when every scan source of the rule is empty in
+            // the delta, each delta-restricted run is empty — don't even
+            // schedule the task. (`changed` bookkeeping can keep a stage
+            // running on ν-only progress with an empty relation delta.)
+            let delta = delta_in.expect("delta-driven requires a delta");
+            if !plans[ri].sources.iter().any(|s| delta_has_source(delta, s)) {
+                continue;
+            }
             tasks.push(SearchTask {
                 ri,
                 outer: None,
@@ -551,7 +662,7 @@ fn one_step(
             continue;
         }
         let chunkable = if nthreads > 1 {
-            outer_scan_len(rule, work)
+            outer_scan_len(&plans[ri], work)
         } else {
             None
         };
@@ -582,19 +693,20 @@ fn one_step(
     let results: Vec<Result<SearchOut>> = if nthreads <= 1 || tasks.len() <= 1 {
         tasks
             .iter()
-            .map(|t| run_search_task(t, stage, frozen, cfg, delta_in))
+            .map(|t| run_search_task(t, stage, &plans[t.ri], frozen, cfg, delta_in))
             .collect()
     } else {
         let slots: Vec<std::sync::OnceLock<Result<SearchOut>>> =
             tasks.iter().map(|_| std::sync::OnceLock::new()).collect();
         let cursor = std::sync::atomic::AtomicUsize::new(0);
         let workers = nthreads.min(tasks.len());
+        let plans = &plans;
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
                     let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(task) = tasks.get(i) else { break };
-                    let out = run_search_task(task, stage, frozen, cfg, delta_in);
+                    let out = run_search_task(task, stage, &plans[task.ri], frozen, cfg, delta_in);
                     let _ = slots[i].set(out);
                 });
             }
@@ -616,6 +728,8 @@ fn one_step(
     for (task, out) in tasks.iter().zip(results) {
         let out = out?;
         report.enum_fallbacks += out.enum_fallbacks;
+        report.index_hits += out.index_hits;
+        report.index_misses += out.index_misses;
         let base_len = out.log.base_len();
         let remap = work.store_mut().absorb(&out.log);
         for theta in out.fires {
@@ -632,6 +746,22 @@ fn one_step(
                 .collect();
             fires.push((task.ri, theta));
         }
+    }
+    // Canonical merge order: where fire order is observable — oid invention
+    // numbers fresh oids in fire order, and deletions apply in it — sort
+    // fires by rule, then by the *tree order* of the binding values. The
+    // key compares resolved value structure, not raw ids, so every ablation
+    // arm (planner, index, threads) lands on the same canonical order even
+    // though each discovers and interns valuations differently. Elsewhere
+    // fire order is unobservable (facts and assignments merge as sets), so
+    // the sort — and its cost — is skipped.
+    let order_observable = stage
+        .rules
+        .iter()
+        .any(|r| !r.invention_vars().is_empty() || r.head.is_deletion());
+    if order_observable && fires.len() > 1 {
+        let store = work.store();
+        fires.sort_by(|(ra, ta), (rb, tb)| ra.cmp(rb).then_with(|| cmp_id_bindings(store, ta, tb)));
     }
     let search_nanos = search_started.elapsed().as_nanos() as u64;
     let nfires = fires.len();
@@ -814,6 +944,28 @@ fn one_step(
         fires: nfires,
     });
     Ok((changed, delta_out))
+}
+
+/// Total order on two valuations of the same rule by variable name, then by
+/// the tree order of the bound values ([`ValueReader::cmp_resolved`]) —
+/// id-numbering-independent, hence canonical across evaluation strategies.
+fn cmp_id_bindings(store: &ValueStore, a: &IdBinding, b: &IdBinding) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let mut ib = b.iter();
+    for (va, ia) in a {
+        let Some((vb, id_b)) = ib.next() else {
+            return Ordering::Greater;
+        };
+        let o = va.cmp(vb).then_with(|| store.cmp_resolved(*ia, *id_b));
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    if ib.next().is_some() {
+        Ordering::Less
+    } else {
+        Ordering::Equal
+    }
 }
 
 fn binding_oid(binding: &Binding, v: &VarName) -> Result<Oid> {
@@ -1220,148 +1372,6 @@ fn undo_id(binding: &mut IdBinding, trail: &mut Vec<VarName>, mark: usize) {
 // Valuation search
 // ---------------------------------------------------------------------
 
-/// An execution plan step for one rule body.
-enum Op<'a> {
-    /// Iterate the set denoted by `set`, matching `elem` (binds variables).
-    Scan { set: &'a Term, elem: &'a Term },
-    /// Evaluate `src` and match `pattern` against it (binds variables).
-    EqMatch { src: &'a Term, pattern: &'a Term },
-    /// Enumerate a variable's type over the active domain.
-    Enumerate { var: VarName, ty: TypeExpr },
-    /// Filter: all variables bound.
-    Filter { lit: &'a Literal },
-}
-
-/// Builds the execution plan for a rule body: orders literals so variables
-/// are bound before use, inserting [`Op::Enumerate`] fallbacks where no
-/// positive literal can bind a variable (the paper's active-domain
-/// valuation semantics).
-fn build_plan(rule: &Rule) -> Result<Vec<Op<'_>>> {
-    let mut remaining: Vec<&Literal> = rule.body.iter().collect();
-    let mut bound: BTreeSet<VarName> = BTreeSet::new();
-    let mut plan: Vec<Op> = Vec::new();
-
-    let term_bound = |t: &Term, bound: &BTreeSet<VarName>| {
-        let mut vs = BTreeSet::new();
-        t.vars(&mut vs);
-        vs.iter().all(|v| bound.contains(v))
-    };
-
-    while !remaining.is_empty() {
-        // 1. Prefer a positive membership whose set side is evaluable;
-        //    among those, prefer the one sharing the most already-bound
-        //    variables (joins before cross products).
-        let mut picked: Option<usize> = None;
-        let mut best_score: isize = -1;
-        for (i, lit) in remaining.iter().enumerate() {
-            if let Literal::Member {
-                set,
-                elem,
-                positive: true,
-            } = lit
-            {
-                let evaluable = match set {
-                    Term::Rel(_) | Term::Class(_) => true,
-                    _ => term_bound(set, &bound),
-                };
-                if evaluable {
-                    let mut vs = BTreeSet::new();
-                    elem.vars(&mut vs);
-                    let score = vs.iter().filter(|v| bound.contains(*v)).count() as isize;
-                    if score > best_score {
-                        best_score = score;
-                        picked = Some(i);
-                    }
-                }
-            }
-        }
-        // 2. Else a positive equality with one side evaluable.
-        if picked.is_none() {
-            for (i, lit) in remaining.iter().enumerate() {
-                if let Literal::Eq {
-                    left,
-                    right,
-                    positive: true,
-                } = lit
-                {
-                    if term_bound(left, &bound) || term_bound(right, &bound) {
-                        picked = Some(i);
-                        break;
-                    }
-                }
-            }
-        }
-        // 3. Else a fully-bound filter (negatives, inequalities, choose).
-        if picked.is_none() {
-            for (i, lit) in remaining.iter().enumerate() {
-                let mut vs = BTreeSet::new();
-                lit.vars(&mut vs);
-                if vs.iter().all(|v| bound.contains(v)) {
-                    picked = Some(i);
-                    break;
-                }
-            }
-        }
-        match picked {
-            Some(i) => {
-                let lit = remaining.remove(i);
-                match lit {
-                    Literal::Member {
-                        set,
-                        elem,
-                        positive: true,
-                    } => {
-                        let mut vs = BTreeSet::new();
-                        set.vars(&mut vs);
-                        elem.vars(&mut vs);
-                        bound.extend(vs);
-                        plan.push(Op::Scan { set, elem });
-                    }
-                    Literal::Eq {
-                        left,
-                        right,
-                        positive: true,
-                    } => {
-                        let (src, pattern) = if term_bound(left, &bound) {
-                            (left, right)
-                        } else {
-                            (right, left)
-                        };
-                        let mut vs = BTreeSet::new();
-                        pattern.vars(&mut vs);
-                        bound.extend(vs);
-                        plan.push(Op::EqMatch { src, pattern });
-                    }
-                    other => plan.push(Op::Filter { lit: other }),
-                }
-            }
-            None => {
-                // Stuck: enumerate the lexicographically first unbound
-                // variable of the remaining literals (paper semantics —
-                // variables range over their type's active-domain
-                // interpretation).
-                let mut vs = BTreeSet::new();
-                for lit in &remaining {
-                    lit.vars(&mut vs);
-                }
-                let var = vs
-                    .into_iter()
-                    .find(|v| !bound.contains(v))
-                    .expect("stuck plan must have an unbound variable");
-                let ty = rule
-                    .var_types
-                    .get(&var)
-                    .cloned()
-                    .ok_or_else(|| IqlError::Invalid(format!("untyped variable {var}")))?;
-                bound.insert(var.clone());
-                plan.push(Op::Enumerate { var, ty });
-            }
-        }
-    }
-    // (Head-only vars are the invention variables, handled by the caller.)
-    Ok(plan)
-}
-
 /// Renders the execution plan of a rule body — `EXPLAIN` for IQL. Useful
 /// for understanding evaluation cost (scans vs. hash joins vs. enumeration
 /// fallbacks) and exposed through the `iql explain` CLI subcommand.
@@ -1392,25 +1402,8 @@ pub fn explain_rule(rule: &Rule) -> Result<String> {
     Ok(out)
 }
 
-/// Number of relation/class scans in a rule's plan — the positions a
-/// semi-naive evaluation differentiates.
-fn count_source_scans(rule: &Rule) -> Result<usize> {
-    Ok(build_plan(rule)?
-        .iter()
-        .filter(|op| {
-            matches!(
-                op,
-                Op::Scan {
-                    set: Term::Rel(_) | Term::Class(_),
-                    ..
-                }
-            )
-        })
-        .count())
-}
-
 /// Computes all valuations `θ` of the body variables with `I ⊨ θ body`,
-/// returning them with the number of enumeration fallbacks in the plan.
+/// executing a pre-built [`RulePlan`].
 ///
 /// When `delta` is `Some((d, i))`, the `i`-th relation/class scan of the
 /// plan draws from the delta instead of the full extent — the
@@ -1419,27 +1412,34 @@ fn count_source_scans(rule: &Rule) -> Result<usize> {
 /// caller checks eligibility via [`outer_scan_len`]) iterates only that
 /// slice of its extent, in extent order — how one large rule is partitioned
 /// across parallel workers without perturbing valuation order.
+///
+/// Index usage per relation scan, in preference order:
+/// 1. the planner's statically chosen probe attribute against the
+///    instance's *persistent* index (full-extent scans only — counted as
+///    `index_hits`);
+/// 2. the same probe attribute against a scan-local index over the
+///    materialized candidates (delta/sliced scans — `index_misses`);
+/// 3. the legacy per-binding dynamic probe with lazily built local
+///    indexes (`index_misses`), when the planner chose no probe.
+#[allow(clippy::too_many_arguments)]
 fn find_valuations_id(
     rule: &Rule,
+    plan: &RulePlan<'_>,
     inst: &Instance,
     view: &IdView<'_>,
     ov: &mut Overlay<'_>,
     cfg: &EvalConfig,
     delta: Option<(&Delta, usize)>,
     outer: Option<(usize, usize)>,
-) -> Result<(Vec<IdBinding>, usize)> {
-    let plan = build_plan(rule)?;
-    let enum_fallbacks = plan
-        .iter()
-        .filter(|op| matches!(op, Op::Enumerate { .. }))
-        .count();
+    counters: &mut ScanCounters,
+) -> Result<Vec<IdBinding>> {
     let mut source_scan_idx = 0usize;
 
     // ---- Execute the plan over a frontier of id bindings. ----
     let mut frontier: Vec<IdBinding> = vec![IdBinding::new()];
-    for (op_idx, op) in plan.iter().enumerate() {
+    for (op_idx, op) in plan.ops.iter().enumerate() {
         if frontier.is_empty() {
-            return Ok((frontier, enum_fallbacks));
+            return Ok(frontier);
         }
         let slice = match outer {
             Some(range) if op_idx == 0 => Some(range),
@@ -1463,6 +1463,51 @@ fn find_valuations_id(
                 };
                 match set {
                     Term::Rel(r) => {
+                        // Error parity across access paths: an unknown
+                        // relation is an error no matter which index (if
+                        // any) would serve the scan.
+                        let extent = view.relation_ids(*r)?;
+                        let probe = plan.probes[op_idx];
+
+                        // Fast path: a full-extent scan whose planner-chosen
+                        // probe attribute has a built persistent index on
+                        // the frozen instance — no materialization, no
+                        // per-scan index build, one id hash per binding.
+                        // A probe key the base store has never seen gets an
+                        // overlay-local id, which correctly misses every
+                        // (base-id) index entry. Postings are id-ordered,
+                        // matching extent-scan order, so valuation order is
+                        // unchanged.
+                        let persistent = if slice.is_none() && restrict.is_none() {
+                            probe.and_then(|(attr, _)| view.rel_index(*r, attr))
+                        } else {
+                            None
+                        };
+                        if let (Some(index), Some((_, pterm))) = (persistent, probe) {
+                            for binding in &frontier {
+                                counters.index_hits += 1;
+                                // The probe term is fully bound under every
+                                // frontier binding (planner invariant); if
+                                // it is undefined, no fact can match.
+                                let Some(key) = eval_term_id(pterm, binding, view, ov) else {
+                                    continue;
+                                };
+                                for &fid in index.get(key) {
+                                    match_term_all_id(
+                                        elem,
+                                        fid,
+                                        binding,
+                                        &rule.var_types,
+                                        view,
+                                        ov,
+                                        &mut next,
+                                    );
+                                }
+                            }
+                            frontier = next;
+                            continue;
+                        }
+
                         // Materialize the candidate ids once per scan: the
                         // full extent, the delta, or the slice of a
                         // partitioned outermost scan — always in id order,
@@ -1474,27 +1519,47 @@ fn find_valuations_id(
                                     restrict.is_none(),
                                     "chunked scans are never delta-driven"
                                 );
-                                view.relation_ids(*r)?
-                                    .iter()
-                                    .skip(skip)
-                                    .take(take)
-                                    .copied()
-                                    .collect()
+                                extent.iter().skip(skip).take(take).copied().collect()
                             }
                             (None, Some(d)) => d
                                 .rels
                                 .get(r)
                                 .map(|s| s.iter().copied().collect())
                                 .unwrap_or_default(),
-                            (None, None) => view.relation_ids(*r)?.iter().copied().collect(),
+                            (None, None) => extent.iter().copied().collect(),
                         };
-                        // Per-scan hash indexes on bound tuple attributes:
-                        // built lazily per attribute, probed per binding.
-                        // Keys and candidates are ids, so building hashes
-                        // u32s instead of o-value trees, and a probe is one
-                        // id hash. A probe key the base store has never
-                        // seen gets an overlay-local id, which correctly
-                        // misses every (base-id) index entry.
+                        if let Some((attr, pterm)) = probe {
+                            // Planner-chosen probe over a restricted scan
+                            // (delta or slice): one scan-local index over
+                            // the materialized candidates.
+                            let index = build_attr_index_id(&facts, attr, &*ov);
+                            for binding in &frontier {
+                                counters.index_misses += 1;
+                                let Some(key) = eval_term_id(pterm, binding, view, ov) else {
+                                    continue;
+                                };
+                                if let Some(cands) = index.get(&key) {
+                                    for &fid in cands {
+                                        match_term_all_id(
+                                            elem,
+                                            fid,
+                                            binding,
+                                            &rule.var_types,
+                                            view,
+                                            ov,
+                                            &mut next,
+                                        );
+                                    }
+                                }
+                            }
+                            frontier = next;
+                            continue;
+                        }
+                        // Legacy dynamic path (planner off, or no static
+                        // probe found): per-scan hash indexes on bound
+                        // tuple attributes, built lazily per attribute,
+                        // probed per binding. Keys and candidates are ids,
+                        // so building hashes u32s instead of o-value trees.
                         let mut indexes: BTreeMap<AttrName, HashMap<ValueId, Vec<ValueId>>> =
                             BTreeMap::new();
                         for binding in &frontier {
@@ -1505,6 +1570,7 @@ fn find_valuations_id(
                             };
                             match probe {
                                 Some((attr, key)) => {
+                                    counters.index_misses += 1;
                                     let index = indexes
                                         .entry(attr)
                                         .or_insert_with(|| build_attr_index_id(&facts, attr, &*ov));
@@ -1640,7 +1706,7 @@ fn find_valuations_id(
         }
         frontier = next;
     }
-    Ok((frontier, enum_fallbacks))
+    Ok(frontier)
 }
 
 /// Finds an indexable (attribute, key) pair: a tuple-pattern field whose
@@ -2032,16 +2098,34 @@ mod tests {
 
     #[test]
     fn indexes_do_not_change_results() {
+        // The planner and the scan indexes are pure optimizations: every
+        // cell of the on/off matrix must produce the bit-identical output
+        // and the identical semantic counters.
         let unit = tc_unit();
         let prog = unit.program.unwrap();
         let input = unit.instance.unwrap();
-        let with = run(&prog, &input, &EvalConfig::default()).unwrap();
-        let cfg = EvalConfig::builder().index(false).build();
-        let without = run(&prog, &input, &cfg).unwrap();
-        assert_eq!(
-            with.output.relation(RelName::new("Tc")).unwrap(),
-            without.output.relation(RelName::new("Tc")).unwrap()
-        );
+        let base = run(&prog, &input, &EvalConfig::default()).unwrap();
+        for planner in [true, false] {
+            for index in [true, false] {
+                let cfg = EvalConfig::builder().planner(planner).index(index).build();
+                let arm = run(&prog, &input, &cfg).unwrap();
+                assert_eq!(
+                    arm.output.ground_facts(),
+                    base.output.ground_facts(),
+                    "planner={planner} index={index}"
+                );
+                assert_eq!(
+                    arm.full.ground_facts(),
+                    base.full.ground_facts(),
+                    "planner={planner} index={index}"
+                );
+                assert_eq!(
+                    arm.report.counters(),
+                    base.report.counters(),
+                    "planner={planner} index={index}"
+                );
+            }
+        }
     }
 
     #[test]

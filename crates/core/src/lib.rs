@@ -74,6 +74,7 @@ pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod parser;
+pub(crate) mod planner;
 pub mod programs;
 pub mod sublang;
 pub mod typecheck;

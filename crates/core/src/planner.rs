@@ -1,0 +1,465 @@
+//! Cost-based join planning for rule bodies.
+//!
+//! The evaluator originally executed body literals in *textual* order (the
+//! syntactic plan of [`build_plan`], still the fallback and the ablation
+//! baseline). This module adds a greedy cost-based planner on top: literals
+//! are reordered by estimated selectivity from the instance's cardinality
+//! statistics ([`iql_model::InstanceStats`]), and every relation scan gets a
+//! statically chosen probe attribute backed by the instance's persistent
+//! secondary indexes ([`iql_model::RelIndexes`]).
+//!
+//! The planner is a **pure optimization**: it never changes the set of
+//! valuations a body produces (conjunction is order-independent, and every
+//! positive relation/class member stays a [`Op::Scan`] so semi-naive delta
+//! positions keep covering all supporting facts), and the evaluator's merge
+//! phase canonicalizes fire order wherever order is observable (oid
+//! invention, deletions) — see DESIGN.md, "Query planning and indexes".
+//! Plans that would need an active-domain enumeration fall back to the
+//! syntactic order wholesale, so `enum_fallbacks` counters are identical
+//! with the planner on or off.
+
+use crate::ast::{Literal, Rule, Term, VarName};
+use crate::error::{IqlError, Result};
+use crate::eval::EvalConfig;
+use iql_model::{AttrName, ClassName, Instance, RelName, TypeExpr};
+use std::collections::BTreeSet;
+
+/// An execution plan step for one rule body.
+pub(crate) enum Op<'a> {
+    /// Iterate the set denoted by `set`, matching `elem` (binds variables).
+    Scan { set: &'a Term, elem: &'a Term },
+    /// Evaluate `src` and match `pattern` against it (binds variables).
+    EqMatch { src: &'a Term, pattern: &'a Term },
+    /// Enumerate a variable's type over the active domain.
+    Enumerate { var: VarName, ty: TypeExpr },
+    /// Filter: all variables bound.
+    Filter { lit: &'a Literal },
+}
+
+/// The source a relation/class scan draws from — what a semi-naive delta
+/// position restricts, and what the empty-delta early exit inspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PlanSource {
+    Rel(RelName),
+    Class(ClassName),
+}
+
+/// A fully prepared per-rule plan, built once per step and shared by every
+/// search task of the rule.
+pub(crate) struct RulePlan<'a> {
+    /// Ordered body ops (cost-based when the planner is on, textual else).
+    pub ops: Vec<Op<'a>>,
+    /// Per-op statically chosen probe: the attribute to look up in the
+    /// relation's persistent index and the term producing the key. `None`
+    /// for non-scans, for scans with no fully-bound tuple field, and
+    /// whenever the planner or indexing is disabled.
+    pub probes: Vec<Option<(AttrName, &'a Term)>>,
+    /// Did cost-based ordering change anything vs. the syntactic plan?
+    pub reordered: bool,
+    /// Number of `Op::Enumerate` fallbacks in the plan.
+    pub enum_fallbacks: usize,
+    /// Relation/class scans in op order — the semi-naive delta positions.
+    pub sources: Vec<PlanSource>,
+}
+
+impl RulePlan<'_> {
+    /// Number of relation/class scans — the positions a semi-naive
+    /// evaluation differentiates.
+    pub fn nscans(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+fn term_bound(t: &Term, bound: &BTreeSet<VarName>) -> bool {
+    let mut vs = BTreeSet::new();
+    t.vars(&mut vs);
+    vs.iter().all(|v| bound.contains(v))
+}
+
+fn lit_bound(lit: &Literal, bound: &BTreeSet<VarName>) -> bool {
+    let mut vs = BTreeSet::new();
+    lit.vars(&mut vs);
+    vs.iter().all(|v| bound.contains(v))
+}
+
+/// Builds the *syntactic* execution plan for a rule body: orders literals so
+/// variables are bound before use, preferring textual order among joins
+/// sharing the most bound variables, inserting [`Op::Enumerate`] fallbacks
+/// where no positive literal can bind a variable (the paper's active-domain
+/// valuation semantics). This is the planner-off baseline and what
+/// `explain` renders.
+pub(crate) fn build_plan(rule: &Rule) -> Result<Vec<Op<'_>>> {
+    let mut remaining: Vec<&Literal> = rule.body.iter().collect();
+    let mut bound: BTreeSet<VarName> = BTreeSet::new();
+    let mut plan: Vec<Op> = Vec::new();
+
+    while !remaining.is_empty() {
+        // 1. Prefer a positive membership whose set side is evaluable;
+        //    among those, prefer the one sharing the most already-bound
+        //    variables (joins before cross products).
+        let mut picked: Option<usize> = None;
+        let mut best_score: isize = -1;
+        for (i, lit) in remaining.iter().enumerate() {
+            if let Literal::Member {
+                set,
+                elem,
+                positive: true,
+            } = lit
+            {
+                let evaluable = match set {
+                    Term::Rel(_) | Term::Class(_) => true,
+                    _ => term_bound(set, &bound),
+                };
+                if evaluable {
+                    let mut vs = BTreeSet::new();
+                    elem.vars(&mut vs);
+                    let score = vs.iter().filter(|v| bound.contains(*v)).count() as isize;
+                    if score > best_score {
+                        best_score = score;
+                        picked = Some(i);
+                    }
+                }
+            }
+        }
+        // 2. Else a positive equality with one side evaluable.
+        if picked.is_none() {
+            for (i, lit) in remaining.iter().enumerate() {
+                if let Literal::Eq {
+                    left,
+                    right,
+                    positive: true,
+                } = lit
+                {
+                    if term_bound(left, &bound) || term_bound(right, &bound) {
+                        picked = Some(i);
+                        break;
+                    }
+                }
+            }
+        }
+        // 3. Else a fully-bound filter (negatives, inequalities, choose).
+        if picked.is_none() {
+            for (i, lit) in remaining.iter().enumerate() {
+                if lit_bound(lit, &bound) {
+                    picked = Some(i);
+                    break;
+                }
+            }
+        }
+        match picked {
+            Some(i) => {
+                let lit = remaining.remove(i);
+                push_picked(lit, &mut bound, &mut plan);
+            }
+            None => {
+                // Stuck: enumerate the lexicographically first unbound
+                // variable of the remaining literals (paper semantics —
+                // variables range over their type's active-domain
+                // interpretation).
+                let mut vs = BTreeSet::new();
+                for lit in &remaining {
+                    lit.vars(&mut vs);
+                }
+                let var = vs
+                    .into_iter()
+                    .find(|v| !bound.contains(v))
+                    .expect("stuck plan must have an unbound variable");
+                let ty = rule
+                    .var_types
+                    .get(&var)
+                    .cloned()
+                    .ok_or_else(|| IqlError::Invalid(format!("untyped variable {var}")))?;
+                bound.insert(var.clone());
+                plan.push(Op::Enumerate { var, ty });
+            }
+        }
+    }
+    // (Head-only vars are the invention variables, handled by the caller.)
+    Ok(plan)
+}
+
+/// Appends a picked literal to the plan as the op its bound-state calls for,
+/// extending `bound` with whatever the op binds. Positive members always
+/// become [`Op::Scan`]s — never filters — so every supporting fact stays
+/// coverable by a semi-naive delta position.
+fn push_picked<'a>(lit: &'a Literal, bound: &mut BTreeSet<VarName>, plan: &mut Vec<Op<'a>>) {
+    match lit {
+        Literal::Member {
+            set,
+            elem,
+            positive: true,
+        } => {
+            set.vars(bound);
+            elem.vars(bound);
+            plan.push(Op::Scan { set, elem });
+        }
+        Literal::Eq {
+            left,
+            right,
+            positive: true,
+        } => {
+            let (src, pattern) = if term_bound(left, bound) {
+                (left, right)
+            } else {
+                (right, left)
+            };
+            pattern.vars(bound);
+            plan.push(Op::EqMatch { src, pattern });
+        }
+        other => plan.push(Op::Filter { lit: other }),
+    }
+}
+
+/// Can matching bind every unbound variable of `pattern`? The matcher binds
+/// variables only at `Var` positions reachable through tuple/set
+/// constructors; dereference / relation / class subterms are *evaluated*
+/// during the match, so they must already be fully bound. Picking a literal
+/// whose pattern violates this would silently produce zero valuations — the
+/// costed order must never do that in a position the syntactic order
+/// wouldn't.
+fn pattern_bindable(pattern: &Term, bound: &BTreeSet<VarName>) -> bool {
+    match pattern {
+        Term::Var(_) | Term::Const(_) => true,
+        Term::Tuple(fields) => fields.iter().all(|(_, t)| pattern_bindable(t, bound)),
+        Term::Set(elems) => elems.iter().all(|t| pattern_bindable(t, bound)),
+        Term::Deref(_) | Term::Rel(_) | Term::Class(_) => term_bound(pattern, bound),
+    }
+}
+
+/// Is this a positive equality the costed planner may place now? One side
+/// must be evaluable and the side [`push_picked`] will use as the pattern
+/// must be able to bind its remaining variables.
+fn eq_safe(lit: &Literal, bound: &BTreeSet<VarName>) -> bool {
+    let Literal::Eq {
+        left,
+        right,
+        positive: true,
+    } = lit
+    else {
+        return false;
+    };
+    let pattern = if term_bound(left, bound) {
+        right
+    } else if term_bound(right, bound) {
+        left
+    } else {
+        return false;
+    };
+    pattern_bindable(pattern, bound)
+}
+
+/// Cost ceiling standing in for "unknown but probably small": scans over an
+/// already-bound set value (its cardinality is not in the statistics).
+const BOUND_SET_COST: usize = 8;
+
+/// Estimated candidate count of scanning `lit` under `bound`, ensuring
+/// persistent indexes for every probe-candidate attribute along the way (a
+/// built index *is* the distinct-count statistic). `None` if the literal is
+/// not an evaluable positive member.
+fn member_cost(
+    lit: &Literal,
+    bound: &BTreeSet<VarName>,
+    work: &mut Instance,
+    cfg: &EvalConfig,
+) -> Option<usize> {
+    let Literal::Member {
+        set,
+        elem,
+        positive: true,
+    } = lit
+    else {
+        return None;
+    };
+    if !pattern_bindable(elem, bound) {
+        return None; // matching could not bind `elem`'s remaining vars yet
+    }
+    match set {
+        Term::Rel(r) => {
+            let len = work.relation_ids(*r).ok()?.len();
+            let mut est = len;
+            if cfg.use_index {
+                if let Term::Tuple(fields) = elem {
+                    for (attr, t) in fields {
+                        if term_bound(t, bound) {
+                            work.ensure_rel_index(*r, *attr);
+                            if let Some(e) = work.stats().probe_estimate(*r, *attr) {
+                                est = est.min(e);
+                            }
+                        }
+                    }
+                }
+            }
+            Some(est)
+        }
+        Term::Class(p) => work.class(*p).ok().map(|s| s.len()),
+        _ if term_bound(set, bound) => Some(BOUND_SET_COST),
+        _ => None,
+    }
+}
+
+/// Builds the cost-based plan: filters as soon as they are fully bound,
+/// equalities as soon as one side is evaluable, and otherwise the cheapest
+/// evaluable positive member by estimated candidate count (ties broken by
+/// textual order, keeping the reordering deterministic and minimal).
+/// Returns `None` when the greedy gets stuck — the caller falls back to the
+/// syntactic plan, which knows how to enumerate.
+fn build_plan_costed<'a>(
+    rule: &'a Rule,
+    work: &mut Instance,
+    cfg: &EvalConfig,
+) -> Option<Vec<Op<'a>>> {
+    let mut remaining: Vec<&'a Literal> = rule.body.iter().collect();
+    let mut bound: BTreeSet<VarName> = BTreeSet::new();
+    let mut plan: Vec<Op<'a>> = Vec::new();
+    while !remaining.is_empty() {
+        // 1. Fully-bound non-member literals are free pruning — place all,
+        //    textual order. (Members stay scans; see `push_picked`.)
+        if let Some(i) = remaining.iter().position(|lit| {
+            !matches!(lit, Literal::Member { positive: true, .. }) && lit_bound(lit, &bound)
+        }) {
+            push_picked(remaining.remove(i), &mut bound, &mut plan);
+            continue;
+        }
+        // 2. An equality with one side evaluable binds variables for ~free —
+        //    but only when its pattern side can actually bind them.
+        if let Some(i) = remaining.iter().position(|lit| eq_safe(lit, &bound)) {
+            push_picked(remaining.remove(i), &mut bound, &mut plan);
+            continue;
+        }
+        // 3. Cheapest evaluable positive member.
+        let mut picked: Option<(usize, usize)> = None; // (cost, index)
+        for (i, lit) in remaining.iter().enumerate() {
+            if let Some(cost) = member_cost(lit, &bound, work, cfg) {
+                if picked.is_none_or(|(best, _)| cost < best) {
+                    picked = Some((cost, i));
+                }
+            }
+        }
+        let (_, i) = picked?; // stuck ⇒ syntactic fallback
+        push_picked(remaining.remove(i), &mut bound, &mut plan);
+    }
+    Some(plan)
+}
+
+/// Do two plans execute the same ops in the same order? Ops reference the
+/// rule's own literals, so pointer identity is exact.
+fn same_order(a: &[Op], b: &[Op]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b.iter()).all(|(x, y)| match (x, y) {
+            (Op::Scan { set: s1, elem: e1 }, Op::Scan { set: s2, elem: e2 }) => {
+                std::ptr::eq(*s1, *s2) && std::ptr::eq(*e1, *e2)
+            }
+            (
+                Op::EqMatch {
+                    src: s1,
+                    pattern: p1,
+                },
+                Op::EqMatch {
+                    src: s2,
+                    pattern: p2,
+                },
+            ) => std::ptr::eq(*s1, *s2) && std::ptr::eq(*p1, *p2),
+            (Op::Filter { lit: l1 }, Op::Filter { lit: l2 }) => std::ptr::eq(*l1, *l2),
+            _ => false,
+        })
+}
+
+/// Statically chooses a probe attribute per scan: among the tuple fields
+/// whose terms are fully bound by the plan prefix, the one with the most
+/// distinct values (ensured into the persistent indexes, so the executor
+/// can probe instead of rebuilding a map per step).
+fn choose_probes<'a>(
+    ops: &[Op<'a>],
+    work: &mut Instance,
+    cfg: &EvalConfig,
+) -> Vec<Option<(AttrName, &'a Term)>> {
+    if !(cfg.use_planner && cfg.use_index) {
+        return ops.iter().map(|_| None).collect();
+    }
+    let mut bound: BTreeSet<VarName> = BTreeSet::new();
+    let mut probes = Vec::with_capacity(ops.len());
+    for op in ops {
+        let probe = match op {
+            Op::Scan {
+                set: Term::Rel(r),
+                elem: Term::Tuple(fields),
+            } => {
+                let mut best: Option<(usize, AttrName, &'a Term)> = None;
+                for (attr, t) in fields.iter() {
+                    if term_bound(t, &bound) {
+                        work.ensure_rel_index(*r, *attr);
+                        let distinct = work.stats().attr_distinct(*r, *attr).unwrap_or(0);
+                        // Strict > keeps the first (attr-ordered) winner.
+                        if best.is_none_or(|(d, _, _)| distinct > d) {
+                            best = Some((distinct, *attr, t));
+                        }
+                    }
+                }
+                best.map(|(_, a, t)| (a, t))
+            }
+            _ => None,
+        };
+        probes.push(probe);
+        match op {
+            Op::Scan { set, elem } => {
+                set.vars(&mut bound);
+                elem.vars(&mut bound);
+            }
+            Op::EqMatch { pattern, .. } => pattern.vars(&mut bound),
+            Op::Enumerate { var, .. } => {
+                bound.insert(var.clone());
+            }
+            Op::Filter { .. } => {}
+        }
+    }
+    probes
+}
+
+/// Builds the plan one rule executes this step: syntactic order, replaced by
+/// the cost-based order when the planner is on and both orders are
+/// enumeration-free (so the `enum_fallbacks` counter cannot drift between
+/// the ablation arms), plus static probe choices over ensured persistent
+/// indexes.
+pub(crate) fn plan_rule<'a>(
+    rule: &'a Rule,
+    work: &mut Instance,
+    cfg: &EvalConfig,
+) -> Result<RulePlan<'a>> {
+    let syntactic = build_plan(rule)?;
+    let enum_fallbacks = syntactic
+        .iter()
+        .filter(|op| matches!(op, Op::Enumerate { .. }))
+        .count();
+    let (ops, reordered) = if cfg.use_planner && enum_fallbacks == 0 {
+        match build_plan_costed(rule, work, cfg) {
+            Some(costed) => {
+                let reordered = !same_order(&costed, &syntactic);
+                (costed, reordered)
+            }
+            None => (syntactic, false),
+        }
+    } else {
+        (syntactic, false)
+    };
+    let probes = choose_probes(&ops, work, cfg);
+    let sources = ops
+        .iter()
+        .filter_map(|op| match op {
+            Op::Scan {
+                set: Term::Rel(r), ..
+            } => Some(PlanSource::Rel(*r)),
+            Op::Scan {
+                set: Term::Class(p),
+                ..
+            } => Some(PlanSource::Class(*p)),
+            _ => None,
+        })
+        .collect();
+    Ok(RulePlan {
+        ops,
+        probes,
+        reordered,
+        enum_fallbacks,
+        sources,
+    })
+}

@@ -298,6 +298,38 @@ pub fn parallel_join_program() -> Program {
     .expect("program block present")
 }
 
+/// A planner stress workload: a three-way chain join whose last link goes
+/// through an explicit equality, `w = w2`. `Big` is orders of magnitude
+/// larger than `Tiny`, and the syntactic plan — which always schedules
+/// membership literals before equalities — scans `Big`, joins `Mid`, then
+/// crosses the result with all of `Tiny` and only afterwards applies
+/// `w = w2` as a filter. The cost-based planner instead starts from
+/// `Tiny`, binds `w` through the equality immediately, and probes `Mid`
+/// and `Big` through their persistent attribute indexes — the
+/// `eval_planner` bench ablates exactly this reordering.
+pub fn skewed_join_program() -> Program {
+    parse_unit(
+        r#"
+        schema {
+          relation Big:  [k: D, v: D];
+          relation Mid:  [k: D, w: D];
+          relation Tiny: [w: D, t: D];
+          relation Out:  [k: D, t: D];
+        }
+        program {
+          input Big, Mid, Tiny;
+          output Out;
+          stage {
+            Out(x, t) :- Big(x, y), Mid(x, w), Tiny(w2, t), w = w2;
+          }
+        }
+        "#,
+    )
+    .expect("skewed_join_program parses")
+    .program
+    .expect("program block present")
+}
+
 /// Stratified-negation example: nodes unreachable from a source set,
 /// expressed with composition (`;` makes stratified negation a shorthand,
 /// Section 3.4).
@@ -540,6 +572,7 @@ mod tests {
             powerset_unrestricted_program(),
             transitive_closure_program(),
             parallel_join_program(),
+            skewed_join_program(),
             unreachable_program(),
             quadrangle_program(),
             quadrangle_choose_program(),
@@ -568,6 +601,7 @@ mod tests {
         union_decode_program();
         transitive_closure_program();
         parallel_join_program();
+        skewed_join_program();
         unreachable_program();
         quadrangle_program();
         quadrangle_choose_program();
@@ -597,6 +631,58 @@ mod tests {
         assert_eq!(out.output.relation(RelName::new("Rep")).unwrap().len(), 4);
         assert_eq!(out.output.class(ClassName::new("P")).unwrap().len(), 4);
         assert_eq!(out.report.invented, 4);
+    }
+
+    #[test]
+    fn skewed_join_program_reorders_without_changing_results() {
+        let prog = skewed_join_program();
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        for k in 0..6 {
+            for v in 0..2 {
+                input
+                    .insert(
+                        RelName::new("Big"),
+                        OValue::tuple([
+                            ("k", OValue::str(&format!("k{k}"))),
+                            ("v", OValue::str(&format!("v{v}"))),
+                        ]),
+                    )
+                    .unwrap();
+            }
+            input
+                .insert(
+                    RelName::new("Mid"),
+                    OValue::tuple([
+                        ("k", OValue::str(&format!("k{k}"))),
+                        ("w", OValue::str(&format!("w{k}"))),
+                    ]),
+                )
+                .unwrap();
+        }
+        for k in 0..2 {
+            input
+                .insert(
+                    RelName::new("Tiny"),
+                    OValue::tuple([
+                        ("w", OValue::str(&format!("w{k}"))),
+                        ("t", OValue::str("t")),
+                    ]),
+                )
+                .unwrap();
+        }
+        let on = run(&prog, &input, &EvalConfig::default()).unwrap();
+        let off = run(&prog, &input, &EvalConfig::builder().planner(false).build()).unwrap();
+        // Pure optimization: identical output, identical semantic counters.
+        assert_eq!(on.output.ground_facts(), off.output.ground_facts());
+        assert_eq!(on.report.counters(), off.report.counters());
+        // Two Tiny keys survive the join; y is projected away.
+        assert_eq!(on.output.relation(RelName::new("Out")).unwrap().len(), 2);
+        // The planner did reorder the pathological rule and probed the
+        // persistent indexes; the baseline did neither.
+        assert!(on.report.plans_reordered > 0);
+        assert!(on.report.index_hits > 0);
+        assert_eq!(off.report.plans_reordered, 0);
+        assert_eq!(off.report.index_hits, 0);
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Bottom-up evaluation: naive, semi-naive, inflationary ¬, stratified ¬.
 //!
-//! The join is a left-to-right nested-loop with hash indexes on the first
-//! bound column of each atom — the standard workhorse plan for bottom-up
-//! Datalog. Semi-naive evaluation differentiates rules: each round
+//! The join is a left-to-right nested-loop with hash-index probes: for
+//! each atom, the planner picks among its bound columns the one whose
+//! incremental index has the most distinct values (the narrowest expected
+//! postings) — the standard workhorse plan for bottom-up Datalog, with a
+//! cost-based probe choice on top. Semi-naive evaluation differentiates
+//! rules: each round
 //! evaluates, for every occurrence of a derived atom, the body with that
 //! occurrence restricted to the previous round's delta (Balbin–Ramamohanarao
 //! style), which is where the asymptotic win over naive evaluation — and
@@ -13,8 +16,9 @@
 //! constants into a [`ConstPool`] and compiles every rule once — variables
 //! to dense substitution slots, constants to [`CId`]s — so the join
 //! matches, probes, and hashes `u32` ids instead of [`Constant`]s, and
-//! first-column probes hit the relations' incremental index with no
-//! per-round rebuild. The public API speaks [`Database`] throughout;
+//! probes hit the relations' incremental per-column indexes (ensured ahead
+//! of each round, maintained by every insert) with no per-round rebuild.
+//! The public API speaks [`Database`] throughout;
 //! conversion happens once at entry and once at exit.
 
 use crate::ast::{Atom, Database, DlTerm, Program, Rule, Tuple};
@@ -216,10 +220,13 @@ fn join_rule(
             map.get(&key).map(Vec::as_slice)
         }
     }
-    // Per-atom access plans, computed ONCE per rule evaluation: the probe
-    // column of atom k is the first argument that is a constant or a
-    // variable bound by atoms 0..k — a static property of the atom order.
-    // Column-0 probes borrow the relation's incremental index; others are
+    // Per-atom access plans, computed ONCE per rule evaluation. The probe
+    // candidates of atom k — arguments that are constants or variables
+    // bound by atoms 0..k — are a static property of the atom order; among
+    // them the planner picks the column with the most distinct values
+    // (narrowest expected postings), known for free from the relations'
+    // built incremental indexes. A candidate whose index was never ensured
+    // is only used when *no* candidate has a built index, and is then
     // hashed here once (u32 keys) instead of per partial substitution.
     struct AtomPlan<'d> {
         rel: &'d IdRelation,
@@ -233,15 +240,29 @@ fn join_rule(
             _ => read,
         };
         let plan = source.relation(atom.rel).map(|rel| {
-            let probe_col = atom.args.iter().position(|a| match a {
-                ArgSpec::Const(_) => true,
-                ArgSpec::Var(s) => bound[*s as usize],
-            });
+            let cands: Vec<usize> = atom
+                .args
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| match a {
+                    ArgSpec::Const(_) => true,
+                    ArgSpec::Var(s) => bound[*s as usize],
+                })
+                .map(|(col, _)| col)
+                .collect();
+            // Most-distinct built index wins; ties go to the smaller
+            // column, keeping the choice deterministic.
+            let best_built = cands
+                .iter()
+                .copied()
+                .filter_map(|col| rel.distinct(col).map(|d| (d, std::cmp::Reverse(col))))
+                .max()
+                .map(|(_, std::cmp::Reverse(col))| col);
+            let probe_col = best_built.or_else(|| cands.first().copied());
             let probe = probe_col.map(|col| {
-                let idx = if col == 0 {
-                    Probe::Borrowed(rel.index0())
-                } else {
-                    Probe::Built(rel.build_index(col))
+                let idx = match rel.index(col) {
+                    Some(m) => Probe::Borrowed(m),
+                    None => Probe::Built(rel.build_index(col)),
                 };
                 (col, idx)
             });
@@ -403,6 +424,54 @@ fn run_join_tasks(tasks: &[JoinTask<'_, '_>], threads: usize) -> Vec<Vec<IdTuple
         .collect()
 }
 
+/// Ensures every statically probe-able column of every rule has a built
+/// incremental index in `db`: for each positive atom, the argument
+/// positions holding a constant or a variable bound by an earlier atom —
+/// exactly the candidates [`join_rule`] ranks by distinct count. Cheap
+/// after the first round (a map lookup per column); new relations created
+/// by later rounds get their indexes built here and maintained by inserts
+/// from then on.
+fn ensure_probe_indexes(rules: &[CompiledRule<'_>], db: &mut IdDatabase) {
+    for rule in rules {
+        let mut bound = vec![false; rule.nslots];
+        for (_, atom) in &rule.positives {
+            for (col, a) in atom.args.iter().enumerate() {
+                let probeable = match a {
+                    ArgSpec::Const(_) => true,
+                    ArgSpec::Var(s) => bound[*s as usize],
+                };
+                if probeable {
+                    db.ensure_index(atom.rel, col);
+                }
+            }
+            for a in &atom.args {
+                if let ArgSpec::Var(s) = a {
+                    bound[*s as usize] = true;
+                }
+            }
+        }
+    }
+}
+
+/// Does every positive source of the (optionally differentiated) rule hold
+/// at least one tuple? The join is a nested product over its positive
+/// atoms, so a single empty or missing source makes the whole task a no-op
+/// — the fixpoint loops skip such tasks before spawning them. (A rule with
+/// no positive atoms vacuously qualifies and still fires once.)
+fn rule_supported(
+    rule: &CompiledRule<'_>,
+    read: &IdDatabase,
+    delta: Option<(&IdDatabase, usize)>,
+) -> bool {
+    rule.positives.iter().all(|(i, atom)| {
+        let source = match delta {
+            Some((d, at)) if at == *i => d,
+            _ => read,
+        };
+        source.relation(atom.rel).is_some_and(|r| !r.is_empty())
+    })
+}
+
 /// The worker-pool size a `threads` knob resolves to (`0` = one per core).
 fn effective_threads(threads: usize) -> usize {
     match threads {
@@ -538,9 +607,11 @@ fn full_rounds(
     };
     loop {
         stats.rounds += 1;
-        let outs = {
+        ensure_probe_indexes(rules, &mut db);
+        let (heads, outs) = {
             let tasks: Vec<JoinTask> = rules
                 .iter()
+                .filter(|rule| rule_supported(rule, &db, None))
                 .map(|rule| JoinTask {
                     rule,
                     read: &db,
@@ -548,13 +619,14 @@ fn full_rounds(
                     neg_view: &db,
                 })
                 .collect();
-            run_join_tasks(&tasks, threads)
+            let heads: Vec<&str> = tasks.iter().map(|t| t.rule.head_rel).collect();
+            (heads, run_join_tasks(&tasks, threads))
         };
         let mut changed = false;
-        for (rule, tuples) in rules.iter().zip(outs) {
+        for (head_rel, tuples) in heads.into_iter().zip(outs) {
             for t in tuples {
                 stats.derivations += 1;
-                if db.insert(rule.head_rel, t)? {
+                if db.insert(head_rel, t)? {
                     changed = true;
                 }
             }
@@ -579,10 +651,12 @@ fn seminaive_stratum(
     // Round 0: evaluate every rule on the current database.
     let mut delta = IdDatabase::new();
     stats.rounds += 1;
+    ensure_probe_indexes(rules, &mut db);
     {
-        let outs = {
+        let (heads, outs) = {
             let tasks: Vec<JoinTask> = rules
                 .iter()
+                .filter(|rule| rule_supported(rule, &db, None))
                 .map(|rule| JoinTask {
                     rule,
                     read: &db,
@@ -590,13 +664,14 @@ fn seminaive_stratum(
                     neg_view,
                 })
                 .collect();
-            run_join_tasks(&tasks, threads)
+            let heads: Vec<&str> = tasks.iter().map(|t| t.rule.head_rel).collect();
+            (heads, run_join_tasks(&tasks, threads))
         };
-        for (rule, tuples) in rules.iter().zip(outs) {
+        for (head_rel, tuples) in heads.into_iter().zip(outs) {
             for t in tuples {
                 stats.derivations += 1;
-                if db.insert(rule.head_rel, t.clone())? {
-                    delta.insert(rule.head_rel, t)?;
+                if db.insert(head_rel, t.clone())? {
+                    delta.insert(head_rel, t)?;
                 }
             }
         }
@@ -605,6 +680,8 @@ fn seminaive_stratum(
     // Differential rounds: one task per derived positive atom occurrence.
     while delta.size() > 0 {
         stats.rounds += 1;
+        ensure_probe_indexes(rules, &mut db);
+        ensure_probe_indexes(rules, &mut delta);
         let (heads, outs) = {
             let mut tasks: Vec<JoinTask> = Vec::new();
             for rule in rules {
@@ -613,6 +690,9 @@ fn seminaive_stratum(
                         continue;
                     }
                     if delta.relation(atom.rel).is_none_or(|r| r.is_empty()) {
+                        continue;
+                    }
+                    if !rule_supported(rule, &db, Some((&delta, *i))) {
                         continue;
                     }
                     tasks.push(JoinTask {

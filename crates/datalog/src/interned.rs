@@ -5,9 +5,11 @@
 //! and from then on tuples are dense arrays of [`CId`]s — `Copy` handles
 //! with O(1) equality and trivially cheap hashing. Relations keep their
 //! tuples in insertion order (making fixpoint iteration deterministic,
-//! unlike a `HashSet` walk) next to a membership set and an *incremental*
-//! first-column index, so the most common join probe needs no per-round
-//! index rebuild at all. The [`crate::Database`] ↔ [`IdDatabase`]
+//! unlike a `HashSet` walk) next to a membership set and *incremental*
+//! per-column indexes: column 0 from the first insert, further columns on
+//! demand when the join planner picks them, all maintained by every later
+//! insert — so no probe needs a per-round index rebuild once its column
+//! has been ensured. The [`crate::Database`] ↔ [`IdDatabase`]
 //! conversion happens exactly once per `eval` call, at the boundary; no
 //! interned type leaks into the public API.
 
@@ -52,7 +54,7 @@ impl ConstPool {
 }
 
 /// A relation over interned tuples: append-only insertion-ordered storage,
-/// a membership set, and a first-column index maintained on insert.
+/// a membership set, and incremental per-column indexes.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct IdRelation {
     /// Arity; fixed by the first insert.
@@ -61,11 +63,15 @@ pub(crate) struct IdRelation {
     tuples: Vec<IdTuple>,
     /// Membership.
     seen: HashSet<IdTuple>,
-    /// First column → positions in `tuples`. Column 0 is the probe column
-    /// of the overwhelmingly common join shape (`Tc(x, y), Edge(y, z)`
-    /// probes `Edge` on its first column), so it is kept incrementally
-    /// instead of being rebuilt per rule evaluation.
-    index0: HashMap<CId, Vec<u32>>,
+    /// Built column indexes: column → value → ascending positions in
+    /// `tuples`. Column 0 (the probe column of the overwhelmingly common
+    /// join shape — `Tc(x, y), Edge(y, z)` probes `Edge` on its first
+    /// column) is built by the first insert; other columns are built on
+    /// demand by [`Self::ensure_index`] when the join planner picks them.
+    /// Every built index is then maintained *incrementally* by subsequent
+    /// inserts, so semi-naive rounds never rebuild — and a built index's
+    /// key count doubles as the column's distinct-value statistic.
+    indexes: BTreeMap<usize, HashMap<CId, Vec<u32>>>,
 }
 
 impl IdRelation {
@@ -86,8 +92,13 @@ impl IdRelation {
             return Ok(false);
         }
         let pos = u32::try_from(self.tuples.len()).expect("relation overflow");
-        if let Some(&c0) = t.first() {
-            self.index0.entry(c0).or_default().push(pos);
+        if !t.is_empty() {
+            self.indexes.entry(0).or_default();
+        }
+        for (&col, idx) in self.indexes.iter_mut() {
+            if let Some(&c) = t.get(col) {
+                idx.entry(c).or_default().push(pos);
+            }
         }
         self.tuples.push(t.clone());
         self.seen.insert(t);
@@ -119,13 +130,27 @@ impl IdRelation {
         self.tuples.is_empty()
     }
 
-    /// The incremental first-column index.
-    pub(crate) fn index0(&self) -> &HashMap<CId, Vec<u32>> {
-        &self.index0
+    /// The incremental index on `col`, if built.
+    pub(crate) fn index(&self, col: usize) -> Option<&HashMap<CId, Vec<u32>>> {
+        self.indexes.get(&col)
     }
 
-    /// Builds a positions index on an arbitrary column (used for the rarer
-    /// non-first-column probes; column 0 probes borrow [`Self::index0`]).
+    /// Number of distinct values in `col`, known iff its index is built —
+    /// the cardinality statistic the join planner ranks probe columns by.
+    pub(crate) fn distinct(&self, col: usize) -> Option<usize> {
+        self.indexes.get(&col).map(HashMap::len)
+    }
+
+    /// Builds the index on `col` if absent; later inserts maintain it.
+    pub(crate) fn ensure_index(&mut self, col: usize) {
+        if !self.indexes.contains_key(&col) {
+            let idx = self.build_index(col);
+            self.indexes.insert(col, idx);
+        }
+    }
+
+    /// Builds a positions index on an arbitrary column without storing it —
+    /// the fallback for probe columns no [`Self::ensure_index`] pass saw.
     pub(crate) fn build_index(&self, col: usize) -> HashMap<CId, Vec<u32>> {
         let mut idx: HashMap<CId, Vec<u32>> = HashMap::new();
         for (pos, t) in self.tuples.iter().enumerate() {
@@ -152,6 +177,14 @@ impl IdDatabase {
     /// The relation named `r`, if present.
     pub(crate) fn relation(&self, r: &str) -> Option<&IdRelation> {
         self.relations.get(r)
+    }
+
+    /// Ensures the incremental index on `col` of relation `r` is built.
+    /// A no-op for relations that don't exist (yet).
+    pub(crate) fn ensure_index(&mut self, r: &str, col: usize) {
+        if let Some(rel) = self.relations.get_mut(r) {
+            rel.ensure_index(col);
+        }
     }
 
     /// Inserts a tuple into relation `r` (created if needed).
@@ -237,11 +270,21 @@ mod tests {
         assert!(rel.insert(vec![b, c].into()).unwrap());
         assert_eq!(rel.len(), 3);
         assert!(rel.contains(&[a, c]));
-        assert_eq!(rel.index0()[&a].len(), 2);
-        assert_eq!(rel.index0()[&b], vec![2]);
+        let idx0 = rel.index(0).expect("column 0 is always built");
+        assert_eq!(idx0[&a].len(), 2);
+        assert_eq!(idx0[&b], vec![2]);
         // Arbitrary-column index agrees with a scan.
         let idx1 = rel.build_index(1);
         assert_eq!(idx1[&c].len(), 2);
+        // Ensured indexes are maintained by later inserts and expose the
+        // column's distinct count.
+        assert!(rel.index(1).is_none());
+        rel.ensure_index(1);
+        assert_eq!(rel.distinct(1), Some(2)); // {b, c}
+        assert!(rel.insert(vec![c, a].into()).unwrap());
+        assert_eq!(rel.index(1).unwrap()[&a], vec![3]);
+        assert_eq!(rel.distinct(1), Some(3));
+        assert_eq!(rel.index(0).unwrap()[&c], vec![3]);
         // Insertion order is preserved.
         let scan: Vec<&IdTuple> = rel.iter().collect();
         assert_eq!(scan[0].as_ref(), &[a, b]);

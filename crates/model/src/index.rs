@@ -1,0 +1,136 @@
+//! Persistent secondary indexes over an instance's interned relation mirror.
+//!
+//! Each index maps one tuple attribute of one relation to the facts carrying
+//! each value: `ValueId → Vec<ValueId>`. Indexes are built lazily (the first
+//! time the planner asks for one) and then maintained **incrementally** by
+//! the instance's mutators, so the evaluator stops rebuilding hash maps from
+//! scratch inside every step of every stage. Evaluation is inflationary
+//! between deletion points, which makes maintenance append-only; the IQL\*
+//! deletion primitives invalidate only the touched relations' indexes (see
+//! DESIGN.md, "Query planning and indexes").
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::names::{AttrName, RelName};
+use crate::store::{Node, ValueId, ValueReader, ValueStore};
+
+/// The value id behind tuple field `attr` of fact `fid`, if `fid` is a
+/// tuple with that field. O(log arity) — tuple entries are attr-sorted.
+fn field_of(store: &ValueStore, fid: ValueId, attr: AttrName) -> Option<ValueId> {
+    match store.node(fid) {
+        Node::Tuple(fields) => fields
+            .binary_search_by_key(&attr, |(a, _)| *a)
+            .ok()
+            .map(|i| fields[i].1),
+        _ => None,
+    }
+}
+
+/// A single-attribute hash index over one relation.
+///
+/// Posting lists stay sorted by fact id, so a probe yields candidates in
+/// exactly the relative order a full scan of the `BTreeSet<ValueId>` extent
+/// would — index on/off cannot change the order valuations are discovered
+/// in, only how fast they are found.
+#[derive(Clone, Debug, Default)]
+pub struct AttrIndex {
+    map: HashMap<ValueId, Vec<ValueId>>,
+}
+
+impl AttrIndex {
+    fn build(attr: AttrName, facts: impl Iterator<Item = ValueId>, store: &ValueStore) -> Self {
+        let mut map: HashMap<ValueId, Vec<ValueId>> = HashMap::new();
+        for fid in facts {
+            if let Some(key) = field_of(store, fid, attr) {
+                map.entry(key).or_default().push(fid);
+            }
+        }
+        AttrIndex { map }
+    }
+
+    /// Fact ids whose indexed field equals `key`, ascending by id.
+    pub fn get(&self, key: ValueId) -> &[ValueId] {
+        self.map.get(&key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct keys — the planner's selectivity statistic.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Folds one newly inserted fact into the index. Fact ids mostly grow
+    /// over an inflationary run, so this is an append in the common case;
+    /// a fact interned early but inserted late takes the binary-search path.
+    fn note(&mut self, key: ValueId, fid: ValueId) {
+        let posting = self.map.entry(key).or_default();
+        match posting.last() {
+            Some(&last) if last < fid => posting.push(fid),
+            Some(&last) if last == fid => {}
+            _ => {
+                if let Err(pos) = posting.binary_search(&fid) {
+                    posting.insert(pos, fid);
+                }
+            }
+        }
+    }
+}
+
+/// Every built `(relation, attribute)` index of an instance.
+///
+/// Owned by [`crate::Instance`], which calls [`RelIndexes::note_insert`]
+/// from its fact-inserting mutators and [`RelIndexes::invalidate`] from its
+/// deleting ones. Indexes cover only ρ: ν mutations (`overwrite_value`,
+/// `add_set_member`, …) never touch them, because relation facts reference
+/// oids by identity, not by value.
+#[derive(Clone, Debug, Default)]
+pub struct RelIndexes {
+    built: BTreeMap<RelName, BTreeMap<AttrName, AttrIndex>>,
+}
+
+impl RelIndexes {
+    /// Builds the `(r, attr)` index from `facts` if absent; O(1) once built.
+    pub fn ensure(
+        &mut self,
+        r: RelName,
+        attr: AttrName,
+        facts: &BTreeSet<ValueId>,
+        store: &ValueStore,
+    ) {
+        self.built
+            .entry(r)
+            .or_default()
+            .entry(attr)
+            .or_insert_with(|| AttrIndex::build(attr, facts.iter().copied(), store));
+    }
+
+    /// The `(r, attr)` index, if built.
+    pub fn get(&self, r: RelName, attr: AttrName) -> Option<&AttrIndex> {
+        self.built.get(&r)?.get(&attr)
+    }
+
+    /// Distinct key count of the `(r, attr)` index, if built.
+    pub fn attr_distinct(&self, r: RelName, attr: AttrName) -> Option<usize> {
+        self.get(r, attr).map(AttrIndex::distinct_keys)
+    }
+
+    /// Folds one newly inserted fact into every built index of `r`.
+    pub fn note_insert(&mut self, r: RelName, fid: ValueId, store: &ValueStore) {
+        if let Some(per_attr) = self.built.get_mut(&r) {
+            for (attr, idx) in per_attr.iter_mut() {
+                if let Some(key) = field_of(store, fid, *attr) {
+                    idx.note(key, fid);
+                }
+            }
+        }
+    }
+
+    /// Drops every index of `r` — called when a fact is removed from `r`.
+    pub fn invalidate(&mut self, r: RelName) {
+        self.built.remove(&r);
+    }
+
+    /// Total number of built indexes, across all relations.
+    pub fn built_count(&self) -> usize {
+        self.built.values().map(BTreeMap::len).sum()
+    }
+}

@@ -20,9 +20,11 @@
 use crate::constant::Constant;
 use crate::error::ModelError;
 use crate::idgen::{Oid, OidGen};
-use crate::names::{ClassName, RelName};
+use crate::index::{AttrIndex, RelIndexes};
+use crate::names::{AttrName, ClassName, RelName};
 use crate::ovalue::OValue;
 use crate::schema::Schema;
+use crate::stats::InstanceStats;
 use crate::store::{ValueId, ValueInterner, ValueReader, ValueStore};
 use crate::types::{ClassMap, EnumUniverse, OidClasses};
 use crate::Result;
@@ -85,6 +87,9 @@ pub struct Instance {
     rel_ids: BTreeMap<RelName, BTreeSet<ValueId>>,
     /// `ν` as interned ids — mirrors `nu` exactly.
     nu_ids: BTreeMap<Oid, ValueId>,
+    /// Persistent secondary indexes over `rel_ids`, maintained incrementally
+    /// by the fact mutators; never observable (not part of equality).
+    indexes: RelIndexes,
 }
 
 impl Instance {
@@ -104,6 +109,7 @@ impl Instance {
             store: ValueStore::new(),
             rel_ids,
             nu_ids: BTreeMap::new(),
+            indexes: RelIndexes::default(),
         }
     }
 
@@ -150,6 +156,7 @@ impl Instance {
         {
             return Ok(false);
         }
+        self.indexes.note_insert(r, id, &self.store);
         self.relations
             .get_mut(&r)
             .expect("mirrors rel_ids")
@@ -168,6 +175,7 @@ impl Instance {
         if !ids.insert(id) {
             return Ok(false);
         }
+        self.indexes.note_insert(r, id, &self.store);
         for &o in self.store.oids(id) {
             self.gen.reserve_above(o);
         }
@@ -193,6 +201,9 @@ impl Instance {
             .get_mut(&r)
             .expect("mirrors relations")
             .remove(&id);
+        // Deletion breaks the append-only maintenance invariant; drop the
+        // touched relation's indexes and let them rebuild lazily.
+        self.indexes.invalidate(r);
         Ok(true)
     }
 
@@ -412,6 +423,15 @@ impl Instance {
             .remove(&oid);
         self.oid_class.remove(&oid);
         self.nu.remove(&oid);
+        // Deletions invalidate only the touched relations' indexes: a
+        // relation whose facts never mention the dead oid keeps its extent
+        // — and, because re-interning an unchanged tree yields the same id,
+        // its indexes — intact through the mirror rebuild below.
+        for (r, ids) in &self.rel_ids {
+            if ids.iter().any(|&id| self.store.mentions_oid(id, oid)) {
+                self.indexes.invalidate(*r);
+            }
+        }
         // Cascade through relations.
         for set in self.relations.values_mut() {
             let retained: BTreeSet<OValue> =
@@ -508,6 +528,33 @@ impl Instance {
         &self.nu_ids
     }
 
+    // ------------------------------------------------------------------
+    // Secondary indexes and statistics
+    // ------------------------------------------------------------------
+
+    /// The instance's persistent secondary indexes (read-only).
+    pub fn rel_indexes(&self) -> &RelIndexes {
+        &self.indexes
+    }
+
+    /// Builds the `(r, attr)` secondary index if absent; cheap once built.
+    /// Unknown relations are ignored (there is nothing to index).
+    pub fn ensure_rel_index(&mut self, r: RelName, attr: AttrName) {
+        if let Some(facts) = self.rel_ids.get(&r) {
+            self.indexes.ensure(r, attr, facts, &self.store);
+        }
+    }
+
+    /// The `(r, attr)` secondary index, if built.
+    pub fn rel_index(&self, r: RelName, attr: AttrName) -> Option<&AttrIndex> {
+        self.indexes.get(r, attr)
+    }
+
+    /// Cardinality statistics for cost-based planning.
+    pub fn stats(&self) -> InstanceStats<'_> {
+        InstanceStats::new(self)
+    }
+
     /// A read-only view of the interned mirror (ρ, π, ν as ids) that does
     /// **not** borrow the store — so callers can hold it alongside a
     /// worker-local [`crate::Overlay`] over [`Instance::store`].
@@ -518,6 +565,7 @@ impl Instance {
             classes: &self.classes,
             nu_ids: &self.nu_ids,
             oid_class: &self.oid_class,
+            indexes: &self.indexes,
         }
     }
 
@@ -533,6 +581,7 @@ impl Instance {
                 classes: &self.classes,
                 nu_ids: &self.nu_ids,
                 oid_class: &self.oid_class,
+                indexes: &self.indexes,
             },
         )
     }
@@ -878,6 +927,7 @@ pub struct IdView<'a> {
     classes: &'a BTreeMap<ClassName, BTreeSet<Oid>>,
     nu_ids: &'a BTreeMap<Oid, ValueId>,
     oid_class: &'a BTreeMap<Oid, ClassName>,
+    indexes: &'a RelIndexes,
 }
 
 impl<'a> IdView<'a> {
@@ -911,6 +961,12 @@ impl<'a> IdView<'a> {
         self.class_of(oid)
             .and_then(|p| self.schema.is_set_valued_class(p).ok())
             .unwrap_or(false)
+    }
+
+    /// The persistent `(r, attr)` secondary index, if built. Snapshot of the
+    /// instance at view creation — safe to probe from parallel workers.
+    pub fn rel_index(&self, r: RelName, attr: AttrName) -> Option<&'a AttrIndex> {
+        self.indexes.get(r, attr)
     }
 }
 

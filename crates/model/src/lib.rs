@@ -28,23 +28,27 @@
 pub mod constant;
 pub mod error;
 pub mod idgen;
+pub mod index;
 pub mod inherit;
 pub mod instance;
 pub mod iso;
 pub mod names;
 pub mod ovalue;
 pub mod schema;
+pub mod stats;
 pub mod store;
 pub mod types;
 
 pub use constant::Constant;
 pub use error::ModelError;
 pub use idgen::{Oid, OidGen};
+pub use index::{AttrIndex, RelIndexes};
 pub use inherit::{IsaHierarchy, SchemaWithIsa};
 pub use instance::{GroundFact, IdView, Instance};
 pub use names::{AttrName, ClassName, RelName};
 pub use ovalue::OValue;
 pub use schema::{Schema, SchemaBuilder};
+pub use stats::InstanceStats;
 pub use store::{Node, Overlay, OverlayLog, ValueId, ValueInterner, ValueReader, ValueStore};
 pub use types::{ClassMap, EnumUniverse, OidClasses, TypeExpr};
 

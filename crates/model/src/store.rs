@@ -140,6 +140,63 @@ pub trait ValueReader {
     fn set_contains(&self, id: ValueId, member: ValueId) -> Option<bool> {
         self.as_set(id).map(|s| s.binary_search(&member).is_ok())
     }
+
+    /// Total order on the *resolved trees* behind two ids:
+    /// `cmp_resolved(a, b) == resolve(a).cmp(&resolve(b))`, without
+    /// materializing either tree. Equal ids short-circuit (interning is
+    /// injective), which prunes shared substructure.
+    ///
+    /// This order is id-numbering-independent, so two stores that interned
+    /// the same values in different orders still agree on it — the property
+    /// the evaluator's canonical merge order rests on.
+    fn cmp_resolved(&self, a: ValueId, b: ValueId) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        if a == b {
+            return Ordering::Equal;
+        }
+        // Variant rank mirrors OValue's declaration (and thus derived Ord)
+        // order: Const < Oid < Tuple < Set.
+        fn rank(n: &Node) -> u8 {
+            match n {
+                Node::Const(_) => 0,
+                Node::Oid(_) => 1,
+                Node::Tuple(_) => 2,
+                Node::Set(_) => 3,
+            }
+        }
+        let (na, nb) = (self.node(a), self.node(b));
+        match (na, nb) {
+            (Node::Const(x), Node::Const(y)) => x.cmp(y),
+            (Node::Oid(x), Node::Oid(y)) => x.cmp(y),
+            // BTreeMap's Ord: lexicographic over (attr, value) pairs in
+            // attr order — exactly the tuple node's stored order.
+            (Node::Tuple(xs), Node::Tuple(ys)) => {
+                for ((ax, vx), (ay, vy)) in xs.iter().zip(ys.iter()) {
+                    let o = ax.cmp(ay).then_with(|| self.cmp_resolved(*vx, *vy));
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                xs.len().cmp(&ys.len())
+            }
+            // BTreeSet's Ord: lexicographic over elements in ascending tree
+            // order. Set nodes are sorted by id, so re-sort structurally.
+            (Node::Set(xs), Node::Set(ys)) => {
+                let mut xs: Vec<ValueId> = xs.to_vec();
+                let mut ys: Vec<ValueId> = ys.to_vec();
+                xs.sort_by(|&p, &q| self.cmp_resolved(p, q));
+                ys.sort_by(|&p, &q| self.cmp_resolved(p, q));
+                for (&p, &q) in xs.iter().zip(ys.iter()) {
+                    let o = self.cmp_resolved(p, q);
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                xs.len().cmp(&ys.len())
+            }
+            _ => rank(na).cmp(&rank(nb)),
+        }
+    }
 }
 
 /// Write access: interning new values. Everything goes through the four

@@ -71,6 +71,12 @@ const ENGINE_KNOBS: &[Knob] = &[
         help: "disable delta-driven evaluation (pure naive semantics)",
         apply: |b, _| Ok(b.seminaive(false)),
     },
+    Knob {
+        flag: "--no-planner",
+        arg: None,
+        help: "disable cost-based join planning (textual literal order)",
+        apply: |b, _| Ok(b.planner(false)),
+    },
 ];
 
 fn main() -> ExitCode {
@@ -178,14 +184,7 @@ fn real_main() -> Result<(), String> {
                 println!("{fact}");
             }
             if stats {
-                eprintln!(
-                    "steps={} invented={} facts_added={} facts_deleted={} enum_fallbacks={}",
-                    out.report.steps,
-                    out.report.invented,
-                    out.report.facts_added,
-                    out.report.facts_deleted,
-                    out.report.enum_fallbacks
-                );
+                eprintln!("{}", out.report);
                 for ((stage, rule), fires) in &out.report.rule_fires {
                     eprintln!("stage {stage} rule {rule}: {fires} derivation(s)");
                 }

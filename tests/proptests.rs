@@ -560,6 +560,108 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Cost-based planning is a pure optimization
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn planner_and_indexes_are_pure_optimizations(
+        edges in prop::collection::btree_set((0usize..8, 0usize..8), 1..20)
+    ) {
+        // Every cell of the planner×index on/off matrix must produce the
+        // bit-identical EvalOutput — same output facts, same full fixpoint,
+        // same semantic counters. Plan order and probe choice may only
+        // change *how* the valuations are found, never *which*.
+        use iql::lang::programs::{
+            graph_to_class_program, parallel_join_program, skewed_join_program,
+            transitive_closure_program, unreachable_program,
+        };
+        use std::sync::Arc;
+        let edges: Vec<(String, String)> = edges
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| (format!("n{a}"), format!("n{b}")))
+            .collect();
+        prop_assume!(!edges.is_empty());
+        let mut inputs: Vec<(Program, Instance)> = Vec::new();
+        for (prog, rel, attrs) in [
+            (graph_to_class_program(), "R", ("src", "dst")),
+            (parallel_join_program(), "Edge", ("src", "dst")),
+            (transitive_closure_program(), "Edge", ("src", "dst")),
+            (unreachable_program(), "Edge", ("src", "dst")),
+        ] {
+            let mut input = Instance::new(Arc::clone(&prog.input));
+            for (s, d) in &edges {
+                input
+                    .insert(
+                        RelName::new(rel),
+                        OValue::tuple([(attrs.0, OValue::str(s)), (attrs.1, OValue::str(d))]),
+                    )
+                    .unwrap();
+            }
+            if prog.input.has_relation(RelName::new("Source")) {
+                input
+                    .insert(
+                        RelName::new("Source"),
+                        OValue::tuple([("node", OValue::str(&edges[0].0))]),
+                    )
+                    .unwrap();
+            }
+            inputs.push((prog, input));
+        }
+        // The skewed three-way join: reuse the edges as (Big, Mid, Tiny).
+        {
+            let prog = skewed_join_program();
+            let mut input = Instance::new(Arc::clone(&prog.input));
+            for (i, (s, d)) in edges.iter().enumerate() {
+                for (rel, a1, a2) in
+                    [("Big", "k", "v"), ("Mid", "k", "w"), ("Tiny", "w", "t")]
+                {
+                    if rel != "Tiny" || i % 3 == 0 {
+                        input
+                            .insert(
+                                RelName::new(rel),
+                                OValue::tuple([
+                                    (a1, OValue::str(s)),
+                                    (a2, OValue::str(d)),
+                                ]),
+                            )
+                            .unwrap();
+                    }
+                }
+            }
+            inputs.push((prog, input));
+        }
+        for (prog, input) in &inputs {
+            let base = run(prog, input, &EvalConfig::default()).unwrap();
+            for planner in [true, false] {
+                for index in [true, false] {
+                    let cfg = EvalConfig::builder().planner(planner).index(index).build();
+                    let arm = run(prog, input, &cfg).unwrap();
+                    prop_assert_eq!(
+                        base.output.ground_facts(),
+                        arm.output.ground_facts(),
+                        "output drift in {} at planner={} index={}", prog, planner, index
+                    );
+                    prop_assert_eq!(
+                        base.full.ground_facts(),
+                        arm.full.ground_facts(),
+                        "full-instance drift in {} at planner={} index={}", prog, planner, index
+                    );
+                    prop_assert_eq!(
+                        base.report.counters(),
+                        arm.report.counters(),
+                        "counter drift in {} at planner={} index={}", prog, planner, index
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Hash-consed value store: intern/resolve round-trip and injectivity
 // ---------------------------------------------------------------------
 
