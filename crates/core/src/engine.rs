@@ -39,6 +39,7 @@
 use crate::ast::Program;
 use crate::error::Result;
 use crate::eval::{self, EvalConfig, EvalOutput};
+use crate::govern::RunOutcome;
 use iql_model::Instance;
 use std::sync::Arc;
 
@@ -86,6 +87,15 @@ impl Engine {
     pub fn run_empty(&self) -> Result<EvalOutput> {
         let input = Instance::new(Arc::clone(&self.program.input));
         self.run(&input)
+    }
+
+    /// Runs the program under the configuration's resource governor,
+    /// degrading gracefully: a blown budget, passed deadline, flipped
+    /// cancellation token, or contained worker panic yields
+    /// [`RunOutcome::Aborted`] with the last consistent partial result
+    /// instead of an error. See [`eval::run_governed`].
+    pub fn run_governed(&self, input: &Instance) -> Result<RunOutcome> {
+        eval::run_governed(&self.program, input, &self.config)
     }
 }
 

@@ -48,6 +48,41 @@ pub enum IqlError {
         /// The configured limit.
         limit: usize,
     },
+    /// Evaluation exceeded the configured invented-oid budget.
+    OidBudget {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The working instance's value store exceeded its interned-node
+    /// budget.
+    StoreBudget {
+        /// The configured limit (nodes).
+        limit: usize,
+    },
+    /// The working instance's value store exceeded its byte budget.
+    MemoryBudget {
+        /// The configured limit (approximate heap bytes).
+        limit: usize,
+    },
+    /// Evaluation ran past its wall-clock deadline.
+    Deadline,
+    /// Evaluation was cancelled through the external token.
+    Cancelled,
+    /// A worker thread panicked while evaluating a rule; the panic was
+    /// contained by the evaluator and did not poison the worker pool.
+    WorkerPanic {
+        /// Index of the rule whose search task panicked.
+        rule: usize,
+    },
+    /// Active-domain type enumeration for a variable exceeded its budget.
+    EnumBudget {
+        /// The variable whose type was being enumerated.
+        var: VarName,
+        /// The type expression, rendered.
+        ty: String,
+        /// The configured budget.
+        budget: usize,
+    },
     /// A `choose` could not be made generically: the candidates fall into
     /// more than one automorphism orbit, so any pick would violate
     /// genericity (Section 4.4).
@@ -89,6 +124,24 @@ impl fmt::Display for IqlError {
             IqlError::FactBudget { limit } => {
                 write!(f, "evaluation exceeded the fact budget of {limit}")
             }
+            IqlError::OidBudget { limit } => {
+                write!(f, "evaluation exceeded the invented-oid budget of {limit}")
+            }
+            IqlError::StoreBudget { limit } => {
+                write!(f, "value store exceeded its budget of {limit} interned nodes")
+            }
+            IqlError::MemoryBudget { limit } => {
+                write!(f, "value store exceeded its memory budget of {limit} bytes")
+            }
+            IqlError::Deadline => write!(f, "evaluation exceeded its wall-clock deadline"),
+            IqlError::Cancelled => write!(f, "evaluation cancelled"),
+            IqlError::WorkerPanic { rule } => {
+                write!(f, "worker evaluating rule {rule} panicked (contained)")
+            }
+            IqlError::EnumBudget { var, ty, budget } => write!(
+                f,
+                "enumerating the active domain of variable {var}: type {ty} exceeded the budget of {budget} values"
+            ),
             IqlError::ChoiceNotGeneric { orbits } => write!(
                 f,
                 "choose: candidates split into {orbits} automorphism orbits; a deterministic pick would violate genericity"

@@ -26,6 +26,7 @@
 
 use crate::ast::{Head, Literal, Program, Rule, Stage, Term, VarName};
 use crate::error::{IqlError, Result};
+use crate::govern::{AbortReason, Aborted, Governor, Pacer, RunOutcome};
 use crate::planner::{build_plan, plan_rule, Op, PlanSource, RulePlan};
 use iql_model::iso::orbits;
 use iql_model::{
@@ -34,7 +35,10 @@ use iql_model::{
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A valuation `θ` of rule variables to o-values — the public face of a
 /// valuation. Internally the evaluator works on [`IdBinding`]s over the
@@ -106,6 +110,26 @@ pub struct EvalConfig {
     /// a deterministic merge phase — so the output instance is bit-identical
     /// (same invented-oid numbering) for every setting.
     pub threads: usize,
+    /// Wall-clock deadline for the whole run (all stages). Polled inside
+    /// the valuation search, so a deadline stops evaluation mid-step; the
+    /// governed entry point ([`run_governed`]) then returns the last
+    /// *completed* step as a partial result. `None` (default) = no limit.
+    pub deadline: Option<Duration>,
+    /// Cap on oids invented over the whole run. `None` = no limit.
+    pub max_oids: Option<usize>,
+    /// High-water mark on interned nodes in the working instance's value
+    /// store. `None` = no limit.
+    pub max_store_nodes: Option<usize>,
+    /// High-water mark on the value store's (approximate) heap bytes —
+    /// the `--max-memory` CLI knob. `None` = no limit.
+    pub max_store_bytes: Option<usize>,
+    /// External cancellation token: flip it to `true` (e.g. from a Ctrl-C
+    /// handler) and evaluation stops at the next poll point, mid-step.
+    pub cancel_token: Option<Arc<AtomicBool>>,
+    /// Test hook: make the search task(s) of this rule index panic, to
+    /// exercise worker-panic containment. Not part of the stable API.
+    #[doc(hidden)]
+    pub test_panic_rule: Option<usize>,
 }
 
 impl Default for EvalConfig {
@@ -120,6 +144,12 @@ impl Default for EvalConfig {
             use_seminaive: true,
             nondeterministic_choice: false,
             threads: 1,
+            deadline: None,
+            max_oids: None,
+            max_store_nodes: None,
+            max_store_bytes: None,
+            cancel_token: None,
+            test_panic_rule: None,
         }
     }
 }
@@ -206,6 +236,43 @@ impl EvalConfigBuilder {
     /// Sets the worker-pool size (`1` sequential, `0` one per core).
     pub fn threads(mut self, n: usize) -> Self {
         self.cfg.threads = n;
+        self
+    }
+
+    /// Sets a wall-clock deadline for the whole run.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.cfg.deadline = Some(d);
+        self
+    }
+
+    /// Caps the number of oids invented over the whole run.
+    pub fn max_oids(mut self, n: usize) -> Self {
+        self.cfg.max_oids = Some(n);
+        self
+    }
+
+    /// Caps the interned-node count of the working value store.
+    pub fn max_store_nodes(mut self, n: usize) -> Self {
+        self.cfg.max_store_nodes = Some(n);
+        self
+    }
+
+    /// Caps the working value store's approximate heap bytes.
+    pub fn max_store_bytes(mut self, n: usize) -> Self {
+        self.cfg.max_store_bytes = Some(n);
+        self
+    }
+
+    /// Attaches an external cancellation token.
+    pub fn cancel_token(mut self, token: Arc<AtomicBool>) -> Self {
+        self.cfg.cancel_token = Some(token);
+        self
+    }
+
+    /// Test hook: panic in the search task(s) of rule `ri`.
+    #[doc(hidden)]
+    pub fn test_panic_rule(mut self, ri: usize) -> Self {
+        self.cfg.test_panic_rule = Some(ri);
         self
     }
 
@@ -322,7 +389,23 @@ pub struct EvalOutput {
 }
 
 /// Runs `prog` on `input` (an instance of `Sin`), producing `J[Sout]`.
+///
+/// All-or-nothing semantics: a tripped resource limit (step/fact/oid/store
+/// budget, deadline, cancellation, contained worker panic) surfaces as the
+/// corresponding hard [`IqlError`] and the partial work is discarded. Use
+/// [`run_governed`] to keep the last consistent snapshot instead.
 pub fn run(prog: &Program, input: &Instance, cfg: &EvalConfig) -> Result<EvalOutput> {
+    run_governed(prog, input, cfg)?.into_result()
+}
+
+/// Runs `prog` on `input` under the limits of `cfg`, degrading gracefully:
+/// a tripped limit yields [`RunOutcome::Aborted`] carrying the working
+/// instance after the last *completed* inflationary step — a valid partial
+/// answer under inflationary semantics — instead of an error.
+///
+/// Real faults (bad input, unknown relations, non-generic `choose`, …)
+/// still return `Err`; only resource trips degrade.
+pub fn run_governed(prog: &Program, input: &Instance, cfg: &EvalConfig) -> Result<RunOutcome> {
     // Input must be an instance of Sin.
     if !prog.input.is_projection_of(input.schema()) || !input.schema().is_projection_of(&prog.input)
     {
@@ -352,43 +435,118 @@ pub fn run(prog: &Program, input: &Instance, cfg: &EvalConfig) -> Result<EvalOut
         }
     }
 
+    // One governor for the whole run: the deadline clock spans all stages.
+    let gov = Governor::from_config(cfg);
     let mut report = EvalReport::default();
+    let mut trip: Option<AbortReason> = None;
     for stage in &prog.stages {
-        run_stage(stage, &mut work, cfg, &mut report)?;
+        if let Some(reason) = run_stage_governed(stage, &mut work, cfg, &gov, &mut report)? {
+            trip = Some(reason);
+            break;
+        }
     }
 
     let output = work.project(&prog.output)?;
-    if cfg.check_output {
-        output
-            .validate()
-            .map_err(|e| IqlError::Invalid(format!("output instance invalid: {e}")))?;
+    match trip {
+        None => {
+            if cfg.check_output {
+                output
+                    .validate()
+                    .map_err(|e| IqlError::Invalid(format!("output instance invalid: {e}")))?;
+            }
+            Ok(RunOutcome::Complete(Box::new(EvalOutput {
+                full: work,
+                output,
+                report,
+            })))
+        }
+        Some(reason) => {
+            // No output validation on a partial snapshot: an invented oid
+            // whose weak assignment has not fired yet is expected mid-run.
+            let at_step = report.steps;
+            let elapsed = gov.elapsed();
+            let partial = EvalOutput {
+                full: work,
+                output,
+                report: report.clone(),
+            };
+            Ok(RunOutcome::Aborted(Box::new(Aborted {
+                reason,
+                at_step,
+                elapsed,
+                partial,
+                report,
+            })))
+        }
     }
-    Ok(EvalOutput {
-        full: work,
-        output,
-        report,
-    })
 }
 
-/// Runs one stage to its inflationary fixpoint.
+/// Runs one stage to its inflationary fixpoint. All-or-nothing: a tripped
+/// limit surfaces as a hard error (a fresh [`Governor`] is resolved from
+/// `cfg`, so the deadline clock starts here).
 pub fn run_stage(
     stage: &Stage,
     work: &mut Instance,
     cfg: &EvalConfig,
     report: &mut EvalReport,
 ) -> Result<()> {
+    let gov = Governor::from_config(cfg);
+    match run_stage_governed(stage, work, cfg, &gov, report)? {
+        None => Ok(()),
+        Some(reason) => Err(reason.into_error()),
+    }
+}
+
+/// Runs one stage to its inflationary fixpoint under `gov`, returning
+/// `Ok(Some(reason))` on a resource trip with `work` left at the last
+/// consistent snapshot (the deterministic budgets are checked at step
+/// boundaries; an asynchronous mid-step trip discards the whole
+/// interrupted step).
+fn run_stage_governed(
+    stage: &Stage,
+    work: &mut Instance,
+    cfg: &EvalConfig,
+    gov: &Governor,
+    report: &mut EvalReport,
+) -> Result<Option<AbortReason>> {
     let stage_idx = report.stages;
     report.stages += 1;
     let mut delta: Option<Delta> = None; // None ⇒ first step: full evaluation
     for step in 0.. {
-        if step >= cfg.max_steps {
-            return Err(IqlError::StepLimit {
-                limit: cfg.max_steps,
-            });
+        if let Some(reason) = gov.trip_async() {
+            return Ok(Some(reason));
+        }
+        if step >= gov.max_steps {
+            return Ok(Some(AbortReason::StepLimit {
+                limit: gov.max_steps,
+            }));
         }
         report.steps += 1;
-        let (changed, delta_out) =
-            one_step(stage, stage_idx, step, work, cfg, report, delta.as_ref())?;
+        let (changed, delta_out) = match one_step(
+            stage,
+            stage_idx,
+            step,
+            work,
+            cfg,
+            gov,
+            report,
+            delta.as_ref(),
+        )? {
+            StepOut::Tripped(reason) => return Ok(Some(reason)),
+            StepOut::Done {
+                trip: Some(reason), ..
+            } => {
+                // A contained worker panic: the step applied minus the
+                // panicked rule's derivations, then the run aborts so
+                // the fault is never silent.
+                return Ok(Some(reason));
+            }
+            StepOut::Done {
+                changed,
+                delta,
+                trip: None,
+            } => (changed, delta),
+        };
         if !changed {
             break;
         }
@@ -397,13 +555,49 @@ pub fn run_stage(
         } else {
             None
         };
-        if work.fact_count() > cfg.max_facts {
-            return Err(IqlError::FactBudget {
-                limit: cfg.max_facts,
-            });
+        // Deterministic budgets, checked at the step boundary: the trip
+        // point depends only on program and input, so the partial snapshot
+        // is identical across thread counts. `fact_count` walks the
+        // instance, so only pay for it when a budget is actually set.
+        if gov.max_facts != usize::MAX && work.fact_count() > gov.max_facts {
+            return Ok(Some(AbortReason::FactBudget {
+                limit: gov.max_facts,
+            }));
+        }
+        if let Some(limit) = gov.max_oids {
+            if report.invented > limit {
+                return Ok(Some(AbortReason::OidBudget { limit }));
+            }
+        }
+        if let Some(limit) = gov.max_store_nodes {
+            if work.store().len() > limit {
+                return Ok(Some(AbortReason::StoreBudget { limit }));
+            }
+        }
+        if let Some(limit) = gov.max_store_bytes {
+            if work.store().heap_bytes() > limit {
+                return Ok(Some(AbortReason::MemoryBudget { limit }));
+            }
         }
     }
-    Ok(())
+    Ok(None)
+}
+
+/// What [`one_step`] reports back to the stage driver.
+enum StepOut {
+    /// An asynchronous signal (deadline/cancellation) tripped mid-search;
+    /// the whole step was discarded and the instance is untouched (the
+    /// value store may have absorbed interned nodes — harmless, facts are
+    /// what define the snapshot).
+    Tripped(AbortReason),
+    /// The step applied. `trip` carries a contained worker panic: the
+    /// panicked rule's derivations are missing from this step and the run
+    /// must abort after it.
+    Done {
+        changed: bool,
+        delta: Delta,
+        trip: Option<AbortReason>,
+    },
 }
 
 /// The facts added by one step — what semi-naive evaluation joins against.
@@ -503,16 +697,41 @@ fn delta_has_source(delta: &Delta, source: &PlanSource) -> bool {
     }
 }
 
+/// [`run_search_task`] behind a panic barrier: a panic anywhere in the
+/// search (or injected via `cfg.test_panic_rule`) is contained here, on the
+/// worker's own stack, and surfaced as [`IqlError::WorkerPanic`] carrying
+/// the rule index — it never unwinds through the scoped pool, so sibling
+/// tasks finish normally and their results survive.
+fn run_search_task_caught(
+    task: &SearchTask,
+    stage: &Stage,
+    plan: &RulePlan<'_>,
+    work: &Instance,
+    cfg: &EvalConfig,
+    gov: &Governor,
+    delta_in: Option<&Delta>,
+) -> Result<SearchOut> {
+    catch_unwind(AssertUnwindSafe(|| {
+        if cfg.test_panic_rule == Some(task.ri) {
+            panic!("injected panic for rule {} (test hook)", task.ri);
+        }
+        run_search_task(task, stage, plan, work, cfg, gov, delta_in)
+    }))
+    .unwrap_or(Err(IqlError::WorkerPanic { rule: task.ri }))
+}
+
 /// Runs one search task against the frozen pre-step instance. Values the
 /// body conjures that the store has not seen (constants from the rule text,
 /// freshly built tuples/sets) are interned into a worker-local [`Overlay`];
 /// the base store is never touched, so tasks run in parallel borrow-free.
+#[allow(clippy::too_many_arguments)]
 fn run_search_task(
     task: &SearchTask,
     stage: &Stage,
     plan: &RulePlan<'_>,
     work: &Instance,
     cfg: &EvalConfig,
+    gov: &Governor,
     delta_in: Option<&Delta>,
 ) -> Result<SearchOut> {
     let rule = &stage.rules[task.ri];
@@ -538,6 +757,7 @@ fn run_search_task(
                 &view,
                 &mut ov,
                 cfg,
+                gov,
                 Some((delta, i)),
                 None,
                 &mut counters,
@@ -554,6 +774,7 @@ fn run_search_task(
             &view,
             &mut ov,
             cfg,
+            gov,
             None,
             task.outer,
             &mut counters,
@@ -562,7 +783,11 @@ fn run_search_task(
         vals
     };
     let mut fires = Vec::new();
+    let mut pacer = Pacer::new(gov);
     for theta in valuations {
+        if let Some(reason) = pacer.tick(gov) {
+            return Err(reason.into_error());
+        }
         let fire = if rule.head.is_deletion() {
             // Deletion rules fire when the fact to delete exists.
             deletion_applicable_id(rule, &theta, &view, &mut ov)
@@ -606,17 +831,18 @@ fn outer_scan_len(plan: &RulePlan<'_>, inst: &Instance) -> Option<usize> {
 /// Minimum slice of an outermost scan worth handing to a worker.
 const OUTER_CHUNK_MIN: usize = 32;
 
-/// One application of the inflationary one-step operator `g1`. Returns
-/// whether anything changed.
+/// One application of the inflationary one-step operator `g1`.
+#[allow(clippy::too_many_arguments)]
 fn one_step(
     stage: &Stage,
     stage_idx: usize,
     step: usize,
     work: &mut Instance,
     cfg: &EvalConfig,
+    gov: &Governor,
     report: &mut EvalReport,
     delta_in: Option<&Delta>,
-) -> Result<(bool, Delta)> {
+) -> Result<StepOut> {
     // Phase 1: valuation-domain against the frozen pre-step instance. Rule
     // bodies only *read* the snapshot, so the search is embarrassingly
     // parallel: partition the eligible rules (and the outermost scan of
@@ -693,7 +919,7 @@ fn one_step(
     let results: Vec<Result<SearchOut>> = if nthreads <= 1 || tasks.len() <= 1 {
         tasks
             .iter()
-            .map(|t| run_search_task(t, stage, &plans[t.ri], frozen, cfg, delta_in))
+            .map(|t| run_search_task_caught(t, stage, &plans[t.ri], frozen, cfg, gov, delta_in))
             .collect()
     } else {
         let slots: Vec<std::sync::OnceLock<Result<SearchOut>>> =
@@ -706,7 +932,15 @@ fn one_step(
                 s.spawn(|| loop {
                     let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(task) = tasks.get(i) else { break };
-                    let out = run_search_task(task, stage, &plans[task.ri], frozen, cfg, delta_in);
+                    let out = run_search_task_caught(
+                        task,
+                        stage,
+                        &plans[task.ri],
+                        frozen,
+                        cfg,
+                        gov,
+                        delta_in,
+                    );
                     let _ = slots[i].set(out);
                 });
             }
@@ -724,9 +958,27 @@ fn one_step(
     // chunks slice the outermost scan in extent order, so replaying the
     // logs in task order reproduces the interning sequence of a sequential
     // run id for id — which is what keeps parallel output bit-identical.
+    //
+    // Governor routing: a deadline/cancellation trip inside any task
+    // abandons the whole step (partial fires would make the snapshot
+    // thread-count-dependent). A contained worker panic skips only the
+    // panicked task's output — the surviving rules' derivations still
+    // apply — and is reported upward so the run aborts after this step.
+    let mut step_trip: Option<AbortReason> = None;
     let mut fires: Vec<(usize, IdBinding)> = Vec::new();
     for (task, out) in tasks.iter().zip(results) {
-        let out = out?;
+        let out = match out {
+            Ok(out) => out,
+            Err(IqlError::Deadline) => return Ok(StepOut::Tripped(AbortReason::Deadline)),
+            Err(IqlError::Cancelled) => return Ok(StepOut::Tripped(AbortReason::Cancelled)),
+            Err(IqlError::WorkerPanic { rule }) => {
+                if step_trip.is_none() {
+                    step_trip = Some(AbortReason::WorkerPanic { rule });
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         report.enum_fallbacks += out.enum_fallbacks;
         report.index_hits += out.index_hits;
         report.index_misses += out.index_misses;
@@ -943,7 +1195,11 @@ fn one_step(
         apply_nanos: apply_started.elapsed().as_nanos() as u64,
         fires: nfires,
     });
-    Ok((changed, delta_out))
+    Ok(StepOut::Done {
+        changed,
+        delta: delta_out,
+        trip: step_trip,
+    })
 }
 
 /// Total order on two valuations of the same rule by variable name, then by
@@ -1429,11 +1685,18 @@ fn find_valuations_id(
     view: &IdView<'_>,
     ov: &mut Overlay<'_>,
     cfg: &EvalConfig,
+    gov: &Governor,
     delta: Option<(&Delta, usize)>,
     outer: Option<(usize, usize)>,
     counters: &mut ScanCounters,
 ) -> Result<Vec<IdBinding>> {
     let mut source_scan_idx = 0usize;
+    // Cooperative poll for deadline/cancellation, strided so the ungoverned
+    // hot path pays one predictable branch per iteration. Ticks sit on the
+    // loops that can run away: per frontier binding at every op, and per
+    // candidate fact/oid on the unbounded extent scans (a divergent program
+    // spends whole steps inside a single binding's scan).
+    let mut pacer = Pacer::new(gov);
 
     // ---- Execute the plan over a frontier of id bindings. ----
     let mut frontier: Vec<IdBinding> = vec![IdBinding::new()];
@@ -1485,6 +1748,9 @@ fn find_valuations_id(
                         };
                         if let (Some(index), Some((_, pterm))) = (persistent, probe) {
                             for binding in &frontier {
+                                if let Some(r) = pacer.tick(gov) {
+                                    return Err(r.into_error());
+                                }
                                 counters.index_hits += 1;
                                 // The probe term is fully bound under every
                                 // frontier binding (planner invariant); if
@@ -1534,6 +1800,9 @@ fn find_valuations_id(
                             // the materialized candidates.
                             let index = build_attr_index_id(&facts, attr, &*ov);
                             for binding in &frontier {
+                                if let Some(r) = pacer.tick(gov) {
+                                    return Err(r.into_error());
+                                }
                                 counters.index_misses += 1;
                                 let Some(key) = eval_term_id(pterm, binding, view, ov) else {
                                     continue;
@@ -1563,6 +1832,9 @@ fn find_valuations_id(
                         let mut indexes: BTreeMap<AttrName, HashMap<ValueId, Vec<ValueId>>> =
                             BTreeMap::new();
                         for binding in &frontier {
+                            if let Some(r) = pacer.tick(gov) {
+                                return Err(r.into_error());
+                            }
                             let probe = if cfg.use_index {
                                 find_probe_id(elem, binding, view, ov)
                             } else {
@@ -1590,6 +1862,9 @@ fn find_valuations_id(
                                 }
                                 None => {
                                     for &fid in &facts {
+                                        if let Some(r) = pacer.tick(gov) {
+                                            return Err(r.into_error());
+                                        }
                                         match_term_all_id(
                                             elem,
                                             fid,
@@ -1627,6 +1902,9 @@ fn find_valuations_id(
                         };
                         for binding in &frontier {
                             for &o in &oids {
+                                if let Some(r) = pacer.tick(gov) {
+                                    return Err(r.into_error());
+                                }
                                 let vid = ov.oid_id(o);
                                 match_term_all_id(
                                     elem,
@@ -1642,6 +1920,9 @@ fn find_valuations_id(
                     }
                     _ => {
                         for binding in &frontier {
+                            if let Some(r) = pacer.tick(gov) {
+                                return Err(r.into_error());
+                            }
                             let Some(sid) = eval_term_id(set, binding, view, ov) else {
                                 continue; // undefined ⇒ unsatisfied
                             };
@@ -1666,6 +1947,9 @@ fn find_valuations_id(
             }
             Op::EqMatch { src, pattern } => {
                 for binding in &frontier {
+                    if let Some(r) = pacer.tick(gov) {
+                        return Err(r.into_error());
+                    }
                     let Some(val) = eval_term_id(src, binding, view, ov) else {
                         continue;
                     };
@@ -1673,9 +1957,20 @@ fn find_valuations_id(
                 }
             }
             Op::Enumerate { var, ty } => {
-                let values = inst
-                    .enumerate_type(ty, cfg.enum_budget)
-                    .map_err(IqlError::Model)?;
+                let values = inst.enumerate_type(ty, cfg.enum_budget).map_err(|e| {
+                    // Surface the variable whose active-domain enumeration
+                    // blew the budget; other model errors pass through.
+                    match e {
+                        iql_model::ModelError::EnumerationBudget { budget, ty } => {
+                            IqlError::EnumBudget {
+                                var: var.clone(),
+                                ty,
+                                budget,
+                            }
+                        }
+                        other => IqlError::Model(other),
+                    }
+                })?;
                 // Intern in enumeration (tree) order — deterministic, and
                 // shared substructure across enumerated values is free.
                 let ids: Vec<ValueId> = values.iter().map(|v| ov.intern(v)).collect();
@@ -1698,6 +1993,9 @@ fn find_valuations_id(
             }
             Op::Filter { lit } => {
                 for binding in &frontier {
+                    if let Some(r) = pacer.tick(gov) {
+                        return Err(r.into_error());
+                    }
                     if literal_satisfied_id(lit, binding, view, ov) {
                         next.push(binding.clone());
                     }
@@ -2149,7 +2447,14 @@ mod tests {
         }
         let cfg = EvalConfig::builder().enum_budget(16).build(); // 2^10 subsets won't fit
         let err = run(&prog, &input, &cfg).unwrap_err();
-        assert!(matches!(err, IqlError::Model(_)));
+        match err {
+            IqlError::EnumBudget { var, ty, budget } => {
+                assert_eq!(budget, 16);
+                assert!(!var.to_string().is_empty());
+                assert!(!ty.is_empty());
+            }
+            other => panic!("expected EnumBudget, got {other:?}"),
+        }
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub mod encode;
 pub mod engine;
 pub mod error;
 pub mod eval;
+pub mod govern;
 pub mod parser;
 pub(crate) mod planner;
 pub mod programs;
@@ -83,4 +84,5 @@ pub use ast::{Head, Literal, Program, Rule, Stage, Term, VarName};
 pub use builder::ProgramBuilder;
 pub use engine::Engine;
 pub use error::{IqlError, Result};
-pub use eval::{run, EvalConfig, EvalConfigBuilder, EvalOutput, EvalReport};
+pub use eval::{run, run_governed, EvalConfig, EvalConfigBuilder, EvalOutput, EvalReport};
+pub use govern::{AbortReason, Aborted, Governor, Pacer, RunOutcome};

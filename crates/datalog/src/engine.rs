@@ -25,8 +25,25 @@ use crate::ast::{Atom, Database, DlTerm, Program, Rule, Tuple};
 use crate::interned::{CId, ConstPool, IdDatabase, IdRelation, IdTuple};
 use crate::stratify::stratify;
 use crate::{DlError, Result};
+use iql_core::govern::{AbortReason, Governor, Pacer};
 use iql_model::Constant;
 use std::collections::{BTreeSet, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default cap on fixpoint rounds for the ungoverned [`eval`]/[`eval_with`]
+/// entry points. Datalog's Herbrand base is finite, so every program
+/// terminates *in principle* — but a large EDB can make "in principle" take
+/// hours, and a cap this generous is only ever hit by such runaways. The
+/// tripped run returns the partial database with
+/// [`EvalStats::trip`]` = Some(StepLimit)`.
+pub const DEFAULT_MAX_ROUNDS: usize = 1_000_000;
+
+/// Test-only fault injection: set to a rule index to make that rule's next
+/// join task panic, exercising the `catch_unwind` containment path.
+/// `usize::MAX` (the default) injects nothing.
+#[doc(hidden)]
+pub static TEST_PANIC_RULE: AtomicUsize = AtomicUsize::new(usize::MAX);
 
 /// Statistics from one evaluation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -37,6 +54,10 @@ pub struct EvalStats {
     pub derivations: usize,
     /// Worker-pool size the evaluation ran with (1 = sequential).
     pub threads: usize,
+    /// `Some(reason)` when a resource limit stopped the fixpoint early; the
+    /// returned database is then the last consistent snapshot (completed
+    /// rounds only — a tripped round's tuples are discarded wholesale).
+    pub trip: Option<AbortReason>,
 }
 
 /// Which engine evaluates the program — the single knob of the unified
@@ -198,13 +219,19 @@ fn unwind(subst: &mut [Option<CId>], touched: &mut Vec<u32>, mark: usize) {
 /// `delta_at` (if any) reading from `delta` instead. Negative literals are
 /// checked against `neg_view` once all variables are bound (safety
 /// guarantees boundness). Calls `emit` per satisfying substitution.
+///
+/// The governor's asynchronous signals (deadline, cancellation) are polled
+/// once per [`Pacer::STRIDE`] candidate tuples, so a join that would run
+/// for minutes stops mid-nested-loop; `Err(reason)` abandons the task's
+/// output wholesale.
 fn join_rule(
     rule: &CompiledRule<'_>,
     read: &IdDatabase,
     delta: Option<(&IdDatabase, usize)>,
     neg_view: &IdDatabase,
+    gov: &Governor,
     emit: &mut dyn FnMut(IdTuple),
-) {
+) -> std::result::Result<(), AbortReason> {
     /// A probe index: the relation's incremental column-0 index, borrowed,
     /// or an ad-hoc one built for a rarer probe column.
     enum Probe<'d> {
@@ -276,6 +303,7 @@ fn join_rule(
         plans.push(plan);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         rule: &CompiledRule<'_>,
         plans: &[Option<AtomPlan>],
@@ -283,18 +311,20 @@ fn join_rule(
         subst: &mut [Option<CId>],
         touched: &mut Vec<u32>,
         neg_view: &IdDatabase,
+        gov: &Governor,
+        pacer: &mut Pacer,
         emit: &mut dyn FnMut(IdTuple),
-    ) {
+    ) -> std::result::Result<(), AbortReason> {
         if k == rule.positives.len() {
             // Negative literals.
             for neg in &rule.negatives {
                 let tuple: Option<IdTuple> = neg.args.iter().map(|a| arg_value(a, subst)).collect();
-                let Some(tuple) = tuple else { return };
+                let Some(tuple) = tuple else { return Ok(()) };
                 if neg_view
                     .relation(neg.rel)
                     .is_some_and(|r| r.contains(&tuple))
                 {
-                    return;
+                    return Ok(());
                 }
             }
             // Head.
@@ -304,20 +334,33 @@ fn join_rule(
                 .map(|a| arg_value(a, subst).expect("safety: head vars bound"))
                 .collect();
             emit(head);
-            return;
+            return Ok(());
         }
         let atom = &rule.positives[k].1;
-        let Some(plan) = &plans[k] else { return };
+        let Some(plan) = &plans[k] else { return Ok(()) };
         match &plan.probe {
             Some((col, idx)) => {
                 let Some(key) = arg_value(&atom.args[*col], subst) else {
-                    return;
+                    return Ok(());
                 };
                 if let Some(positions) = idx.get(key) {
                     for &pos in positions {
+                        if let Some(reason) = pacer.tick(gov) {
+                            return Err(reason);
+                        }
                         let mark = touched.len();
                         if match_tuple(atom, plan.rel.tuple_at(pos), subst, touched) {
-                            recurse(rule, plans, k + 1, subst, touched, neg_view, emit);
+                            recurse(
+                                rule,
+                                plans,
+                                k + 1,
+                                subst,
+                                touched,
+                                neg_view,
+                                gov,
+                                pacer,
+                                emit,
+                            )?;
                         }
                         unwind(subst, touched, mark);
                     }
@@ -325,18 +368,43 @@ fn join_rule(
             }
             None => {
                 for tuple in plan.rel.iter() {
+                    if let Some(reason) = pacer.tick(gov) {
+                        return Err(reason);
+                    }
                     let mark = touched.len();
                     if match_tuple(atom, tuple, subst, touched) {
-                        recurse(rule, plans, k + 1, subst, touched, neg_view, emit);
+                        recurse(
+                            rule,
+                            plans,
+                            k + 1,
+                            subst,
+                            touched,
+                            neg_view,
+                            gov,
+                            pacer,
+                            emit,
+                        )?;
                     }
                     unwind(subst, touched, mark);
                 }
             }
         }
+        Ok(())
     }
     let mut subst = vec![None; rule.nslots];
     let mut touched = Vec::new();
-    recurse(rule, &plans, 0, &mut subst, &mut touched, neg_view, emit);
+    let mut pacer = Pacer::new(gov);
+    recurse(
+        rule,
+        &plans,
+        0,
+        &mut subst,
+        &mut touched,
+        neg_view,
+        gov,
+        &mut pacer,
+        emit,
+    )
 }
 
 /// Answers a single-atom query against a database: all substitutions of
@@ -381,31 +449,54 @@ pub fn query(db: &Database, atom: &Atom) -> Vec<Tuple> {
 /// work within a fixpoint round. Tasks only *read* the round's frozen
 /// databases and produce pending head tuples.
 struct JoinTask<'r, 'd> {
+    /// Index of the rule in the stratum's rule list — panic attribution.
+    ri: usize,
     rule: &'d CompiledRule<'r>,
     read: &'d IdDatabase,
     delta: Option<(&'d IdDatabase, usize)>,
     neg_view: &'d IdDatabase,
 }
 
+/// What one join task resolves to: its derived tuples, or the reason its
+/// evaluation was cut short (async governor trip, or a contained panic).
+type TaskOut = std::result::Result<Vec<IdTuple>, AbortReason>;
+
 impl JoinTask<'_, '_> {
-    fn run(&self) -> Vec<IdTuple> {
+    fn run(&self, gov: &Governor) -> TaskOut {
+        if TEST_PANIC_RULE.load(Ordering::Relaxed) == self.ri {
+            panic!("injected panic for rule {} (test hook)", self.ri);
+        }
         let mut out = Vec::new();
-        join_rule(self.rule, self.read, self.delta, self.neg_view, &mut |t| {
-            out.push(t)
-        });
-        out
+        join_rule(
+            self.rule,
+            self.read,
+            self.delta,
+            self.neg_view,
+            gov,
+            &mut |t| out.push(t),
+        )?;
+        Ok(out)
+    }
+
+    /// [`JoinTask::run`] behind a panic barrier: a panic is contained on
+    /// the worker's own stack and surfaced as
+    /// [`AbortReason::WorkerPanic`], so it never poisons the scoped pool
+    /// and sibling tasks' results survive.
+    fn run_caught(&self, gov: &Governor) -> TaskOut {
+        catch_unwind(AssertUnwindSafe(|| self.run(gov)))
+            .unwrap_or(Err(AbortReason::WorkerPanic { rule: self.ri }))
     }
 }
 
-/// Runs `tasks` across `threads` workers, returning each task's derived
-/// tuples *in task order* — the merge below walks that order sequentially,
-/// so insertion order, statistics, and the fixpoint are bit-identical to a
+/// Runs `tasks` across `threads` workers, returning each task's outcome
+/// *in task order* — the merge below walks that order sequentially, so
+/// insertion order, statistics, and the fixpoint are bit-identical to a
 /// single-threaded run regardless of worker scheduling.
-fn run_join_tasks(tasks: &[JoinTask<'_, '_>], threads: usize) -> Vec<Vec<IdTuple>> {
+fn run_join_tasks(tasks: &[JoinTask<'_, '_>], threads: usize, gov: &Governor) -> Vec<TaskOut> {
     if threads <= 1 || tasks.len() <= 1 {
-        return tasks.iter().map(JoinTask::run).collect();
+        return tasks.iter().map(|t| t.run_caught(gov)).collect();
     }
-    let slots: Vec<std::sync::OnceLock<Vec<IdTuple>>> =
+    let slots: Vec<std::sync::OnceLock<TaskOut>> =
         tasks.iter().map(|_| std::sync::OnceLock::new()).collect();
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let workers = threads.min(tasks.len());
@@ -414,7 +505,7 @@ fn run_join_tasks(tasks: &[JoinTask<'_, '_>], threads: usize) -> Vec<Vec<IdTuple
             s.spawn(|| loop {
                 let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(task) = tasks.get(i) else { break };
-                let _ = slots[i].set(task.run());
+                let _ = slots[i].set(task.run_caught(gov));
             });
         }
     });
@@ -507,11 +598,43 @@ pub fn eval(prog: &Program, edb: &Database, strategy: Strategy) -> Result<(Datab
 /// derived tuples merge in fixed task order, so the output database and
 /// statistics are identical for every `threads` value. `0` means one
 /// worker per available core.
+///
+/// Runs under a default governor capping the fixpoint at
+/// [`DEFAULT_MAX_ROUNDS`] rounds: a tripped run returns the partial
+/// database with [`EvalStats::trip`] set rather than spinning forever. A
+/// contained worker panic, by contrast, is a fault and surfaces as
+/// [`DlError::WorkerPanic`].
 pub fn eval_with(
     prog: &Program,
     edb: &Database,
     strategy: Strategy,
     threads: usize,
+) -> Result<(Database, EvalStats)> {
+    let gov = Governor::unlimited().with_max_steps(DEFAULT_MAX_ROUNDS);
+    let (db, stats) = eval_governed(prog, edb, strategy, threads, &gov)?;
+    if let Some(AbortReason::WorkerPanic { rule }) = stats.trip {
+        return Err(DlError::WorkerPanic { rule });
+    }
+    Ok((db, stats))
+}
+
+/// Like [`eval_with`], under an explicit [`Governor`] — the same guard
+/// surface the IQL evaluator runs behind (round limit via
+/// `Governor::max_steps`, tuple budget via `max_facts`, wall-clock
+/// deadline, external cancellation token).
+///
+/// Degrades gracefully: a trip stops the fixpoint and returns `Ok` with
+/// the last consistent database and [`EvalStats::trip`]` = Some(reason)`.
+/// Round-boundary budgets are deterministic (the same partial database at
+/// any thread count); a mid-round deadline/cancellation discards the
+/// interrupted round's tuples wholesale, and a contained worker panic
+/// keeps the surviving tasks' tuples for its final round before stopping.
+pub fn eval_governed(
+    prog: &Program,
+    edb: &Database,
+    strategy: Strategy,
+    threads: usize,
+    gov: &Governor,
 ) -> Result<(Database, EvalStats)> {
     let threads = effective_threads(threads);
     // The interning boundary: constants cross into the id world here and
@@ -528,7 +651,7 @@ pub fn eval_with(
                 .iter()
                 .map(|r| compile_rule(r, &mut pool))
                 .collect();
-            full_rounds(&rules, db, threads)?
+            full_rounds(&rules, db, threads, gov)?
         }
         Strategy::SemiNaive => {
             require_positive(prog)?;
@@ -541,7 +664,7 @@ pub fn eval_with(
                 threads,
                 ..EvalStats::default()
             };
-            let db = seminaive_stratum(&rules, db, &IdDatabase::new(), threads, &mut stats)?;
+            let db = seminaive_stratum(&rules, db, &IdDatabase::new(), threads, gov, &mut stats)?;
             (db, stats)
         }
         Strategy::Inflationary => {
@@ -550,7 +673,7 @@ pub fn eval_with(
                 .iter()
                 .map(|r| compile_rule(r, &mut pool))
                 .collect();
-            full_rounds(&rules, db, threads)?
+            full_rounds(&rules, db, threads, gov)?
         }
         Strategy::Stratified => {
             let strata = stratify(prog)?;
@@ -569,7 +692,12 @@ pub fn eval_with(
                 // relations, which are final in `db` — freeze them as the
                 // negation view.
                 let neg_view = db.clone();
-                db = seminaive_stratum(&rules, db, &neg_view, threads, &mut stats)?;
+                db = seminaive_stratum(&rules, db, &neg_view, threads, gov, &mut stats)?;
+                if stats.trip.is_some() {
+                    // A trip invalidates the "lower strata are complete"
+                    // premise of every later stratum — stop here.
+                    break;
+                }
             }
             (db, stats)
         }
@@ -600,19 +728,26 @@ fn full_rounds(
     rules: &[CompiledRule<'_>],
     mut db: IdDatabase,
     threads: usize,
+    gov: &Governor,
 ) -> Result<(IdDatabase, EvalStats)> {
     let mut stats = EvalStats {
         threads,
         ..EvalStats::default()
     };
     loop {
+        if let Some(reason) = round_boundary_trip(&db, &stats, gov) {
+            stats.trip = Some(reason);
+            return Ok((db, stats));
+        }
         stats.rounds += 1;
         ensure_probe_indexes(rules, &mut db);
         let (heads, outs) = {
             let tasks: Vec<JoinTask> = rules
                 .iter()
-                .filter(|rule| rule_supported(rule, &db, None))
-                .map(|rule| JoinTask {
+                .enumerate()
+                .filter(|(_, rule)| rule_supported(rule, &db, None))
+                .map(|(ri, rule)| JoinTask {
+                    ri,
                     rule,
                     read: &db,
                     delta: None,
@@ -620,16 +755,30 @@ fn full_rounds(
                 })
                 .collect();
             let heads: Vec<&str> = tasks.iter().map(|t| t.rule.head_rel).collect();
-            (heads, run_join_tasks(&tasks, threads))
+            (heads, run_join_tasks(&tasks, threads, gov))
         };
+        // Deadline/cancellation mid-round: discard the whole round's
+        // tuples — checked before ANY insertion so the returned snapshot
+        // is the pre-round database at every thread count.
+        if let Some(reason) = round_abandoned(&outs) {
+            stats.trip = Some(reason);
+            return Ok((db, stats));
+        }
+        let mut round_trip = None;
         let mut changed = false;
-        for (head_rel, tuples) in heads.into_iter().zip(outs) {
-            for t in tuples {
+        for (head_rel, out) in heads.into_iter().zip(outs) {
+            for t in route_task_out(out, &mut round_trip) {
                 stats.derivations += 1;
                 if db.insert(head_rel, t)? {
                     changed = true;
                 }
             }
+        }
+        if round_trip.is_some() {
+            // A contained panic: the surviving tasks' tuples were kept
+            // (other rules' results are preserved), then the run stops.
+            stats.trip = round_trip;
+            return Ok((db, stats));
         }
         if !changed {
             return Ok((db, stats));
@@ -637,27 +786,82 @@ fn full_rounds(
     }
 }
 
+/// The deterministic round-boundary checks shared by both fixpoint drivers:
+/// asynchronous signals first, then the round and tuple budgets. Checked
+/// *before* a round runs, so a clean fixpoint reached within budget never
+/// trips.
+fn round_boundary_trip(db: &IdDatabase, stats: &EvalStats, gov: &Governor) -> Option<AbortReason> {
+    if let Some(reason) = gov.trip_async() {
+        return Some(reason);
+    }
+    if stats.rounds >= gov.max_steps {
+        return Some(AbortReason::StepLimit {
+            limit: gov.max_steps,
+        });
+    }
+    if gov.max_facts != usize::MAX && db.size() > gov.max_facts {
+        return Some(AbortReason::FactBudget {
+            limit: gov.max_facts,
+        });
+    }
+    None
+}
+
+/// Did any task hit a deadline or cancellation? Such a round is abandoned
+/// wholesale (before any insertion), so the partial database stays the
+/// last *completed* round regardless of which worker noticed first.
+fn round_abandoned(outs: &[TaskOut]) -> Option<AbortReason> {
+    outs.iter().find_map(|out| match out {
+        Err(reason @ (AbortReason::Deadline | AbortReason::Cancelled)) => Some(*reason),
+        _ => None,
+    })
+}
+
+/// Merge routing for one task outcome (deadline/cancellation already
+/// handled by [`round_abandoned`]): a contained worker panic records the
+/// trip in `round_trip` and yields no tuples, but lets the merge continue
+/// so sibling tasks' derivations survive.
+fn route_task_out(out: TaskOut, round_trip: &mut Option<AbortReason>) -> Vec<IdTuple> {
+    match out {
+        Ok(tuples) => tuples,
+        Err(reason) => {
+            if round_trip.is_none() {
+                *round_trip = Some(reason);
+            }
+            Vec::new()
+        }
+    }
+}
+
 /// Semi-naive core, with `neg_view` holding the (frozen, lower-stratum)
-/// relations negative literals read.
+/// relations negative literals read. A governor trip stops the fixpoint
+/// with `stats.trip` set and the last consistent database returned.
 fn seminaive_stratum(
     rules: &[CompiledRule<'_>],
     mut db: IdDatabase,
     neg_view: &IdDatabase,
     threads: usize,
+    gov: &Governor,
     stats: &mut EvalStats,
 ) -> Result<IdDatabase> {
     let idb: BTreeSet<&str> = rules.iter().map(|r| r.head_rel).collect();
 
     // Round 0: evaluate every rule on the current database.
     let mut delta = IdDatabase::new();
+    if let Some(reason) = round_boundary_trip(&db, stats, gov) {
+        stats.trip = Some(reason);
+        return Ok(db);
+    }
     stats.rounds += 1;
     ensure_probe_indexes(rules, &mut db);
     {
         let (heads, outs) = {
             let tasks: Vec<JoinTask> = rules
                 .iter()
-                .filter(|rule| rule_supported(rule, &db, None))
-                .map(|rule| JoinTask {
+                .enumerate()
+                .filter(|(_, rule)| rule_supported(rule, &db, None))
+                .map(|(ri, rule)| JoinTask {
+                    ri,
                     rule,
                     read: &db,
                     delta: None,
@@ -665,26 +869,39 @@ fn seminaive_stratum(
                 })
                 .collect();
             let heads: Vec<&str> = tasks.iter().map(|t| t.rule.head_rel).collect();
-            (heads, run_join_tasks(&tasks, threads))
+            (heads, run_join_tasks(&tasks, threads, gov))
         };
-        for (head_rel, tuples) in heads.into_iter().zip(outs) {
-            for t in tuples {
+        if let Some(reason) = round_abandoned(&outs) {
+            stats.trip = Some(reason);
+            return Ok(db);
+        }
+        let mut round_trip = None;
+        for (head_rel, out) in heads.into_iter().zip(outs) {
+            for t in route_task_out(out, &mut round_trip) {
                 stats.derivations += 1;
                 if db.insert(head_rel, t.clone())? {
                     delta.insert(head_rel, t)?;
                 }
             }
         }
+        if round_trip.is_some() {
+            stats.trip = round_trip;
+            return Ok(db);
+        }
     }
 
     // Differential rounds: one task per derived positive atom occurrence.
     while delta.size() > 0 {
+        if let Some(reason) = round_boundary_trip(&db, stats, gov) {
+            stats.trip = Some(reason);
+            return Ok(db);
+        }
         stats.rounds += 1;
         ensure_probe_indexes(rules, &mut db);
         ensure_probe_indexes(rules, &mut delta);
         let (heads, outs) = {
             let mut tasks: Vec<JoinTask> = Vec::new();
-            for rule in rules {
+            for (ri, rule) in rules.iter().enumerate() {
                 for (i, atom) in &rule.positives {
                     if !idb.contains(atom.rel) {
                         continue;
@@ -696,6 +913,7 @@ fn seminaive_stratum(
                         continue;
                     }
                     tasks.push(JoinTask {
+                        ri,
                         rule,
                         read: &db,
                         delta: Some((&delta, *i)),
@@ -704,16 +922,25 @@ fn seminaive_stratum(
                 }
             }
             let heads: Vec<&str> = tasks.iter().map(|t| t.rule.head_rel).collect();
-            (heads, run_join_tasks(&tasks, threads))
+            (heads, run_join_tasks(&tasks, threads, gov))
         };
+        if let Some(reason) = round_abandoned(&outs) {
+            stats.trip = Some(reason);
+            return Ok(db);
+        }
         let mut next_delta = IdDatabase::new();
-        for (head_rel, tuples) in heads.into_iter().zip(outs) {
-            for t in tuples {
+        let mut round_trip = None;
+        for (head_rel, out) in heads.into_iter().zip(outs) {
+            for t in route_task_out(out, &mut round_trip) {
                 stats.derivations += 1;
                 if db.insert(head_rel, t.clone())? {
                     next_delta.insert(head_rel, t)?;
                 }
             }
+        }
+        if round_trip.is_some() {
+            stats.trip = round_trip;
+            return Ok(db);
         }
         delta = next_delta;
     }

@@ -27,9 +27,10 @@ mod interned;
 pub mod stratify;
 
 pub use ast::{parse_program, Atom, Database, DlTerm, Lit, Program, Relation, Rule};
-pub use engine::{eval, eval_with, EvalStats, Strategy};
+pub use engine::{eval, eval_governed, eval_with, EvalStats, Strategy, DEFAULT_MAX_ROUNDS};
 #[allow(deprecated)]
 pub use engine::{eval_inflationary, eval_naive, eval_seminaive, eval_stratified};
+pub use iql_core::govern::{AbortReason, Governor};
 pub use stratify::stratify;
 
 /// Errors from the Datalog layer.
@@ -60,6 +61,12 @@ pub enum DlError {
     /// [`Strategy::Stratified`] or [`Strategy::Inflationary`] for
     /// negation).
     NegationUnsupported(String),
+    /// A worker thread panicked while evaluating a rule; the panic was
+    /// contained by the engine and did not poison the worker pool.
+    WorkerPanic {
+        /// Index of the rule whose join task panicked.
+        rule: usize,
+    },
 }
 
 impl std::fmt::Display for DlError {
@@ -94,6 +101,9 @@ impl std::fmt::Display for DlError {
                     f,
                     "semi-naive engine is positive-only; rule `{r}` uses negation"
                 )
+            }
+            DlError::WorkerPanic { rule } => {
+                write!(f, "worker evaluating rule {rule} panicked (contained)")
             }
         }
     }

@@ -57,6 +57,10 @@ pub enum ModelError {
     EnumerationBudget {
         /// The configured budget that was exceeded.
         budget: usize,
+        /// The type expression whose enumeration blew the budget, rendered
+        /// at the level that tripped (a sub-expression of the requested
+        /// type when the blow-up happens in a nested powerset/product).
+        ty: String,
     },
     /// A projection asked for names not in the base schema.
     NotASubschema(String),
@@ -91,8 +95,11 @@ impl fmt::Display for ModelError {
             ModelError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
             ModelError::UnknownClass(c) => write!(f, "unknown class {c}"),
             ModelError::IsaCycle(c) => write!(f, "isa hierarchy has a cycle through {c}"),
-            ModelError::EnumerationBudget { budget } => {
-                write!(f, "type enumeration exceeded budget of {budget} values")
+            ModelError::EnumerationBudget { budget, ty } => {
+                write!(
+                    f,
+                    "enumerating type {ty} exceeded budget of {budget} values"
+                )
             }
             ModelError::NotASubschema(what) => {
                 write!(f, "projection target is not a subschema: {what}")

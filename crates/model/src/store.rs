@@ -85,6 +85,21 @@ struct Meta {
     size: u32,
 }
 
+/// Heap-byte estimate of one freshly interned node: the fixed per-node
+/// bookkeeping (arena [`Meta`] entry plus interning-map key) and the
+/// payloads it retains (tuple/set spines, string bytes, the cached oid
+/// slice).
+fn node_heap_bytes(node: &Node, oids: &[Oid]) -> usize {
+    use std::mem::size_of;
+    let payload = match node {
+        Node::Const(Constant::Str(s)) => s.len(),
+        Node::Const(_) | Node::Oid(_) => 0,
+        Node::Tuple(fields) => fields.len() * size_of::<(AttrName, ValueId)>(),
+        Node::Set(elems) => elems.len() * size_of::<ValueId>(),
+    };
+    size_of::<Meta>() + size_of::<(Node, ValueId)>() + payload + std::mem::size_of_val(oids)
+}
+
 /// Read access to interned nodes and their metadata — implemented by both
 /// [`ValueStore`] and [`Overlay`], so evaluation code can run against either.
 pub trait ValueReader {
@@ -239,6 +254,10 @@ pub struct ValueStore {
     entries: Vec<Meta>,
     map: HashMap<Node, ValueId>,
     empty_oids: Arc<[Oid]>,
+    /// Running estimate of heap bytes retained by the arena, maintained by
+    /// [`ValueStore::insert_node`]. Monotone (the arena is append-only), so
+    /// it doubles as a high-water mark for memory governance.
+    heap_bytes: usize,
 }
 
 impl ValueStore {
@@ -248,12 +267,22 @@ impl ValueStore {
             entries: Vec::new(),
             map: HashMap::new(),
             empty_oids: Arc::from([]),
+            heap_bytes: 0,
         }
     }
 
     /// Number of interned nodes.
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Approximate heap bytes retained by the arena: per-node bookkeeping
+    /// (arena entry plus hash-map key) and the owned payloads (tuple/set
+    /// spines, string constants, cached oid slices). Shared `Arc` payloads
+    /// are counted per referencing node, so this over- rather than
+    /// under-estimates — the safe direction for a memory budget.
+    pub fn heap_bytes(&self) -> usize {
+        self.heap_bytes
     }
 
     /// Is the store empty?
@@ -286,6 +315,7 @@ impl ValueStore {
             return *id;
         }
         let meta = self.compute_meta(node.clone());
+        self.heap_bytes += node_heap_bytes(&node, &meta.oids);
         let id =
             ValueId(u32::try_from(self.entries.len()).expect("value store exhausted (2^32 nodes)"));
         self.entries.push(meta);

@@ -436,7 +436,10 @@ impl TypeExpr {
     fn enum_inner(&self, u: &EnumUniverse<'_>) -> Result<Vec<OValue>> {
         let check = |n: usize| -> Result<()> {
             if n > u.budget {
-                Err(ModelError::EnumerationBudget { budget: u.budget })
+                Err(ModelError::EnumerationBudget {
+                    budget: u.budget,
+                    ty: self.to_string(),
+                })
             } else {
                 Ok(())
             }
@@ -476,7 +479,10 @@ impl TypeExpr {
             TypeExpr::Set(t) => {
                 let elems = t.enum_inner(u)?;
                 if elems.len() >= usize::BITS as usize || (1usize << elems.len()) > u.budget {
-                    return Err(ModelError::EnumerationBudget { budget: u.budget });
+                    return Err(ModelError::EnumerationBudget {
+                        budget: u.budget,
+                        ty: self.to_string(),
+                    });
                 }
                 let n = elems.len();
                 let mut out = Vec::with_capacity(1 << n);

@@ -36,7 +36,10 @@ pub use iql_vtree as vtree;
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
     pub use iql_core::engine::Engine;
-    pub use iql_core::eval::{run, EvalConfig, EvalConfigBuilder, EvalOutput, EvalReport};
+    pub use iql_core::eval::{
+        run, run_governed, EvalConfig, EvalConfigBuilder, EvalOutput, EvalReport,
+    };
+    pub use iql_core::govern::{AbortReason, Aborted, Governor, RunOutcome};
     pub use iql_core::parser::parse_unit;
     pub use iql_core::{Head, Literal, Program, ProgramBuilder, Rule, Term};
     pub use iql_datalog::Strategy;

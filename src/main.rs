@@ -16,12 +16,22 @@
 //! Engine knobs are declared once in [`ENGINE_KNOBS`] — a table mapping
 //! flags onto [`EvalConfigBuilder`] setters — so flag parsing, `--help`
 //! text, and the config stay in sync by construction.
+//!
+//! `run` evaluates under the resource governor: `--timeout`, `--max-oids`,
+//! and `--max-memory` bound the run, and Ctrl-C requests graceful
+//! cancellation. A tripped run still prints the last consistent partial
+//! result and exits with a distinct per-reason code (124 deadline,
+//! 130 cancelled, 101 contained panic, 102–106 budgets).
 
 use iql::lang::eval::{EvalConfig, EvalConfigBuilder};
 use iql::lang::parser::parse_unit;
 use iql::lang::sublang::{analyze_stage, classify};
-use iql::prelude::Engine;
+use iql::prelude::{Aborted, Engine, Instance, RunOutcome};
+use std::io::Write;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// One engine knob: a flag, its argument shape, and the builder setter it
 /// drives.
@@ -37,6 +47,51 @@ fn required_usize(flag: &str, value: Option<&str>) -> Result<usize, String> {
     value
         .and_then(|v| v.parse().ok())
         .ok_or_else(|| format!("{flag} needs an integer"))
+}
+
+/// Parses `2s`, `500ms`, `1.5m`, `1h`, or a bare number of seconds.
+fn parse_duration(flag: &str, value: Option<&str>) -> Result<Duration, String> {
+    let v = value
+        .ok_or_else(|| format!("{flag} needs a duration (e.g. 2s, 500ms)"))?
+        .trim();
+    let split = v.find(|c: char| c.is_ascii_alphabetic()).unwrap_or(v.len());
+    let (num, unit) = v.split_at(split);
+    let n: f64 = num
+        .parse()
+        .map_err(|_| format!("{flag}: bad duration `{v}`"))?;
+    let secs = match unit {
+        "ms" => n / 1000.0,
+        "" | "s" => n,
+        "m" => n * 60.0,
+        "h" => n * 3600.0,
+        _ => return Err(format!("{flag}: unknown unit `{unit}` (use ms, s, m, h)")),
+    };
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!("{flag}: bad duration `{v}`"));
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
+/// Parses a byte count with an optional `k`/`m`/`g` (or `kb`/`mb`/`gb`)
+/// suffix: `64m`, `512K`, `1g`, or bare bytes.
+fn parse_bytes(flag: &str, value: Option<&str>) -> Result<usize, String> {
+    let v = value
+        .ok_or_else(|| format!("{flag} needs a byte count (e.g. 64m, 1g)"))?
+        .trim();
+    let split = v.find(|c: char| c.is_ascii_alphabetic()).unwrap_or(v.len());
+    let (num, suffix) = v.split_at(split);
+    let n: usize = num
+        .parse()
+        .map_err(|_| format!("{flag}: bad byte count `{v}`"))?;
+    let mult: usize = match suffix.to_ascii_lowercase().as_str() {
+        "" | "b" => 1,
+        "k" | "kb" => 1 << 10,
+        "m" | "mb" => 1 << 20,
+        "g" | "gb" => 1 << 30,
+        _ => return Err(format!("{flag}: unknown suffix `{suffix}` (use k, m, g)")),
+    };
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("{flag}: `{v}` overflows"))
 }
 
 /// The engine-knob table: every `EvalConfig` surface the CLI exposes.
@@ -77,11 +132,73 @@ const ENGINE_KNOBS: &[Knob] = &[
         help: "disable cost-based join planning (textual literal order)",
         apply: |b, _| Ok(b.planner(false)),
     },
+    Knob {
+        flag: "--timeout",
+        arg: Some("DUR"),
+        help: "wall-clock deadline (2s, 500ms, 1m); prints the partial result on expiry",
+        apply: |b, v| Ok(b.deadline(parse_duration("--timeout", v)?)),
+    },
+    Knob {
+        flag: "--max-oids",
+        arg: Some("N"),
+        help: "abort after inventing more than N object identities",
+        apply: |b, v| Ok(b.max_oids(required_usize("--max-oids", v)?)),
+    },
+    Knob {
+        flag: "--max-memory",
+        arg: Some("BYTES"),
+        help: "value-store heap budget (suffixes k/m/g); aborts when exceeded",
+        apply: |b, v| Ok(b.max_store_bytes(parse_bytes("--max-memory", v)?)),
+    },
 ];
+
+/// Set by the raw SIGINT handler; bridged onto the engine's cancellation
+/// token by a detached polling thread (a signal handler must stay
+/// async-signal-safe, so it only flips this flag).
+#[cfg(unix)]
+static SIGINT_HIT: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_sigint(_sig: i32) {
+    SIGINT_HIT.store(true, Ordering::Relaxed);
+}
+
+/// Installs a Ctrl-C handler and returns the cancellation token it drives.
+/// After the first Ctrl-C the default disposition is restored, so a second
+/// Ctrl-C kills the process the ordinary way if the graceful path wedges.
+#[cfg(unix)]
+fn install_sigint_token() -> Arc<AtomicBool> {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    }
+    let token = Arc::new(AtomicBool::new(false));
+    let bridge = Arc::clone(&token);
+    std::thread::spawn(move || loop {
+        if SIGINT_HIT.load(Ordering::Relaxed) {
+            bridge.store(true, Ordering::Relaxed);
+            unsafe {
+                signal(SIGINT, SIG_DFL);
+            }
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    });
+    token
+}
+
+#[cfg(not(unix))]
+fn install_sigint_token() -> Arc<AtomicBool> {
+    Arc::new(AtomicBool::new(false))
+}
 
 fn main() -> ExitCode {
     match real_main() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
@@ -89,7 +206,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn real_main() -> Result<(), String> {
+fn real_main() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional: Vec<&str> = Vec::new();
     let mut full = false;
@@ -113,12 +230,11 @@ fn real_main() -> Result<(), String> {
             "--stats" => stats = true,
             "--help" | "-h" => {
                 print_help();
-                return Ok(());
+                return Ok(ExitCode::SUCCESS);
             }
             other => positional.push(other),
         }
     }
-    let cfg = builder.build();
     let (cmd, file) = match positional.as_slice() {
         [cmd, file] => (*cmd, *file),
         [file] => ("run", *file),
@@ -127,6 +243,11 @@ fn real_main() -> Result<(), String> {
             return Err("expected: iql [run|check|classify|explain] <file.iql>".into());
         }
     };
+    // Graceful Ctrl-C only matters while the engine is evaluating.
+    if cmd == "run" {
+        builder = builder.cancel_token(install_sigint_token());
+    }
+    let cfg = builder.build();
     let src = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
     let unit = parse_unit(&src).map_err(|e| e.to_string())?;
 
@@ -144,7 +265,7 @@ fn real_main() -> Result<(), String> {
             if let Some(i) = &unit.instance {
                 println!("instance OK: {} ground fact(s)", i.fact_count());
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "classify" => {
             let p = unit.program.ok_or("classify needs a program block")?;
@@ -156,7 +277,7 @@ fn real_main() -> Result<(), String> {
                     a.range_restricted, a.ptime_restricted, a.invention_free, a.recursion_free
                 );
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "explain" => {
             let p = unit.program.ok_or("explain needs a program block")?;
@@ -169,20 +290,46 @@ fn real_main() -> Result<(), String> {
                     );
                 }
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "run" => {
             let p = unit.program.ok_or("run needs a program block")?;
             let engine = Engine::new(p).with_config(cfg);
-            let out = match unit.instance {
-                Some(i) => engine.run(&i),
-                None => engine.run_empty(),
-            }
-            .map_err(|e| e.to_string())?;
+            let empty;
+            let input = match &unit.instance {
+                Some(i) => i,
+                None => {
+                    empty = Instance::new(Arc::clone(&engine.program().input));
+                    &empty
+                }
+            };
+            let outcome = engine.run_governed(input).map_err(|e| e.to_string())?;
+            let (out, abort) = match outcome {
+                RunOutcome::Complete(out) => (*out, None),
+                RunOutcome::Aborted(a) => {
+                    let Aborted {
+                        reason,
+                        at_step,
+                        elapsed,
+                        partial,
+                        ..
+                    } = *a;
+                    (partial, Some((reason, at_step, elapsed)))
+                }
+            };
             let shown = if full { &out.full } else { &out.output };
+            // Lock stdout once and treat a broken pipe (e.g. `| head`) as
+            // a normal end of output, not a panic or an error.
+            let mut stdout = std::io::stdout().lock();
             for fact in shown.ground_facts() {
-                println!("{fact}");
+                if let Err(e) = writeln!(stdout, "{fact}") {
+                    if e.kind() == std::io::ErrorKind::BrokenPipe {
+                        break;
+                    }
+                    return Err(format!("writing output: {e}"));
+                }
             }
+            drop(stdout);
             if stats {
                 eprintln!("{}", out.report);
                 for ((stage, rule), fires) in &out.report.rule_fires {
@@ -197,7 +344,17 @@ fn real_main() -> Result<(), String> {
                     engine.config().effective_threads()
                 );
             }
-            Ok(())
+            match abort {
+                None => Ok(ExitCode::SUCCESS),
+                Some((reason, at_step, elapsed)) => {
+                    eprintln!(
+                        "aborted: {reason} after {at_step} step(s) in {:.3}s; \
+                         printed the last consistent partial result",
+                        elapsed.as_secs_f64()
+                    );
+                    Ok(ExitCode::from(reason.exit_code()))
+                }
+            }
         }
         other => Err(format!("unknown command {other}; try --help")),
     }
@@ -226,4 +383,13 @@ ENGINE OPTIONS:"
         };
         println!("    {flag:<18} {}", knob.help);
     }
+    println!(
+        "
+EXIT CODES (run):
+    0    completed fixpoint
+    101  a worker panicked (contained; partial result printed)
+    102  step limit        103  fact budget       104  oid budget
+    105  store-node budget 106  memory budget
+    124  --timeout expired 130  interrupted (Ctrl-C)"
+    );
 }

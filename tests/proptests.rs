@@ -711,6 +711,139 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Resource governor: tight budgets never panic, abort deterministically
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random inputs under a random tight governor: the run never panics,
+    /// always returns, aborts only for a budget that was actually set, and
+    /// the partial result is (a) identical at every thread count and
+    /// (b) a subset of the un-governed fixpoint — i.e. a consistent
+    /// prefix of the run it interrupted.
+    #[test]
+    fn tight_governor_aborts_cleanly_and_deterministically(
+        edges in prop::collection::btree_set((0usize..8, 0usize..8), 1..16),
+        max_steps in 1usize..12,
+        max_facts in 4usize..40,
+        max_oids in 1usize..24,
+    ) {
+        use iql::lang::eval::run_governed;
+        use iql::lang::programs::{graph_to_class_program, transitive_closure_program};
+        use iql::prelude::{AbortReason, RunOutcome};
+        use std::sync::Arc;
+        let edges: Vec<(String, String)> = edges
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| (format!("n{a}"), format!("n{b}")))
+            .collect();
+        prop_assume!(!edges.is_empty());
+        let gfacts = |inst: &Instance| {
+            let mut v: Vec<String> =
+                inst.ground_facts().iter().map(|f| f.to_string()).collect();
+            v.sort();
+            v
+        };
+        for (prog, rel) in [
+            (graph_to_class_program(), "R"),
+            (transitive_closure_program(), "Edge"),
+        ] {
+            let mut input = Instance::new(Arc::clone(&prog.input));
+            for (s, d) in &edges {
+                input
+                    .insert(
+                        RelName::new(rel),
+                        OValue::tuple([("src", OValue::str(s)), ("dst", OValue::str(d))]),
+                    )
+                    .unwrap();
+            }
+            let full = run(&prog, &input, &EvalConfig::default()).unwrap();
+            let full_facts = gfacts(&full.full);
+            let mut results: Vec<(Option<AbortReason>, Vec<String>)> = Vec::new();
+            for threads in [1usize, 4] {
+                let cfg = EvalConfig::builder()
+                    .threads(threads)
+                    .max_steps(max_steps)
+                    .max_facts(max_facts)
+                    .max_oids(max_oids)
+                    .build();
+                // Never an Err, never a panic — a trip degrades gracefully.
+                let outcome = run_governed(&prog, &input, &cfg).unwrap();
+                results.push(match outcome {
+                    RunOutcome::Complete(out) => (None, gfacts(&out.full)),
+                    RunOutcome::Aborted(a) => {
+                        prop_assert!(
+                            matches!(
+                                a.reason,
+                                AbortReason::StepLimit { .. }
+                                    | AbortReason::FactBudget { .. }
+                                    | AbortReason::OidBudget { .. }
+                            ),
+                            "aborted for a budget that was never set: {:?}", a.reason
+                        );
+                        prop_assert!(a.at_step <= max_steps);
+                        (Some(a.reason), gfacts(&a.partial.full))
+                    }
+                });
+            }
+            let (reason1, partial1) = &results[0];
+            let (reason4, partial4) = &results[1];
+            prop_assert_eq!(reason1, reason4, "trip reason depends on thread count");
+            prop_assert_eq!(partial1, partial4, "partial result depends on thread count");
+            for fact in partial1 {
+                prop_assert!(
+                    full_facts.contains(fact),
+                    "partial fact {} is not in the un-governed fixpoint", fact
+                );
+            }
+        }
+    }
+
+    /// A random (tiny) deadline on an invention-heavy program: never a
+    /// panic, never an `Err`, and a deadline trip reports an elapsed time
+    /// in the same order of magnitude as the deadline itself.
+    #[test]
+    fn random_deadlines_degrade_gracefully(
+        edges in prop::collection::btree_set((0usize..10, 0usize..10), 4..24),
+        deadline_ms in 1u64..20,
+    ) {
+        use iql::lang::eval::run_governed;
+        use iql::lang::programs::graph_to_class_program;
+        use iql::prelude::{AbortReason, RunOutcome};
+        use std::sync::Arc;
+        use std::time::Duration;
+        let prog = graph_to_class_program();
+        let mut input = Instance::new(Arc::clone(&prog.input));
+        for (s, d) in &edges {
+            input
+                .insert(
+                    RelName::new("R"),
+                    OValue::tuple([
+                        ("src", OValue::str(&format!("n{s}"))),
+                        ("dst", OValue::str(&format!("n{d}"))),
+                    ]),
+                )
+                .unwrap();
+        }
+        let cfg = EvalConfig::builder()
+            .threads(4)
+            .deadline(Duration::from_millis(deadline_ms))
+            .build();
+        match run_governed(&prog, &input, &cfg).unwrap() {
+            RunOutcome::Complete(_) => {} // beat the clock — fine
+            RunOutcome::Aborted(a) => {
+                prop_assert_eq!(a.reason, AbortReason::Deadline);
+                prop_assert!(
+                    a.elapsed < Duration::from_millis(2 * deadline_ms + 100),
+                    "deadline of {}ms only tripped after {:?}", deadline_ms, a.elapsed
+                );
+            }
+        }
+    }
+}
+
 /// Regression for the paper's Section 2 Genesis instance: ν(adam) and
 /// ν(eve) mention each other's oids (spouse fields), so the *instance* is
 /// cyclic even though every interned value is a finite DAG — oid leaves
