@@ -10,20 +10,32 @@
 //! * `parallel_join` — the `parallel_join_program` regression guard: its
 //!   rules are already well-ordered, so the planner must not lose more
 //!   than noise here.
+//! * `plan_cache` — transitive closure over a long chain (one inflationary
+//!   step per path length, so hundreds of steps): the epoch-keyed plan
+//!   cache reuses each rule's compiled plan across the quiet steps, while
+//!   the cache-off arm replans every rule every step.
 //!
-//! The planner is a pure optimization — both arms of every pair produce
-//! the bit-identical output instance.
+//! The planner and the plan cache are pure optimizations — both arms of
+//! every pair produce the bit-identical output instance.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use iql_bench::{edge_instance, random_digraph, skewed_join_instance, skewed_join_tables};
+use iql_bench::{chain, edge_instance, random_digraph, skewed_join_instance, skewed_join_tables};
 use iql_core::eval::{run, EvalConfig};
-use iql_core::programs::{parallel_join_program, skewed_join_program};
+use iql_core::programs::{parallel_join_program, skewed_join_program, transitive_closure_program};
 
 fn planner_config(on: bool) -> EvalConfig {
     EvalConfig::builder()
         .max_steps(100_000)
         .enum_budget(1 << 22)
         .planner(on)
+        .build()
+}
+
+fn cache_config(on: bool) -> EvalConfig {
+    EvalConfig::builder()
+        .max_steps(100_000)
+        .enum_budget(1 << 22)
+        .plan_cache(on)
         .build()
 }
 
@@ -61,6 +73,23 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| run(&guard, input, &cfg).unwrap());
             },
         );
+    }
+
+    let tc = transitive_closure_program();
+    for n in [64usize, 128] {
+        let edges = chain(n, "n");
+        let input = edge_instance(&tc, "Edge", ("src", "dst"), &edges);
+        for on in [true, false] {
+            let cfg = cache_config(on);
+            let arm = if on { "cache-on" } else { "cache-off" };
+            group.bench_with_input(
+                BenchmarkId::new(format!("plan_cache/{arm}"), n),
+                &input,
+                |b, input| {
+                    b.iter(|| run(&tc, input, &cfg).unwrap());
+                },
+            );
+        }
     }
 
     group.finish();

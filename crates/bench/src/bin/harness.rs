@@ -663,7 +663,7 @@ fn random_type(depth: usize, rng: &mut impl rand::Rng) -> TypeExpr {
     if depth == 0 {
         return match rng.gen_range(0..3) {
             0 => T::base(),
-            1 => T::class(["Ca", "Cb"][rng.gen_range(0..2)]),
+            1 => T::class(["Ca", "Cb"][rng.gen_range(0..2usize)]),
             _ => T::empty(),
         };
     }

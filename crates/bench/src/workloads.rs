@@ -76,7 +76,9 @@ pub fn skewed_join_tables(
     let big = (0..keys)
         .flat_map(|k| (0..fanout).map(move |v| (format!("k{k}"), format!("v{k}_{v}"))))
         .collect();
-    let mid = (0..keys).map(|k| (format!("k{k}"), format!("w{k}"))).collect();
+    let mid = (0..keys)
+        .map(|k| (format!("k{k}"), format!("w{k}")))
+        .collect();
     let tiny = (0..survivors.min(keys))
         .map(|k| (format!("w{k}"), format!("t{k}")))
         .collect();

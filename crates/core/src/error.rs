@@ -169,6 +169,25 @@ impl From<iql_model::ModelError> for IqlError {
     }
 }
 
+/// The hard-error twin of each governor trip, for all-or-nothing callers
+/// ([`crate::eval::run`]) and for crossing worker boundaries inside the
+/// evaluator.
+impl From<crate::govern::AbortReason> for IqlError {
+    fn from(reason: crate::govern::AbortReason) -> Self {
+        use crate::govern::AbortReason;
+        match reason {
+            AbortReason::StepLimit { limit } => IqlError::StepLimit { limit },
+            AbortReason::FactBudget { limit } => IqlError::FactBudget { limit },
+            AbortReason::OidBudget { limit } => IqlError::OidBudget { limit },
+            AbortReason::StoreBudget { limit } => IqlError::StoreBudget { limit },
+            AbortReason::MemoryBudget { limit } => IqlError::MemoryBudget { limit },
+            AbortReason::Deadline => IqlError::Deadline,
+            AbortReason::Cancelled => IqlError::Cancelled,
+            AbortReason::WorkerPanic { rule } => IqlError::WorkerPanic { rule },
+        }
+    }
+}
+
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, IqlError>;
 

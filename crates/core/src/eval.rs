@@ -26,8 +26,9 @@
 
 use crate::ast::{Head, Literal, Program, Rule, Stage, Term, VarName};
 use crate::error::{IqlError, Result};
-use crate::govern::{AbortReason, Aborted, Governor, Pacer, RunOutcome};
+use crate::govern::{governor_from_config, AbortReason, Aborted, Governor, Pacer, RunOutcome};
 use crate::planner::{build_plan, plan_rule, Op, PlanSource, RulePlan};
+use iql_exec::{chunk_ranges, rule_delta_supported, run_tasks};
 use iql_model::iso::orbits;
 use iql_model::{
     AttrName, ClassName, IdView, Instance, Node, OValue, Oid, Overlay, OverlayLog, TypeExpr,
@@ -97,6 +98,14 @@ pub struct EvalConfig {
     /// valuation fires at exactly its first-valid step either way. The
     /// ablation knob for the naive-vs-seminaive comparison; on by default.
     pub use_seminaive: bool,
+    /// Reuse each rule's compiled plan across steps while the instance's
+    /// statistics epoch stands still ([`iql_model::Instance::stats_epoch`]),
+    /// replanning only when the cardinality picture moves — an extent or
+    /// distinct-count crosses a re-plan threshold, or a new index is built.
+    /// A pure optimization: plans only change discovery order, which the
+    /// merge phase canonicalizes wherever observable, so outputs are
+    /// bit-identical with the cache on or off. On by default.
+    pub use_plan_cache: bool,
     /// N-IQL mode (the paper's Remark N-IQL): `choose` may pick among
     /// candidates even when the choice violates genericity — the language
     /// becomes *nondeterministic complete* instead of determinate. Off by
@@ -142,6 +151,7 @@ impl Default for EvalConfig {
             use_index: true,
             use_planner: true,
             use_seminaive: true,
+            use_plan_cache: true,
             nondeterministic_choice: false,
             threads: 1,
             deadline: None,
@@ -169,12 +179,7 @@ impl EvalConfig {
     /// The worker-pool size this configuration resolves to: `threads`
     /// itself, or one per available core when `threads == 0`.
     pub fn effective_threads(&self) -> usize {
-        match self.threads {
-            0 => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-            n => n,
-        }
+        iql_exec::effective_threads(self.threads)
     }
 }
 
@@ -224,6 +229,12 @@ impl EvalConfigBuilder {
     /// Toggles delta-driven (semi-naive) evaluation of eligible rules.
     pub fn seminaive(mut self, on: bool) -> Self {
         self.cfg.use_seminaive = on;
+        self
+    }
+
+    /// Toggles the epoch-keyed plan cache.
+    pub fn plan_cache(mut self, on: bool) -> Self {
+        self.cfg.use_plan_cache = on;
         self
     }
 
@@ -313,8 +324,15 @@ pub struct EvalReport {
     /// Facts deleted (IQL\*).
     pub facts_deleted: usize,
     /// Rule plans the cost-based planner reordered away from textual order
-    /// (counted per step — plans are rebuilt as statistics evolve).
+    /// (counted per rule per step, whether the step's plan was fresh or
+    /// cached).
     pub plans_reordered: usize,
+    /// Rule plans built fresh — the first step of a stage, every step with
+    /// the cache off, and every statistics-epoch invalidation.
+    pub plans_fresh: usize,
+    /// Rule plans reused from the epoch-keyed plan cache (counted per rule
+    /// per step on a hit).
+    pub plans_cached: usize,
     /// Scan probes answered by a persistent secondary index.
     pub index_hits: usize,
     /// Scan probes that fell back to a per-step rebuilt local index (delta
@@ -371,8 +389,12 @@ impl fmt::Display for EvalReport {
         )?;
         write!(
             f,
-            "planner: plans_reordered={} index_hits={} index_misses={}",
-            self.plans_reordered, self.index_hits, self.index_misses,
+            "planner: plans_reordered={} plans_fresh={} plans_cached={} index_hits={} index_misses={}",
+            self.plans_reordered,
+            self.plans_fresh,
+            self.plans_cached,
+            self.index_hits,
+            self.index_misses,
         )
     }
 }
@@ -436,7 +458,7 @@ pub fn run_governed(prog: &Program, input: &Instance, cfg: &EvalConfig) -> Resul
     }
 
     // One governor for the whole run: the deadline clock spans all stages.
-    let gov = Governor::from_config(cfg);
+    let gov = governor_from_config(cfg);
     let mut report = EvalReport::default();
     let mut trip: Option<AbortReason> = None;
     for stage in &prog.stages {
@@ -490,10 +512,10 @@ pub fn run_stage(
     cfg: &EvalConfig,
     report: &mut EvalReport,
 ) -> Result<()> {
-    let gov = Governor::from_config(cfg);
+    let gov = governor_from_config(cfg);
     match run_stage_governed(stage, work, cfg, &gov, report)? {
         None => Ok(()),
-        Some(reason) => Err(reason.into_error()),
+        Some(reason) => Err(reason.into()),
     }
 }
 
@@ -512,6 +534,13 @@ fn run_stage_governed(
     let stage_idx = report.stages;
     report.stages += 1;
     let mut delta: Option<Delta> = None; // None ⇒ first step: full evaluation
+                                         // Epoch-keyed plan cache: a compiled plan borrows only its rule, never
+                                         // the instance, so it survives across steps — it is rebuilt exactly
+                                         // when the instance's statistics epoch has moved since it was planned.
+                                         // The epoch is recorded *after* planning, because planning itself
+                                         // ensures indexes (which bumps the epoch); a plan must not invalidate
+                                         // itself.
+    let mut cached: Option<(u64, Vec<RulePlan<'_>>)> = None;
     for step in 0.. {
         if let Some(reason) = gov.trip_async() {
             return Ok(Some(reason));
@@ -522,6 +551,23 @@ fn run_stage_governed(
             }));
         }
         report.steps += 1;
+        let hit = cfg.use_plan_cache
+            && cached
+                .as_ref()
+                .is_some_and(|(epoch, _)| *epoch == work.stats_epoch());
+        if hit {
+            report.plans_cached += stage.rules.len();
+        } else {
+            let plans: Vec<RulePlan<'_>> = stage
+                .rules
+                .iter()
+                .map(|r| plan_rule(r, work, cfg))
+                .collect::<Result<Vec<_>>>()?;
+            report.plans_fresh += plans.len();
+            cached = Some((work.stats_epoch(), plans));
+        }
+        let plans = &cached.as_ref().expect("planned above").1;
+        report.plans_reordered += plans.iter().filter(|p| p.reordered).count();
         let (changed, delta_out) = match one_step(
             stage,
             stage_idx,
@@ -531,6 +577,7 @@ fn run_stage_governed(
             gov,
             report,
             delta.as_ref(),
+            plans,
         )? {
             StepOut::Tripped(reason) => return Ok(Some(reason)),
             StepOut::Done {
@@ -786,7 +833,7 @@ fn run_search_task(
     let mut pacer = Pacer::new(gov);
     for theta in valuations {
         if let Some(reason) = pacer.tick(gov) {
-            return Err(reason.into_error());
+            return Err(reason.into());
         }
         let fire = if rule.head.is_deletion() {
             // Deletion rules fire when the fact to delete exists.
@@ -818,10 +865,10 @@ fn outer_scan_len(plan: &RulePlan<'_>, inst: &Instance) -> Option<usize> {
     }
     match plan.ops.first() {
         Some(Op::Scan {
-            set: Term::Rel(r), ..
+            src: Term::Rel(r), ..
         }) => inst.relation(*r).ok().map(|s| s.len()),
         Some(Op::Scan {
-            set: Term::Class(p),
+            src: Term::Class(p),
             ..
         }) => inst.class(*p).ok().map(|s| s.len()),
         _ => None,
@@ -842,25 +889,19 @@ fn one_step(
     gov: &Governor,
     report: &mut EvalReport,
     delta_in: Option<&Delta>,
+    plans: &[RulePlan<'_>],
 ) -> Result<StepOut> {
     // Phase 1: valuation-domain against the frozen pre-step instance. Rule
     // bodies only *read* the snapshot, so the search is embarrassingly
     // parallel: partition the eligible rules (and the outermost scan of
-    // large single rules) across a scoped worker pool. Workers produce
-    // pending derivations only; the merge below walks tasks in fixed
-    // (rule, chunk) order, so the fires list — and with it fact insertion
-    // and oid numbering — is bit-identical to the sequential run.
+    // large single rules) across the shared runtime's worker pool. Workers
+    // produce pending derivations only; the merge below walks tasks in
+    // fixed (rule, chunk) order, so the fires list — and with it fact
+    // insertion and oid numbering — is bit-identical to the sequential run.
+    // Plans arrive from the stage driver (freshly built or cache-reused;
+    // either way their probe indexes are ensured on the instance).
     let search_started = std::time::Instant::now();
     let nthreads = cfg.effective_threads();
-    // Plan every rule once per step, before the instance freezes: the
-    // planner reads cardinality statistics and ensures the persistent
-    // indexes its probe choices rely on (the one part needing `&mut`).
-    let plans: Vec<RulePlan<'_>> = stage
-        .rules
-        .iter()
-        .map(|r| plan_rule(r, work, cfg))
-        .collect::<Result<Vec<_>>>()?;
-    report.plans_reordered += plans.iter().filter(|p| p.reordered).count();
     // Deletions un-block guards (a deleted head fact lets an old valuation
     // fire again), so any deletion rule in the stage disables delta-driven
     // evaluation for the whole stage.
@@ -877,7 +918,7 @@ fn one_step(
             // schedule the task. (`changed` bookkeeping can keep a stage
             // running on ν-only progress with an empty relation delta.)
             let delta = delta_in.expect("delta-driven requires a delta");
-            if !plans[ri].sources.iter().any(|s| delta_has_source(delta, s)) {
+            if !rule_delta_supported(plans[ri].sources.iter(), |s| delta_has_source(delta, s)) {
                 continue;
             }
             tasks.push(SearchTask {
@@ -893,21 +934,29 @@ fn one_step(
             None
         };
         match chunkable {
-            Some(len) if len >= 2 * OUTER_CHUNK_MIN => {
-                let chunks = nthreads.min(len / OUTER_CHUNK_MIN).max(1);
-                let per = len.div_ceil(chunks);
-                let mut at = 0;
-                while at < len {
-                    let take = per.min(len - at);
+            Some(len) => {
+                // Slice the outermost scan into `(skip, take)` ranges via
+                // the shared runtime (same arithmetic for both engines).
+                // A single-range answer means "don't slice": `outer: None`
+                // keeps the persistent-index fast path available.
+                let ranges = chunk_ranges(len, nthreads, OUTER_CHUNK_MIN);
+                if ranges.len() <= 1 {
                     tasks.push(SearchTask {
                         ri,
-                        outer: Some((at, take)),
+                        outer: None,
                         delta_driven: false,
                     });
-                    at += take;
+                } else {
+                    for (skip, take) in ranges {
+                        tasks.push(SearchTask {
+                            ri,
+                            outer: Some((skip, take)),
+                            delta_driven: false,
+                        });
+                    }
                 }
             }
-            _ => tasks.push(SearchTask {
+            None => tasks.push(SearchTask {
                 ri,
                 outer: None,
                 delta_driven: false,
@@ -915,41 +964,12 @@ fn one_step(
         }
     }
 
+    // The shared worker-pool driver: inline when sequential, else a scoped
+    // pool over an atomic task cursor, results returned in task order.
     let frozen: &Instance = work;
-    let results: Vec<Result<SearchOut>> = if nthreads <= 1 || tasks.len() <= 1 {
-        tasks
-            .iter()
-            .map(|t| run_search_task_caught(t, stage, &plans[t.ri], frozen, cfg, gov, delta_in))
-            .collect()
-    } else {
-        let slots: Vec<std::sync::OnceLock<Result<SearchOut>>> =
-            tasks.iter().map(|_| std::sync::OnceLock::new()).collect();
-        let cursor = std::sync::atomic::AtomicUsize::new(0);
-        let workers = nthreads.min(tasks.len());
-        let plans = &plans;
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(task) = tasks.get(i) else { break };
-                    let out = run_search_task_caught(
-                        task,
-                        stage,
-                        &plans[task.ri],
-                        frozen,
-                        cfg,
-                        gov,
-                        delta_in,
-                    );
-                    let _ = slots[i].set(out);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|s| s.into_inner().expect("worker filled every slot"))
-            .collect()
-    };
+    let results: Vec<Result<SearchOut>> = run_tasks(&tasks, nthreads, |t| {
+        run_search_task_caught(t, stage, &plans[t.ri], frozen, cfg, gov, delta_in)
+    });
 
     // Deterministic merge of the search outputs: fixed rule order (tasks
     // are (rule, chunk)-sorted by construction), then each task's canonical
@@ -1632,30 +1652,64 @@ fn undo_id(binding: &mut IdBinding, trail: &mut Vec<VarName>, mark: usize) {
 /// for understanding evaluation cost (scans vs. hash joins vs. enumeration
 /// fallbacks) and exposed through the `iql explain` CLI subcommand.
 pub fn explain_rule(rule: &Rule) -> Result<String> {
-    use std::fmt::Write;
     let plan = build_plan(rule)?;
-    let mut out = String::new();
-    let _ = writeln!(out, "plan for: {rule}");
-    for (i, op) in plan.iter().enumerate() {
+    let mut out = format!("plan for: {rule}\n");
+    render_ops(&plan, &mut out);
+    Ok(out)
+}
+
+/// Renders the plan the evaluator would execute for `rule` against the
+/// current statistics of `work`: cost-based order and static probe choices
+/// applied, probe indexes ensured — exactly what [`plan_rule`] hands the
+/// executor. Backs the CLI's `run --explain`.
+pub fn explain_rule_planned(rule: &Rule, work: &mut Instance, cfg: &EvalConfig) -> Result<String> {
+    let plan = plan_rule(rule, work, cfg)?;
+    let mut out = format!(
+        "plan for: {rule}{}\n",
+        if plan.reordered { "  [reordered]" } else { "" }
+    );
+    render_ops(&plan.ops, &mut out);
+    Ok(out)
+}
+
+fn render_ops(ops: &[Op<'_>], out: &mut String) {
+    use std::fmt::Write;
+    for (i, op) in ops.iter().enumerate() {
         match op {
-            Op::Scan { set, elem } => {
-                let _ = writeln!(out, "  {i}: scan {set}, match {elem}");
+            Op::Scan {
+                src,
+                pat,
+                probe: Some((attr, key)),
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  {i}: scan {src} via index .{attr}={key}, match {pat}"
+                );
             }
-            Op::EqMatch { src, pattern } => {
-                let _ = writeln!(out, "  {i}: eval {src}, match {pattern}");
+            Op::Scan {
+                src,
+                pat,
+                probe: None,
+            } => {
+                let _ = writeln!(out, "  {i}: scan {src}, match {pat}");
             }
-            Op::Enumerate { var, ty } => {
+            Op::BindEq { src, pat } => {
+                let _ = writeln!(out, "  {i}: eval {src}, match {pat}");
+            }
+            Op::Enumerate { item: (var, ty) } => {
                 let _ = writeln!(
                     out,
                     "  {i}: enumerate {var} over active-domain {ty}  [expensive]"
                 );
             }
-            Op::Filter { lit } => {
-                let _ = writeln!(out, "  {i}: filter {lit}");
+            Op::Filter { guard } => {
+                let _ = writeln!(out, "  {i}: filter {guard}");
+            }
+            Op::NegGuard { guard } => {
+                let _ = writeln!(out, "  {i}: filter {guard}");
             }
         }
     }
-    Ok(out)
 }
 
 /// Computes all valuations `θ` of the body variables with `I ⊨ θ body`,
@@ -1710,7 +1764,11 @@ fn find_valuations_id(
         };
         let mut next: Vec<IdBinding> = Vec::new();
         match op {
-            Op::Scan { set, elem } => {
+            Op::Scan {
+                src: set,
+                pat: elem,
+                probe,
+            } => {
                 // Is this relation/class scan the differentiated position?
                 let restrict = match (set, delta) {
                     (Term::Rel(_) | Term::Class(_), Some((d, at))) => {
@@ -1730,7 +1788,7 @@ fn find_valuations_id(
                         // relation is an error no matter which index (if
                         // any) would serve the scan.
                         let extent = view.relation_ids(*r)?;
-                        let probe = plan.probes[op_idx];
+                        let probe = *probe;
 
                         // Fast path: a full-extent scan whose planner-chosen
                         // probe attribute has a built persistent index on
@@ -1749,7 +1807,7 @@ fn find_valuations_id(
                         if let (Some(index), Some((_, pterm))) = (persistent, probe) {
                             for binding in &frontier {
                                 if let Some(r) = pacer.tick(gov) {
-                                    return Err(r.into_error());
+                                    return Err(r.into());
                                 }
                                 counters.index_hits += 1;
                                 // The probe term is fully bound under every
@@ -1801,7 +1859,7 @@ fn find_valuations_id(
                             let index = build_attr_index_id(&facts, attr, &*ov);
                             for binding in &frontier {
                                 if let Some(r) = pacer.tick(gov) {
-                                    return Err(r.into_error());
+                                    return Err(r.into());
                                 }
                                 counters.index_misses += 1;
                                 let Some(key) = eval_term_id(pterm, binding, view, ov) else {
@@ -1833,7 +1891,7 @@ fn find_valuations_id(
                             BTreeMap::new();
                         for binding in &frontier {
                             if let Some(r) = pacer.tick(gov) {
-                                return Err(r.into_error());
+                                return Err(r.into());
                             }
                             let probe = if cfg.use_index {
                                 find_probe_id(elem, binding, view, ov)
@@ -1863,7 +1921,7 @@ fn find_valuations_id(
                                 None => {
                                     for &fid in &facts {
                                         if let Some(r) = pacer.tick(gov) {
-                                            return Err(r.into_error());
+                                            return Err(r.into());
                                         }
                                         match_term_all_id(
                                             elem,
@@ -1903,7 +1961,7 @@ fn find_valuations_id(
                         for binding in &frontier {
                             for &o in &oids {
                                 if let Some(r) = pacer.tick(gov) {
-                                    return Err(r.into_error());
+                                    return Err(r.into());
                                 }
                                 let vid = ov.oid_id(o);
                                 match_term_all_id(
@@ -1921,7 +1979,7 @@ fn find_valuations_id(
                     _ => {
                         for binding in &frontier {
                             if let Some(r) = pacer.tick(gov) {
-                                return Err(r.into_error());
+                                return Err(r.into());
                             }
                             let Some(sid) = eval_term_id(set, binding, view, ov) else {
                                 continue; // undefined ⇒ unsatisfied
@@ -1945,18 +2003,18 @@ fn find_valuations_id(
                     }
                 }
             }
-            Op::EqMatch { src, pattern } => {
+            Op::BindEq { src, pat } => {
                 for binding in &frontier {
                     if let Some(r) = pacer.tick(gov) {
-                        return Err(r.into_error());
+                        return Err(r.into());
                     }
                     let Some(val) = eval_term_id(src, binding, view, ov) else {
                         continue;
                     };
-                    match_term_all_id(pattern, val, binding, &rule.var_types, view, ov, &mut next);
+                    match_term_all_id(pat, val, binding, &rule.var_types, view, ov, &mut next);
                 }
             }
-            Op::Enumerate { var, ty } => {
+            Op::Enumerate { item: (var, ty) } => {
                 let values = inst.enumerate_type(ty, cfg.enum_budget).map_err(|e| {
                     // Surface the variable whose active-domain enumeration
                     // blew the budget; other model errors pass through.
@@ -1991,12 +2049,16 @@ fn find_valuations_id(
                     }
                 }
             }
-            Op::Filter { lit } => {
+            // Positive guards and negation guards execute identically here
+            // (`literal_satisfied_id` honours the literal's own polarity);
+            // the IR keeps them distinct because negation placement is the
+            // semantically delicate part of planning.
+            Op::Filter { guard } | Op::NegGuard { guard } => {
                 for binding in &frontier {
                     if let Some(r) = pacer.tick(gov) {
-                        return Err(r.into_error());
+                        return Err(r.into());
                     }
-                    if literal_satisfied_id(lit, binding, view, ov) {
+                    if literal_satisfied_id(guard, binding, view, ov) {
                         next.push(binding.clone());
                     }
                 }
@@ -2405,25 +2467,128 @@ mod tests {
         let base = run(&prog, &input, &EvalConfig::default()).unwrap();
         for planner in [true, false] {
             for index in [true, false] {
-                let cfg = EvalConfig::builder().planner(planner).index(index).build();
-                let arm = run(&prog, &input, &cfg).unwrap();
-                assert_eq!(
-                    arm.output.ground_facts(),
-                    base.output.ground_facts(),
-                    "planner={planner} index={index}"
-                );
-                assert_eq!(
-                    arm.full.ground_facts(),
-                    base.full.ground_facts(),
-                    "planner={planner} index={index}"
-                );
-                assert_eq!(
-                    arm.report.counters(),
-                    base.report.counters(),
-                    "planner={planner} index={index}"
-                );
+                for cache in [true, false] {
+                    let cfg = EvalConfig::builder()
+                        .planner(planner)
+                        .index(index)
+                        .plan_cache(cache)
+                        .build();
+                    let arm = run(&prog, &input, &cfg).unwrap();
+                    assert_eq!(
+                        arm.output.ground_facts(),
+                        base.output.ground_facts(),
+                        "planner={planner} index={index} cache={cache}"
+                    );
+                    assert_eq!(
+                        arm.full.ground_facts(),
+                        base.full.ground_facts(),
+                        "planner={planner} index={index} cache={cache}"
+                    );
+                    assert_eq!(
+                        arm.report.counters(),
+                        base.report.counters(),
+                        "planner={planner} index={index} cache={cache}"
+                    );
+                }
             }
         }
+    }
+
+    /// A transitive-closure unit over a chain of `n` edges — enough steps
+    /// for the working instance's statistics to cross several power-of-two
+    /// extent boundaries mid-run.
+    fn chain_unit(n: usize) -> crate::parser::Unit {
+        let mut src = String::from(
+            r#"
+            schema {
+              relation Edge: [src: D, dst: D];
+              relation Tc:  [src: D, dst: D];
+            }
+            program {
+              input Edge;
+              output Tc;
+              Tc(x, y) :- Edge(x, y);
+              Tc(x, z) :- Tc(x, y), Edge(y, z);
+            }
+            instance {
+            "#,
+        );
+        for i in 0..n {
+            src.push_str(&format!("Edge(\"n{i}\", \"n{}\");\n", i + 1));
+        }
+        src.push('}');
+        parse_unit(&src).unwrap()
+    }
+
+    #[test]
+    fn plan_cache_hits_and_replans_on_epoch_bump() {
+        let unit = chain_unit(12);
+        let prog = unit.program.unwrap();
+        let input = unit.instance.unwrap();
+        let nrules = prog.stages[0].rules.len();
+
+        let cached = run(&prog, &input, &EvalConfig::default()).unwrap();
+        // Steady-state steps (no statistics change) reuse the cached plans…
+        assert!(cached.report.plans_cached > 0, "{}", cached.report);
+        // …and the growing Tc extent bumps the epoch at power-of-two
+        // crossings, forcing mid-run re-plans beyond the initial one.
+        assert!(cached.report.plans_fresh > nrules, "{}", cached.report);
+
+        // Cache off: every step plans every rule afresh; same fixpoint,
+        // same semantic counters.
+        let uncached = run(
+            &prog,
+            &input,
+            &EvalConfig::builder().plan_cache(false).build(),
+        )
+        .unwrap();
+        assert_eq!(uncached.report.plans_cached, 0);
+        assert_eq!(
+            uncached.report.plans_fresh,
+            cached.report.plans_fresh + cached.report.plans_cached,
+            "cache hit + miss must add up to the replan-every-step total"
+        );
+        assert_eq!(uncached.output.ground_facts(), cached.output.ground_facts());
+        assert_eq!(uncached.full.ground_facts(), cached.full.ground_facts());
+        assert_eq!(uncached.report.counters(), cached.report.counters());
+
+        // Planner off: same fixpoint again (plans are pure optimization).
+        let unplanned = run(&prog, &input, &EvalConfig::builder().planner(false).build()).unwrap();
+        assert_eq!(
+            unplanned.output.ground_facts(),
+            cached.output.ground_facts()
+        );
+        assert_eq!(unplanned.full.ground_facts(), cached.full.ground_facts());
+    }
+
+    #[test]
+    fn epoch_bump_produces_a_different_plan() {
+        let unit = chain_unit(12);
+        let prog = unit.program.unwrap();
+        let input = unit.instance.unwrap();
+        let cfg = EvalConfig::default();
+        // Tc(x, z) :- Tc(x, y), Edge(y, z);
+        let rule = &prog.stages[0].rules[1];
+
+        // Step-0 statistics: Tc is empty, so scanning it first is already
+        // optimal and the costed plan keeps the textual order.
+        let mut early = Instance::new(Arc::clone(&prog.schema));
+        for r in prog.input.relations() {
+            for v in input.relation(r).unwrap() {
+                early.insert_unchecked(r, v.clone()).unwrap();
+            }
+        }
+        let before = explain_rule_planned(rule, &mut early, &cfg).unwrap();
+        assert!(!before.contains("[reordered]"), "{before}");
+
+        // Fixpoint statistics: Tc (78 pairs) outgrew Edge (12), so the
+        // cost-based plan scans Edge first — the epoch bumps along the way
+        // are what forced the evaluator to pick this up mid-run.
+        let out = run(&prog, &input, &cfg).unwrap();
+        let mut late = out.full.clone();
+        let after = explain_rule_planned(rule, &mut late, &cfg).unwrap();
+        assert!(after.contains("[reordered]"), "{after}");
+        assert_ne!(before, after, "the epoch bump must change the plan");
     }
 
     #[test]

@@ -1,322 +1,41 @@
-//! Resource governance: fuel budgets, deadlines, cancellation, and
-//! graceful degradation.
+//! Resource governance for IQL evaluation — the engine-side layer over the
+//! shared runtime's governor.
 //!
-//! IQL is computationally complete (Theorem 4.2.4), so non-termination and
-//! unbounded oid invention are the language working as specified — the
-//! paper's own `R3(y,z) ← R3(x,y)` example (Section 3.4) invents a fresh
-//! oid per derivation forever. A production evaluator therefore needs a
-//! *governor*: a bundle of resource limits checked cooperatively during
-//! evaluation, cheap enough to leave on and structured so a blown budget
-//! degrades gracefully instead of discarding all work.
+//! The governor itself ([`Governor`], [`Pacer`], [`AbortReason`]) lives in
+//! the shared execution runtime (`iql_exec::govern`), because the Datalog
+//! baseline runs under the identical supervision; this module re-exports
+//! it and adds what is IQL-specific: building a governor from an
+//! [`EvalConfig`], converting trips into [`crate::IqlError`]s, and the
+//! structured [`RunOutcome`] carrying a last-consistent partial
+//! [`EvalOutput`] when a limit trips.
 //!
-//! The design splits limits into two classes:
-//!
-//! * **Deterministic budgets** (steps, facts, invented oids, interned
-//!   store nodes/bytes) are checked at *step boundaries*. Inflationary
-//!   semantics makes every completed step a valid partial answer, so a
-//!   budget trip returns the last consistent snapshot — and because the
-//!   trip point depends only on the program and input, the partial result
-//!   is bit-identical across thread counts.
-//! * **Asynchronous signals** (wall-clock deadline, external cancellation)
-//!   are additionally polled *inside* the per-step valuation search by
-//!   every worker (strided, via [`Pacer`], so the hot path stays cheap).
-//!   A mid-step trip discards the interrupted step's pending derivations
-//!   wholesale: the partial result is again the last *completed* step.
-//!
-//! Worker panics are a third failure mode: each search task runs under
-//! `catch_unwind`, so a panicking rule surfaces as
-//! [`AbortReason::WorkerPanic`] with its rule index while the other rules'
-//! derivations — and the scoped worker pool — survive.
-//!
-//! [`crate::eval::run_governed`] returns these outcomes as
-//! [`RunOutcome::Aborted`]; the legacy [`crate::eval::run`] maps them back
-//! to hard [`crate::IqlError`]s for callers that want all-or-nothing
-//! semantics.
+//! See the shared module's documentation for the budget/deadline design;
+//! in short, deterministic budgets are checked at step boundaries (so
+//! partial results are bit-identical across thread counts) and
+//! asynchronous signals are polled mid-search through a strided [`Pacer`].
 
-use crate::error::IqlError;
 use crate::eval::{EvalConfig, EvalOutput, EvalReport};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Why a governed evaluation stopped early.
-///
-/// `Copy + Eq` so it can ride inside statistics structs and be matched in
-/// tests; [`AbortReason::exit_code`] gives each reason a distinct process
-/// exit code for scripting around the CLI.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum AbortReason {
-    /// The per-stage inflationary step (or Datalog round) limit.
-    StepLimit {
-        /// The configured limit.
-        limit: usize,
-    },
-    /// The total ground-fact budget.
-    FactBudget {
-        /// The configured limit.
-        limit: usize,
-    },
-    /// The invented-oid budget.
-    OidBudget {
-        /// The configured limit.
-        limit: usize,
-    },
-    /// The interned-value-store node high-water mark.
-    StoreBudget {
-        /// The configured limit (nodes).
-        limit: usize,
-    },
-    /// The interned-value-store byte high-water mark.
-    MemoryBudget {
-        /// The configured limit (approximate heap bytes).
-        limit: usize,
-    },
-    /// The wall-clock deadline passed.
-    Deadline,
-    /// The external cancellation token was flipped (e.g. Ctrl-C).
-    Cancelled,
-    /// A worker panicked while evaluating a rule.
-    WorkerPanic {
-        /// Index of the rule whose task panicked.
-        rule: usize,
-    },
-}
+pub use iql_exec::govern::{AbortReason, Governor, Pacer};
 
-impl AbortReason {
-    /// A distinct process exit code per reason, for scripting around the
-    /// CLI: `124` for deadline (the `timeout(1)` convention), `130` for
-    /// cancellation (`128 + SIGINT`), `101` for a contained panic (the
-    /// code an *uncontained* Rust panic would have produced), and
-    /// `102..=106` for the deterministic budgets.
-    pub fn exit_code(&self) -> u8 {
-        match self {
-            AbortReason::WorkerPanic { .. } => 101,
-            AbortReason::StepLimit { .. } => 102,
-            AbortReason::FactBudget { .. } => 103,
-            AbortReason::OidBudget { .. } => 104,
-            AbortReason::StoreBudget { .. } => 105,
-            AbortReason::MemoryBudget { .. } => 106,
-            AbortReason::Deadline => 124,
-            AbortReason::Cancelled => 130,
-        }
+/// Resolves an [`EvalConfig`]'s limits into a [`Governor`], starting the
+/// deadline clock *now*.
+pub fn governor_from_config(cfg: &EvalConfig) -> Governor {
+    let mut gov = Governor::unlimited();
+    gov.max_steps = cfg.max_steps;
+    gov.max_facts = cfg.max_facts;
+    gov.max_oids = cfg.max_oids;
+    gov.max_store_nodes = cfg.max_store_nodes;
+    gov.max_store_bytes = cfg.max_store_bytes;
+    if let Some(d) = cfg.deadline {
+        gov = gov.with_deadline(d);
     }
-
-    /// The hard-error twin of this reason, for all-or-nothing callers
-    /// ([`crate::eval::run`]) and for crossing worker boundaries inside
-    /// the evaluator.
-    pub fn into_error(self) -> IqlError {
-        match self {
-            AbortReason::StepLimit { limit } => IqlError::StepLimit { limit },
-            AbortReason::FactBudget { limit } => IqlError::FactBudget { limit },
-            AbortReason::OidBudget { limit } => IqlError::OidBudget { limit },
-            AbortReason::StoreBudget { limit } => IqlError::StoreBudget { limit },
-            AbortReason::MemoryBudget { limit } => IqlError::MemoryBudget { limit },
-            AbortReason::Deadline => IqlError::Deadline,
-            AbortReason::Cancelled => IqlError::Cancelled,
-            AbortReason::WorkerPanic { rule } => IqlError::WorkerPanic { rule },
-        }
+    if let Some(token) = &cfg.cancel_token {
+        gov = gov.with_cancel_token(Arc::clone(token));
     }
-}
-
-impl std::fmt::Display for AbortReason {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            AbortReason::StepLimit { limit } => write!(f, "step limit of {limit} exceeded"),
-            AbortReason::FactBudget { limit } => write!(f, "fact budget of {limit} exceeded"),
-            AbortReason::OidBudget { limit } => {
-                write!(f, "invented-oid budget of {limit} exceeded")
-            }
-            AbortReason::StoreBudget { limit } => {
-                write!(f, "value-store budget of {limit} nodes exceeded")
-            }
-            AbortReason::MemoryBudget { limit } => {
-                write!(f, "memory budget of {limit} bytes exceeded")
-            }
-            AbortReason::Deadline => write!(f, "wall-clock deadline exceeded"),
-            AbortReason::Cancelled => write!(f, "evaluation cancelled"),
-            AbortReason::WorkerPanic { rule } => {
-                write!(f, "worker evaluating rule {rule} panicked")
-            }
-        }
-    }
-}
-
-/// The shared resource governor: every limit an evaluation runs under,
-/// resolved to absolute terms (the deadline is an [`Instant`], not a
-/// duration) at construction — i.e. at evaluation start.
-///
-/// Both engines consult the same governor type: the IQL evaluator builds
-/// one from its [`EvalConfig`] ([`Governor::from_config`]), the Datalog
-/// engine takes one directly (`iql_datalog::eval_governed`).
-#[derive(Debug, Clone)]
-pub struct Governor {
-    /// Inflationary steps per stage / Datalog rounds per fixpoint.
-    pub max_steps: usize,
-    /// Total ground facts (or Datalog tuples) in the working instance.
-    pub max_facts: usize,
-    /// Invented oids over the whole run (IQL only).
-    pub max_oids: Option<usize>,
-    /// Interned nodes in the working instance's `ValueStore`.
-    pub max_store_nodes: Option<usize>,
-    /// Approximate heap bytes retained by the `ValueStore`.
-    pub max_store_bytes: Option<usize>,
-    deadline: Option<Instant>,
-    cancel: Option<Arc<AtomicBool>>,
-    started: Instant,
-    /// Pre-computed: does any *asynchronous* signal (deadline/cancel) need
-    /// polling inside the search? One bool load keeps the ungoverned hot
-    /// path at effectively zero cost.
-    reactive: bool,
-}
-
-impl Governor {
-    /// A governor with no deadline, no cancellation, and effectively
-    /// unlimited budgets.
-    pub fn unlimited() -> Governor {
-        Governor {
-            max_steps: usize::MAX,
-            max_facts: usize::MAX,
-            max_oids: None,
-            max_store_nodes: None,
-            max_store_bytes: None,
-            deadline: None,
-            cancel: None,
-            started: Instant::now(),
-            reactive: false,
-        }
-    }
-
-    /// Resolves an [`EvalConfig`]'s limits into a governor, starting the
-    /// deadline clock *now*.
-    pub fn from_config(cfg: &EvalConfig) -> Governor {
-        let started = Instant::now();
-        let deadline = cfg.deadline.map(|d| started + d);
-        let cancel = cfg.cancel_token.clone();
-        Governor {
-            max_steps: cfg.max_steps,
-            max_facts: cfg.max_facts,
-            max_oids: cfg.max_oids,
-            max_store_nodes: cfg.max_store_nodes,
-            max_store_bytes: cfg.max_store_bytes,
-            reactive: deadline.is_some() || cancel.is_some(),
-            deadline,
-            cancel,
-            started,
-        }
-    }
-
-    /// Sets a wall-clock deadline `d` from now (builder style).
-    pub fn with_deadline(mut self, d: Duration) -> Governor {
-        self.deadline = Some(self.started + d);
-        self.reactive = true;
-        self
-    }
-
-    /// Attaches an external cancellation token (builder style). Flipping
-    /// the token to `true` stops evaluation at the next poll point.
-    pub fn with_cancel_token(mut self, token: Arc<AtomicBool>) -> Governor {
-        self.cancel = Some(token);
-        self.reactive = true;
-        self
-    }
-
-    /// Caps the step/round count (builder style).
-    pub fn with_max_steps(mut self, n: usize) -> Governor {
-        self.max_steps = n;
-        self
-    }
-
-    /// Caps the total fact count (builder style).
-    pub fn with_max_facts(mut self, n: usize) -> Governor {
-        self.max_facts = n;
-        self
-    }
-
-    /// Does this governor carry an asynchronous signal (deadline or
-    /// cancellation) that workers must poll mid-step?
-    #[inline]
-    pub fn reactive(&self) -> bool {
-        self.reactive
-    }
-
-    /// Time since the governor (hence the evaluation) started.
-    pub fn elapsed(&self) -> Duration {
-        self.started.elapsed()
-    }
-
-    /// Polls the asynchronous signals only: cancellation first (an
-    /// explicit user action outranks a timer), then the deadline. The
-    /// deterministic budgets are *not* checked here — they are enforced at
-    /// step boundaries by the evaluation drivers.
-    #[inline]
-    pub fn trip_async(&self) -> Option<AbortReason> {
-        if !self.reactive {
-            return None;
-        }
-        if let Some(token) = &self.cancel {
-            if token.load(Ordering::Relaxed) {
-                return Some(AbortReason::Cancelled);
-            }
-        }
-        if let Some(deadline) = self.deadline {
-            if Instant::now() >= deadline {
-                return Some(AbortReason::Deadline);
-            }
-        }
-        None
-    }
-}
-
-impl Default for Governor {
-    fn default() -> Governor {
-        Governor::unlimited()
-    }
-}
-
-/// A strided poll counter for [`Governor::trip_async`]: calling
-/// [`Pacer::tick`] on every unit of inner-loop work polls the clock (a
-/// syscall on some platforms) only once per [`Pacer::STRIDE`] ticks, which
-/// keeps governed search within noise of ungoverned search.
-///
-/// The pacer snapshots [`Governor::reactive`] at construction, so the
-/// ungoverned hot path is a branch on a pacer-local bool — the optimizer
-/// keeps it in a register instead of re-loading through the governor
-/// reference on every inner-loop iteration. Reactivity is fixed for a
-/// governor's lifetime (set by `with_deadline`/`with_cancel_token` before
-/// evaluation starts), so the snapshot cannot go stale.
-#[derive(Debug)]
-pub struct Pacer {
-    countdown: u32,
-    reactive: bool,
-}
-
-impl Pacer {
-    /// Ticks between actual polls.
-    pub const STRIDE: u32 = 1024;
-
-    /// A fresh pacer for `gov` (polls on its `STRIDE`-th tick).
-    pub fn new(gov: &Governor) -> Pacer {
-        Pacer {
-            countdown: Self::STRIDE,
-            reactive: gov.reactive(),
-        }
-    }
-
-    /// Counts one unit of work; on every `STRIDE`-th call, polls the
-    /// governor's asynchronous signals. For non-reactive governors this is
-    /// a single branch on a local bool.
-    #[inline]
-    pub fn tick(&mut self, gov: &Governor) -> Option<AbortReason> {
-        if !self.reactive {
-            return None;
-        }
-        self.countdown -= 1;
-        if self.countdown != 0 {
-            return None;
-        }
-        self.countdown = Self::STRIDE;
-        gov.trip_async()
-    }
+    gov
 }
 
 /// A governed evaluation that stopped early, carrying the last consistent
@@ -372,7 +91,7 @@ impl RunOutcome {
     pub fn into_result(self) -> crate::error::Result<EvalOutput> {
         match self {
             RunOutcome::Complete(out) => Ok(*out),
-            RunOutcome::Aborted(a) => Err(a.reason.into_error()),
+            RunOutcome::Aborted(a) => Err(a.reason.into()),
         }
     }
 }
@@ -380,75 +99,43 @@ impl RunOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::IqlError;
 
     #[test]
-    fn unlimited_governor_is_not_reactive_and_never_trips() {
-        let gov = Governor::unlimited();
-        assert!(!gov.reactive());
-        assert_eq!(gov.trip_async(), None);
-        let mut pacer = Pacer::new(&gov);
-        for _ in 0..10_000 {
-            assert_eq!(pacer.tick(&gov), None);
-        }
+    fn config_limits_resolve_into_the_governor() {
+        let cfg = EvalConfig::builder()
+            .max_steps(7)
+            .max_facts(11)
+            .max_oids(13)
+            .build();
+        let gov = governor_from_config(&cfg);
+        assert_eq!(gov.max_steps, 7);
+        assert_eq!(gov.max_facts, 11);
+        assert_eq!(gov.max_oids, Some(13));
+        assert!(!gov.reactive(), "budgets alone need no mid-step polling");
+        let reactive = governor_from_config(
+            &EvalConfig::builder()
+                .deadline(Duration::from_secs(1))
+                .build(),
+        );
+        assert!(reactive.reactive());
     }
 
     #[test]
-    fn cancel_token_trips_before_deadline() {
-        let token = Arc::new(AtomicBool::new(false));
-        let gov = Governor::unlimited()
-            .with_deadline(Duration::ZERO)
-            .with_cancel_token(Arc::clone(&token));
-        token.store(true, Ordering::Relaxed);
-        // Both signals are hot; cancellation outranks the timer.
-        assert_eq!(gov.trip_async(), Some(AbortReason::Cancelled));
-    }
-
-    #[test]
-    fn deadline_trips_once_passed() {
-        let gov = Governor::unlimited().with_deadline(Duration::ZERO);
-        assert!(gov.reactive());
-        assert_eq!(gov.trip_async(), Some(AbortReason::Deadline));
-    }
-
-    #[test]
-    fn pacer_polls_on_stride_boundaries() {
-        let gov = Governor::unlimited().with_deadline(Duration::ZERO);
-        let mut pacer = Pacer::new(&gov);
-        let mut polls = 0;
-        for _ in 0..(Pacer::STRIDE * 3) {
-            if pacer.tick(&gov).is_some() {
-                polls += 1;
-            }
-        }
-        assert_eq!(polls, 3, "one poll per stride");
-    }
-
-    #[test]
-    fn exit_codes_are_distinct() {
-        let reasons = [
-            AbortReason::StepLimit { limit: 1 },
-            AbortReason::FactBudget { limit: 1 },
-            AbortReason::OidBudget { limit: 1 },
-            AbortReason::StoreBudget { limit: 1 },
-            AbortReason::MemoryBudget { limit: 1 },
-            AbortReason::Deadline,
-            AbortReason::Cancelled,
-            AbortReason::WorkerPanic { rule: 0 },
-        ];
-        let codes: std::collections::BTreeSet<u8> =
-            reasons.iter().map(AbortReason::exit_code).collect();
-        assert_eq!(codes.len(), reasons.len());
-    }
-
-    #[test]
-    fn reasons_render_and_convert() {
-        for r in [
-            AbortReason::StepLimit { limit: 7 },
-            AbortReason::Deadline,
-            AbortReason::WorkerPanic { rule: 3 },
+    fn reasons_convert_to_errors() {
+        for (reason, want) in [
+            (
+                AbortReason::StepLimit { limit: 7 },
+                IqlError::StepLimit { limit: 7 },
+            ),
+            (AbortReason::Deadline, IqlError::Deadline),
+            (
+                AbortReason::WorkerPanic { rule: 3 },
+                IqlError::WorkerPanic { rule: 3 },
+            ),
         ] {
-            assert!(!r.to_string().is_empty());
-            assert!(!r.into_error().to_string().is_empty());
+            assert_eq!(IqlError::from(reason), want);
+            assert!(!IqlError::from(reason).to_string().is_empty());
         }
     }
 }

@@ -1,4 +1,5 @@
-//! Cost-based join planning for rule bodies.
+//! Cost-based join planning for rule bodies, lowering to the shared
+//! physical-plan IR.
 //!
 //! The evaluator originally executed body literals in *textual* order (the
 //! syntactic plan of [`build_plan`], still the fallback and the ablation
@@ -8,33 +9,53 @@
 //! statically chosen probe attribute backed by the instance's persistent
 //! secondary indexes ([`iql_model::RelIndexes`]).
 //!
+//! Plans are programs of [`iql_exec::PhysOp`] operators instantiated at
+//! [`IqlLang`] — the execution runtime owns the operator vocabulary and its
+//! invariants, this module owns what the operands *mean* in IQL (terms,
+//! literals, attribute probes) and how a rule body lowers into them. Probe
+//! selection goes through the runtime's one shared policy
+//! ([`iql_exec::choose_probe`]) over the instance's [`iql_exec::Storage`]
+//! statistics view.
+//!
 //! The planner is a **pure optimization**: it never changes the set of
 //! valuations a body produces (conjunction is order-independent, and every
-//! positive relation/class member stays a [`Op::Scan`] so semi-naive delta
-//! positions keep covering all supporting facts), and the evaluator's merge
-//! phase canonicalizes fire order wherever order is observable (oid
-//! invention, deletions) — see DESIGN.md, "Query planning and indexes".
-//! Plans that would need an active-domain enumeration fall back to the
-//! syntactic order wholesale, so `enum_fallbacks` counters are identical
-//! with the planner on or off.
+//! positive relation/class member stays a [`PhysOp::Scan`] so semi-naive
+//! delta positions keep covering all supporting facts), and the evaluator's
+//! merge phase canonicalizes fire order wherever order is observable (oid
+//! invention, deletions) — see DESIGN.md, "Execution runtime". Plans that
+//! would need an active-domain enumeration fall back to the syntactic order
+//! wholesale, so `enum_fallbacks` counters are identical with the planner
+//! on or off.
+//!
+//! A [`RulePlan`] borrows only the *rule*, never the instance: planning
+//! reads (and, for probe candidates, ensures) the instance's indexes
+//! transiently, so a built plan stays valid across steps and is cached by
+//! the evaluator keyed on the instance's statistics epoch
+//! ([`iql_model::Instance::stats_epoch`]).
 
 use crate::ast::{Literal, Rule, Term, VarName};
 use crate::error::{IqlError, Result};
 use crate::eval::EvalConfig;
+use iql_exec::{choose_probe, PhysOp, PlanLang};
 use iql_model::{AttrName, ClassName, Instance, RelName, TypeExpr};
 use std::collections::BTreeSet;
+use std::marker::PhantomData;
+
+/// The IQL instantiation of the shared plan IR: scan sources and match
+/// patterns are terms borrowed from the rule, probes pair an indexed
+/// attribute with the term producing the key, and guards are body literals.
+pub(crate) struct IqlLang<'a>(PhantomData<&'a ()>);
+
+impl<'a> PlanLang for IqlLang<'a> {
+    type Src = &'a Term;
+    type Pat = &'a Term;
+    type Col = (AttrName, &'a Term);
+    type Guard = &'a Literal;
+    type Enum = (VarName, TypeExpr);
+}
 
 /// An execution plan step for one rule body.
-pub(crate) enum Op<'a> {
-    /// Iterate the set denoted by `set`, matching `elem` (binds variables).
-    Scan { set: &'a Term, elem: &'a Term },
-    /// Evaluate `src` and match `pattern` against it (binds variables).
-    EqMatch { src: &'a Term, pattern: &'a Term },
-    /// Enumerate a variable's type over the active domain.
-    Enumerate { var: VarName, ty: TypeExpr },
-    /// Filter: all variables bound.
-    Filter { lit: &'a Literal },
-}
+pub(crate) type Op<'a> = PhysOp<IqlLang<'a>>;
 
 /// The source a relation/class scan draws from — what a semi-naive delta
 /// position restricts, and what the empty-delta early exit inspects.
@@ -44,19 +65,19 @@ pub(crate) enum PlanSource {
     Class(ClassName),
 }
 
-/// A fully prepared per-rule plan, built once per step and shared by every
-/// search task of the rule.
+/// A fully prepared per-rule plan, shared by every search task of the rule.
+/// Borrows the rule only (not the instance), so the evaluator may reuse it
+/// across steps while the statistics epoch stands still.
 pub(crate) struct RulePlan<'a> {
     /// Ordered body ops (cost-based when the planner is on, textual else).
+    /// Scan probes are statically chosen: the attribute to look up in the
+    /// relation's persistent index and the term producing the key — absent
+    /// for scans with no fully-bound tuple field and whenever the planner
+    /// or indexing is disabled.
     pub ops: Vec<Op<'a>>,
-    /// Per-op statically chosen probe: the attribute to look up in the
-    /// relation's persistent index and the term producing the key. `None`
-    /// for non-scans, for scans with no fully-bound tuple field, and
-    /// whenever the planner or indexing is disabled.
-    pub probes: Vec<Option<(AttrName, &'a Term)>>,
     /// Did cost-based ordering change anything vs. the syntactic plan?
     pub reordered: bool,
-    /// Number of `Op::Enumerate` fallbacks in the plan.
+    /// Number of [`PhysOp::Enumerate`] fallbacks in the plan.
     pub enum_fallbacks: usize,
     /// Relation/class scans in op order — the semi-naive delta positions.
     pub sources: Vec<PlanSource>,
@@ -84,10 +105,10 @@ fn lit_bound(lit: &Literal, bound: &BTreeSet<VarName>) -> bool {
 
 /// Builds the *syntactic* execution plan for a rule body: orders literals so
 /// variables are bound before use, preferring textual order among joins
-/// sharing the most bound variables, inserting [`Op::Enumerate`] fallbacks
-/// where no positive literal can bind a variable (the paper's active-domain
-/// valuation semantics). This is the planner-off baseline and what
-/// `explain` renders.
+/// sharing the most bound variables, inserting [`PhysOp::Enumerate`]
+/// fallbacks where no positive literal can bind a variable (the paper's
+/// active-domain valuation semantics). This is the planner-off baseline and
+/// what `explain` renders.
 pub(crate) fn build_plan(rule: &Rule) -> Result<Vec<Op<'_>>> {
     let mut remaining: Vec<&Literal> = rule.body.iter().collect();
     let mut bound: BTreeSet<VarName> = BTreeSet::new();
@@ -170,7 +191,7 @@ pub(crate) fn build_plan(rule: &Rule) -> Result<Vec<Op<'_>>> {
                     .cloned()
                     .ok_or_else(|| IqlError::Invalid(format!("untyped variable {var}")))?;
                 bound.insert(var.clone());
-                plan.push(Op::Enumerate { var, ty });
+                plan.push(Op::Enumerate { item: (var, ty) });
             }
         }
     }
@@ -180,8 +201,10 @@ pub(crate) fn build_plan(rule: &Rule) -> Result<Vec<Op<'_>>> {
 
 /// Appends a picked literal to the plan as the op its bound-state calls for,
 /// extending `bound` with whatever the op binds. Positive members always
-/// become [`Op::Scan`]s — never filters — so every supporting fact stays
-/// coverable by a semi-naive delta position.
+/// become [`PhysOp::Scan`]s — never guards — so every supporting fact stays
+/// coverable by a semi-naive delta position; negated literals become
+/// [`PhysOp::NegGuard`]s, everything else fully bound (`choose`) a
+/// [`PhysOp::Filter`].
 fn push_picked<'a>(lit: &'a Literal, bound: &mut BTreeSet<VarName>, plan: &mut Vec<Op<'a>>) {
     match lit {
         Literal::Member {
@@ -191,22 +214,32 @@ fn push_picked<'a>(lit: &'a Literal, bound: &mut BTreeSet<VarName>, plan: &mut V
         } => {
             set.vars(bound);
             elem.vars(bound);
-            plan.push(Op::Scan { set, elem });
+            plan.push(Op::Scan {
+                src: set,
+                pat: elem,
+                probe: None,
+            });
         }
         Literal::Eq {
             left,
             right,
             positive: true,
         } => {
-            let (src, pattern) = if term_bound(left, bound) {
+            let (src, pat) = if term_bound(left, bound) {
                 (left, right)
             } else {
                 (right, left)
             };
-            pattern.vars(bound);
-            plan.push(Op::EqMatch { src, pattern });
+            pat.vars(bound);
+            plan.push(Op::BindEq { src, pat });
         }
-        other => plan.push(Op::Filter { lit: other }),
+        neg @ (Literal::Member {
+            positive: false, ..
+        }
+        | Literal::Eq {
+            positive: false, ..
+        }) => plan.push(Op::NegGuard { guard: neg }),
+        other => plan.push(Op::Filter { guard: other }),
     }
 }
 
@@ -297,7 +330,7 @@ fn member_cost(
     }
 }
 
-/// Builds the cost-based plan: filters as soon as they are fully bound,
+/// Builds the cost-based plan: guards as soon as they are fully bound,
 /// equalities as soon as one side is evaluable, and otherwise the cheapest
 /// evaluable positive member by estimated candidate count (ties broken by
 /// textual order, keeping the reordering deterministic and minimal).
@@ -342,84 +375,80 @@ fn build_plan_costed<'a>(
 }
 
 /// Do two plans execute the same ops in the same order? Ops reference the
-/// rule's own literals, so pointer identity is exact.
+/// rule's own literals, so pointer identity is exact. (Called before probe
+/// selection; probes never differ between equal orders.)
 fn same_order(a: &[Op], b: &[Op]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b.iter()).all(|(x, y)| match (x, y) {
-            (Op::Scan { set: s1, elem: e1 }, Op::Scan { set: s2, elem: e2 }) => {
-                std::ptr::eq(*s1, *s2) && std::ptr::eq(*e1, *e2)
-            }
             (
-                Op::EqMatch {
-                    src: s1,
-                    pattern: p1,
+                Op::Scan {
+                    src: s1, pat: p1, ..
                 },
-                Op::EqMatch {
-                    src: s2,
-                    pattern: p2,
+                Op::Scan {
+                    src: s2, pat: p2, ..
                 },
             ) => std::ptr::eq(*s1, *s2) && std::ptr::eq(*p1, *p2),
-            (Op::Filter { lit: l1 }, Op::Filter { lit: l2 }) => std::ptr::eq(*l1, *l2),
+            (Op::BindEq { src: s1, pat: p1 }, Op::BindEq { src: s2, pat: p2 }) => {
+                std::ptr::eq(*s1, *s2) && std::ptr::eq(*p1, *p2)
+            }
+            (Op::Filter { guard: g1 }, Op::Filter { guard: g2 })
+            | (Op::NegGuard { guard: g1 }, Op::NegGuard { guard: g2 }) => std::ptr::eq(*g1, *g2),
             _ => false,
         })
 }
 
 /// Statically chooses a probe attribute per scan: among the tuple fields
-/// whose terms are fully bound by the plan prefix, the one with the most
-/// distinct values (ensured into the persistent indexes, so the executor
-/// can probe instead of rebuilding a map per step).
-fn choose_probes<'a>(
-    ops: &[Op<'a>],
-    work: &mut Instance,
-    cfg: &EvalConfig,
-) -> Vec<Option<(AttrName, &'a Term)>> {
+/// whose terms are fully bound by the plan prefix, the most selective per
+/// the runtime's shared policy ([`iql_exec::choose_probe`]) — candidates
+/// are ensured into the persistent indexes first, so a built index backs
+/// every statistic the choice reads and the executor can probe instead of
+/// rebuilding a map per step.
+fn choose_probes(ops: &mut [Op<'_>], work: &mut Instance, cfg: &EvalConfig) {
     if !(cfg.use_planner && cfg.use_index) {
-        return ops.iter().map(|_| None).collect();
+        return;
     }
     let mut bound: BTreeSet<VarName> = BTreeSet::new();
-    let mut probes = Vec::with_capacity(ops.len());
-    for op in ops {
-        let probe = match op {
-            Op::Scan {
-                set: Term::Rel(r),
-                elem: Term::Tuple(fields),
-            } => {
-                let mut best: Option<(usize, AttrName, &'a Term)> = None;
-                for (attr, t) in fields.iter() {
-                    if term_bound(t, &bound) {
-                        work.ensure_rel_index(*r, *attr);
-                        let distinct = work.stats().attr_distinct(*r, *attr).unwrap_or(0);
-                        // Strict > keeps the first (attr-ordered) winner.
-                        if best.is_none_or(|(d, _, _)| distinct > d) {
-                            best = Some((distinct, *attr, t));
-                        }
-                    }
-                }
-                best.map(|(_, a, t)| (a, t))
+    for op in ops.iter_mut() {
+        if let Op::Scan {
+            src: Term::Rel(r),
+            pat: Term::Tuple(fields),
+            probe,
+        } = op
+        {
+            // Candidates in attribute order: the shared policy keeps the
+            // earliest on ties, so the choice is deterministic.
+            let candidates: Vec<(AttrName, &Term)> = fields
+                .iter()
+                .filter(|(_, t)| term_bound(t, &bound))
+                .map(|(attr, t)| (*attr, t))
+                .collect();
+            for (attr, _) in &candidates {
+                work.ensure_rel_index(*r, *attr);
             }
-            _ => None,
-        };
-        probes.push(probe);
+            let chosen = choose_probe(&work.stats(), *r, candidates.iter().map(|(a, _)| *a));
+            *probe = chosen.and_then(|attr| candidates.iter().find(|(a, _)| *a == attr).copied());
+        }
         match op {
-            Op::Scan { set, elem } => {
-                set.vars(&mut bound);
-                elem.vars(&mut bound);
+            Op::Scan { src, pat, .. } => {
+                src.vars(&mut bound);
+                pat.vars(&mut bound);
             }
-            Op::EqMatch { pattern, .. } => pattern.vars(&mut bound),
-            Op::Enumerate { var, .. } => {
+            Op::BindEq { pat, .. } => pat.vars(&mut bound),
+            Op::Enumerate { item: (var, _) } => {
                 bound.insert(var.clone());
             }
-            Op::Filter { .. } => {}
+            Op::Filter { .. } | Op::NegGuard { .. } => {}
         }
     }
-    probes
 }
 
-/// Builds the plan one rule executes this step: syntactic order, replaced by
-/// the cost-based order when the planner is on and both orders are
+/// Builds the plan one rule executes: syntactic order, replaced by the
+/// cost-based order when the planner is on and both orders are
 /// enumeration-free (so the `enum_fallbacks` counter cannot drift between
 /// the ablation arms), plus static probe choices over ensured persistent
-/// indexes.
+/// indexes. The plan borrows the rule only — the instance is consulted (and
+/// its indexes ensured) transiently, so the result stays valid until the
+/// statistics epoch moves.
 pub(crate) fn plan_rule<'a>(
     rule: &'a Rule,
     work: &mut Instance,
@@ -430,7 +459,7 @@ pub(crate) fn plan_rule<'a>(
         .iter()
         .filter(|op| matches!(op, Op::Enumerate { .. }))
         .count();
-    let (ops, reordered) = if cfg.use_planner && enum_fallbacks == 0 {
+    let (mut ops, reordered) = if cfg.use_planner && enum_fallbacks == 0 {
         match build_plan_costed(rule, work, cfg) {
             Some(costed) => {
                 let reordered = !same_order(&costed, &syntactic);
@@ -441,15 +470,15 @@ pub(crate) fn plan_rule<'a>(
     } else {
         (syntactic, false)
     };
-    let probes = choose_probes(&ops, work, cfg);
+    choose_probes(&mut ops, work, cfg);
     let sources = ops
         .iter()
         .filter_map(|op| match op {
             Op::Scan {
-                set: Term::Rel(r), ..
+                src: Term::Rel(r), ..
             } => Some(PlanSource::Rel(*r)),
             Op::Scan {
-                set: Term::Class(p),
+                src: Term::Class(p),
                 ..
             } => Some(PlanSource::Class(*p)),
             _ => None,
@@ -457,7 +486,6 @@ pub(crate) fn plan_rule<'a>(
         .collect();
     Ok(RulePlan {
         ops,
-        probes,
         reordered,
         enum_fallbacks,
         sources,

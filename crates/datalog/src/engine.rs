@@ -22,10 +22,13 @@
 //! conversion happens once at entry and once at exit.
 
 use crate::ast::{Atom, Database, DlTerm, Program, Rule, Tuple};
-use crate::interned::{CId, ConstPool, IdDatabase, IdRelation, IdTuple};
+use crate::interned::{CId, ConstPool, DbStats, IdDatabase, IdRelation, IdTuple};
 use crate::stratify::stratify;
 use crate::{DlError, Result};
 use iql_core::govern::{AbortReason, Governor, Pacer};
+use iql_exec::{
+    choose_probe, effective_threads, rule_delta_supported, run_tasks, PhysOp, PlanLang,
+};
 use iql_model::Constant;
 use std::collections::{BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -108,9 +111,32 @@ struct CAtom<'r> {
     args: Vec<ArgSpec>,
 }
 
+/// The Datalog instantiation of the shared physical-plan IR
+/// ([`iql_exec::PlanLang`]): scan sources and match patterns are indices
+/// into the rule's positive-atom list, guards are indices into its
+/// negative-atom list, probe descriptors are tuple columns. The static
+/// plan leaves every probe unresolved (`None`): relation statistics change
+/// each round as tuples accrete, so the executor resolves each scan's
+/// probe column against live statistics through
+/// [`iql_exec::choose_probe`] — unlike IQL, whose plans are epoch-cached
+/// with probes resolved at plan time.
+struct DlLang;
+
+impl PlanLang for DlLang {
+    type Src = usize;
+    type Pat = usize;
+    type Col = usize;
+    type Guard = usize;
+    type Enum = std::convert::Infallible;
+}
+
+/// A Datalog physical operator.
+type DlOp = PhysOp<DlLang>;
+
 /// A rule compiled against a [`ConstPool`]: variables renamed to dense
 /// slots (the substitution is a flat `Vec<Option<CId>>`, not a string-keyed
-/// map), constants interned, positives/negatives pre-split.
+/// map), constants interned, positives/negatives pre-split, and the body
+/// lowered once onto the shared physical-plan IR.
 struct CompiledRule<'r> {
     head_rel: &'r str,
     head: Vec<ArgSpec>,
@@ -119,6 +145,17 @@ struct CompiledRule<'r> {
     positives: Vec<(usize, CAtom<'r>)>,
     negatives: Vec<CAtom<'r>>,
     nslots: usize,
+    /// The lowered plan the executor walks: one [`PhysOp::Scan`] per
+    /// positive atom in body order (each keeps its semi-naive delta
+    /// position), then one [`PhysOp::NegGuard`] per negative atom (safety
+    /// bounds their variables only once every positive has matched).
+    ops: Vec<DlOp>,
+    /// Probe-candidate columns of each positive atom: the argument
+    /// positions holding a constant or a variable bound by an earlier
+    /// atom, in ascending column order. A static property of the atom
+    /// order, computed once here; the executor ranks them against live
+    /// statistics per round.
+    probe_cands: Vec<Vec<usize>>,
 }
 
 fn compile_atom<'r>(
@@ -145,27 +182,72 @@ fn compile_atom<'r>(
 
 fn compile_rule<'r>(rule: &'r Rule, pool: &mut ConstPool) -> CompiledRule<'r> {
     let mut slots: HashMap<&str, u32> = HashMap::new();
-    let positives = rule
+    let positives: Vec<(usize, CAtom<'r>)> = rule
         .body
         .iter()
         .enumerate()
         .filter(|(_, l)| l.positive)
         .map(|(i, l)| (i, compile_atom(&l.atom, pool, &mut slots)))
         .collect();
-    let negatives = rule
+    let negatives: Vec<CAtom<'r>> = rule
         .body
         .iter()
         .filter(|l| !l.positive)
         .map(|l| compile_atom(&l.atom, pool, &mut slots))
         .collect();
     let head = compile_atom(&rule.head, pool, &mut slots);
+    let nslots = slots.len();
+    let (ops, probe_cands) = lower_body(&positives, &negatives, nslots);
     CompiledRule {
         head_rel: head.rel,
         head: head.args,
         positives,
         negatives,
-        nslots: slots.len(),
+        nslots,
+        ops,
+        probe_cands,
     }
+}
+
+/// Lowers a compiled body onto the shared IR: scans in body order, then
+/// negation guards. Alongside the plan, precomputes each scan's probe
+/// candidates — the columns whose argument is a constant or a variable
+/// bound by an earlier atom, exactly what [`ensure_probe_indexes`] builds
+/// indexes for and [`iql_exec::choose_probe`] ranks at execution time.
+fn lower_body(
+    positives: &[(usize, CAtom<'_>)],
+    negatives: &[CAtom<'_>],
+    nslots: usize,
+) -> (Vec<DlOp>, Vec<Vec<usize>>) {
+    let mut bound = vec![false; nslots];
+    let mut probe_cands = Vec::with_capacity(positives.len());
+    for (_, atom) in positives {
+        let cands: Vec<usize> = atom
+            .args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| match a {
+                ArgSpec::Const(_) => true,
+                ArgSpec::Var(s) => bound[*s as usize],
+            })
+            .map(|(col, _)| col)
+            .collect();
+        for a in &atom.args {
+            if let ArgSpec::Var(s) = a {
+                bound[*s as usize] = true;
+            }
+        }
+        probe_cands.push(cands);
+    }
+    let ops = (0..positives.len())
+        .map(|i| DlOp::Scan {
+            src: i,
+            pat: i,
+            probe: None,
+        })
+        .chain((0..negatives.len()).map(|j| DlOp::NegGuard { guard: j }))
+        .collect();
+    (ops, probe_cands)
 }
 
 fn arg_value(a: &ArgSpec, subst: &[Option<CId>]) -> Option<CId> {
@@ -247,45 +329,27 @@ fn join_rule(
             map.get(&key).map(Vec::as_slice)
         }
     }
-    // Per-atom access plans, computed ONCE per rule evaluation. The probe
-    // candidates of atom k — arguments that are constants or variables
-    // bound by atoms 0..k — are a static property of the atom order; among
-    // them the planner picks the column with the most distinct values
-    // (narrowest expected postings), known for free from the relations'
-    // built incremental indexes. A candidate whose index was never ensured
-    // is only used when *no* candidate has a built index, and is then
-    // hashed here once (u32 keys) instead of per partial substitution.
+    // Per-scan access plans, resolved ONCE per rule evaluation against the
+    // round's live statistics. The probe candidates of each scan are
+    // static (precomputed by [`lower_body`]); among them the shared policy
+    // picks the column with the most distinct values (narrowest expected
+    // postings), known for free from the relations' built incremental
+    // indexes. A candidate whose index was never ensured counts as zero
+    // distinct and is only used when no candidate has a built index; its
+    // index is then hashed here once (u32 keys) instead of per partial
+    // substitution.
     struct AtomPlan<'d> {
         rel: &'d IdRelation,
         probe: Option<(usize, Probe<'d>)>,
     }
-    let mut bound = vec![false; rule.nslots];
     let mut plans: Vec<Option<AtomPlan>> = Vec::with_capacity(rule.positives.len());
-    for (body_idx, atom) in &rule.positives {
+    for ((body_idx, atom), cands) in rule.positives.iter().zip(&rule.probe_cands) {
         let source = match delta {
             Some((d, at)) if at == *body_idx => d,
             _ => read,
         };
         let plan = source.relation(atom.rel).map(|rel| {
-            let cands: Vec<usize> = atom
-                .args
-                .iter()
-                .enumerate()
-                .filter(|(_, a)| match a {
-                    ArgSpec::Const(_) => true,
-                    ArgSpec::Var(s) => bound[*s as usize],
-                })
-                .map(|(col, _)| col)
-                .collect();
-            // Most-distinct built index wins; ties go to the smaller
-            // column, keeping the choice deterministic.
-            let best_built = cands
-                .iter()
-                .copied()
-                .filter_map(|col| rel.distinct(col).map(|d| (d, std::cmp::Reverse(col))))
-                .max()
-                .map(|(_, std::cmp::Reverse(col))| col);
-            let probe_col = best_built.or_else(|| cands.first().copied());
+            let probe_col = choose_probe(&DbStats(source), atom.rel, cands.iter().copied());
             let probe = probe_col.map(|col| {
                 let idx = match rel.index(col) {
                     Some(m) => Probe::Borrowed(m),
@@ -295,14 +359,12 @@ fn join_rule(
             });
             AtomPlan { rel, probe }
         });
-        for a in &atom.args {
-            if let ArgSpec::Var(s) = a {
-                bound[*s as usize] = true;
-            }
-        }
         plans.push(plan);
     }
 
+    // The executor proper: walk the lowered plan left to right, one
+    // operator per recursion level, over a single mutable substitution
+    // with trail-based unwinding.
     #[allow(clippy::too_many_arguments)]
     fn recurse(
         rule: &CompiledRule<'_>,
@@ -315,9 +377,77 @@ fn join_rule(
         pacer: &mut Pacer,
         emit: &mut dyn FnMut(IdTuple),
     ) -> std::result::Result<(), AbortReason> {
-        if k == rule.positives.len() {
-            // Negative literals.
-            for neg in &rule.negatives {
+        let Some(op) = rule.ops.get(k) else {
+            // Every operator satisfied: emit the head.
+            let head: IdTuple = rule
+                .head
+                .iter()
+                .map(|a| arg_value(a, subst).expect("safety: head vars bound"))
+                .collect();
+            emit(head);
+            return Ok(());
+        };
+        match op {
+            DlOp::Scan { src, .. } => {
+                let atom = &rule.positives[*src].1;
+                let Some(plan) = &plans[*src] else {
+                    return Ok(());
+                };
+                match &plan.probe {
+                    Some((col, idx)) => {
+                        let Some(key) = arg_value(&atom.args[*col], subst) else {
+                            return Ok(());
+                        };
+                        if let Some(positions) = idx.get(key) {
+                            for &pos in positions {
+                                if let Some(reason) = pacer.tick(gov) {
+                                    return Err(reason);
+                                }
+                                let mark = touched.len();
+                                if match_tuple(atom, plan.rel.tuple_at(pos), subst, touched) {
+                                    recurse(
+                                        rule,
+                                        plans,
+                                        k + 1,
+                                        subst,
+                                        touched,
+                                        neg_view,
+                                        gov,
+                                        pacer,
+                                        emit,
+                                    )?;
+                                }
+                                unwind(subst, touched, mark);
+                            }
+                        }
+                    }
+                    None => {
+                        for tuple in plan.rel.iter() {
+                            if let Some(reason) = pacer.tick(gov) {
+                                return Err(reason);
+                            }
+                            let mark = touched.len();
+                            if match_tuple(atom, tuple, subst, touched) {
+                                recurse(
+                                    rule,
+                                    plans,
+                                    k + 1,
+                                    subst,
+                                    touched,
+                                    neg_view,
+                                    gov,
+                                    pacer,
+                                    emit,
+                                )?;
+                            }
+                            unwind(subst, touched, mark);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            DlOp::NegGuard { guard } => {
+                let neg = &rule.negatives[*guard];
                 let tuple: Option<IdTuple> = neg.args.iter().map(|a| arg_value(a, subst)).collect();
                 let Some(tuple) = tuple else { return Ok(()) };
                 if neg_view
@@ -326,70 +456,25 @@ fn join_rule(
                 {
                     return Ok(());
                 }
+                recurse(
+                    rule,
+                    plans,
+                    k + 1,
+                    subst,
+                    touched,
+                    neg_view,
+                    gov,
+                    pacer,
+                    emit,
+                )
             }
-            // Head.
-            let head: IdTuple = rule
-                .head
-                .iter()
-                .map(|a| arg_value(a, subst).expect("safety: head vars bound"))
-                .collect();
-            emit(head);
-            return Ok(());
-        }
-        let atom = &rule.positives[k].1;
-        let Some(plan) = &plans[k] else { return Ok(()) };
-        match &plan.probe {
-            Some((col, idx)) => {
-                let Some(key) = arg_value(&atom.args[*col], subst) else {
-                    return Ok(());
-                };
-                if let Some(positions) = idx.get(key) {
-                    for &pos in positions {
-                        if let Some(reason) = pacer.tick(gov) {
-                            return Err(reason);
-                        }
-                        let mark = touched.len();
-                        if match_tuple(atom, plan.rel.tuple_at(pos), subst, touched) {
-                            recurse(
-                                rule,
-                                plans,
-                                k + 1,
-                                subst,
-                                touched,
-                                neg_view,
-                                gov,
-                                pacer,
-                                emit,
-                            )?;
-                        }
-                        unwind(subst, touched, mark);
-                    }
-                }
-            }
-            None => {
-                for tuple in plan.rel.iter() {
-                    if let Some(reason) = pacer.tick(gov) {
-                        return Err(reason);
-                    }
-                    let mark = touched.len();
-                    if match_tuple(atom, tuple, subst, touched) {
-                        recurse(
-                            rule,
-                            plans,
-                            k + 1,
-                            subst,
-                            touched,
-                            neg_view,
-                            gov,
-                            pacer,
-                            emit,
-                        )?;
-                    }
-                    unwind(subst, touched, mark);
-                }
+            // Range-restricted rules over stored relations never lower to
+            // the remaining operator kinds.
+            DlOp::Enumerate { item } => match *item {},
+            DlOp::BindEq { .. } | DlOp::Filter { .. } => {
+                unreachable!("datalog lowering emits only scans and negation guards")
             }
         }
-        Ok(())
     }
     let mut subst = vec![None; rule.nslots];
     let mut touched = Vec::new();
@@ -488,57 +573,17 @@ impl JoinTask<'_, '_> {
     }
 }
 
-/// Runs `tasks` across `threads` workers, returning each task's outcome
-/// *in task order* — the merge below walks that order sequentially, so
-/// insertion order, statistics, and the fixpoint are bit-identical to a
-/// single-threaded run regardless of worker scheduling.
-fn run_join_tasks(tasks: &[JoinTask<'_, '_>], threads: usize, gov: &Governor) -> Vec<TaskOut> {
-    if threads <= 1 || tasks.len() <= 1 {
-        return tasks.iter().map(|t| t.run_caught(gov)).collect();
-    }
-    let slots: Vec<std::sync::OnceLock<TaskOut>> =
-        tasks.iter().map(|_| std::sync::OnceLock::new()).collect();
-    let cursor = std::sync::atomic::AtomicUsize::new(0);
-    let workers = threads.min(tasks.len());
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(task) = tasks.get(i) else { break };
-                let _ = slots[i].set(task.run_caught(gov));
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("worker filled every slot"))
-        .collect()
-}
-
 /// Ensures every statically probe-able column of every rule has a built
-/// incremental index in `db`: for each positive atom, the argument
-/// positions holding a constant or a variable bound by an earlier atom —
-/// exactly the candidates [`join_rule`] ranks by distinct count. Cheap
-/// after the first round (a map lookup per column); new relations created
-/// by later rounds get their indexes built here and maintained by inserts
-/// from then on.
+/// incremental index in `db` — exactly the probe candidates [`lower_body`]
+/// precomputed and [`join_rule`] ranks by distinct count. Cheap after the
+/// first round (a map lookup per column); new relations created by later
+/// rounds get their indexes built here and maintained by inserts from then
+/// on.
 fn ensure_probe_indexes(rules: &[CompiledRule<'_>], db: &mut IdDatabase) {
     for rule in rules {
-        let mut bound = vec![false; rule.nslots];
-        for (_, atom) in &rule.positives {
-            for (col, a) in atom.args.iter().enumerate() {
-                let probeable = match a {
-                    ArgSpec::Const(_) => true,
-                    ArgSpec::Var(s) => bound[*s as usize],
-                };
-                if probeable {
-                    db.ensure_index(atom.rel, col);
-                }
-            }
-            for a in &atom.args {
-                if let ArgSpec::Var(s) = a {
-                    bound[*s as usize] = true;
-                }
+        for ((_, atom), cands) in rule.positives.iter().zip(&rule.probe_cands) {
+            for &col in cands {
+                db.ensure_index(atom.rel, col);
             }
         }
     }
@@ -547,30 +592,26 @@ fn ensure_probe_indexes(rules: &[CompiledRule<'_>], db: &mut IdDatabase) {
 /// Does every positive source of the (optionally differentiated) rule hold
 /// at least one tuple? The join is a nested product over its positive
 /// atoms, so a single empty or missing source makes the whole task a no-op
-/// — the fixpoint loops skip such tasks before spawning them. (A rule with
-/// no positive atoms vacuously qualifies and still fires once.)
+/// — the fixpoint loops skip such tasks before spawning them. De Morgan
+/// over the shared runtime's any-source quantifier
+/// ([`iql_exec::rule_delta_supported`]): "every source non-empty" is "no
+/// source empty". (A rule with no positive atoms vacuously qualifies and
+/// still fires once.)
 fn rule_supported(
     rule: &CompiledRule<'_>,
     read: &IdDatabase,
     delta: Option<(&IdDatabase, usize)>,
 ) -> bool {
-    rule.positives.iter().all(|(i, atom)| {
-        let source = match delta {
-            Some((d, at)) if at == *i => d,
-            _ => read,
-        };
-        source.relation(atom.rel).is_some_and(|r| !r.is_empty())
-    })
-}
-
-/// The worker-pool size a `threads` knob resolves to (`0` = one per core).
-fn effective_threads(threads: usize) -> usize {
-    match threads {
-        0 => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-        n => n,
-    }
+    !rule_delta_supported(
+        rule.positives.iter().map(|(i, atom)| (*i, atom)),
+        |&(i, atom)| {
+            let source = match delta {
+                Some((d, at)) if at == i => d,
+                _ => read,
+            };
+            source.relation(atom.rel).is_none_or(IdRelation::is_empty)
+        },
+    )
 }
 
 /// Evaluates `prog` on `edb` under the chosen [`Strategy`] — the unified
@@ -689,9 +730,16 @@ pub fn eval_governed(
                     .map(|r| compile_rule(r, &mut pool))
                     .collect();
                 // Negation inside a stratum only mentions lower-stratum
-                // relations, which are final in `db` — freeze them as the
-                // negation view.
-                let neg_view = db.clone();
+                // relations, which are final in `db` — freeze exactly the
+                // relations this stratum negates as a membership-only view
+                // (the view is only ever `contains`-tested, so cloning the
+                // indexes, or any un-negated relation, would be pure
+                // waste; a negation-free stratum freezes nothing at all).
+                let neg_rels: BTreeSet<&str> = rules
+                    .iter()
+                    .flat_map(|r| r.negatives.iter().map(|n| n.rel))
+                    .collect();
+                let neg_view = db.freeze_view(neg_rels.iter().copied());
                 db = seminaive_stratum(&rules, db, &neg_view, threads, gov, &mut stats)?;
                 if stats.trip.is_some() {
                     // A trip invalidates the "lower strata are complete"
@@ -755,7 +803,7 @@ fn full_rounds(
                 })
                 .collect();
             let heads: Vec<&str> = tasks.iter().map(|t| t.rule.head_rel).collect();
-            (heads, run_join_tasks(&tasks, threads, gov))
+            (heads, run_tasks(&tasks, threads, |t| t.run_caught(gov)))
         };
         // Deadline/cancellation mid-round: discard the whole round's
         // tuples — checked before ANY insertion so the returned snapshot
@@ -869,7 +917,7 @@ fn seminaive_stratum(
                 })
                 .collect();
             let heads: Vec<&str> = tasks.iter().map(|t| t.rule.head_rel).collect();
-            (heads, run_join_tasks(&tasks, threads, gov))
+            (heads, run_tasks(&tasks, threads, |t| t.run_caught(gov)))
         };
         if let Some(reason) = round_abandoned(&outs) {
             stats.trip = Some(reason);
@@ -922,7 +970,7 @@ fn seminaive_stratum(
                 }
             }
             let heads: Vec<&str> = tasks.iter().map(|t| t.rule.head_rel).collect();
-            (heads, run_join_tasks(&tasks, threads, gov))
+            (heads, run_tasks(&tasks, threads, |t| t.run_caught(gov)))
         };
         if let Some(reason) = round_abandoned(&outs) {
             stats.trip = Some(reason);

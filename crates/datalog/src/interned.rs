@@ -160,6 +160,18 @@ impl IdRelation {
         }
         idx
     }
+
+    /// A membership-only copy: tuples and the seen-set without the built
+    /// indexes — the cheap freeze for views that are scanned or
+    /// `contains`-tested but never probed.
+    pub(crate) fn membership_clone(&self) -> IdRelation {
+        IdRelation {
+            arity: self.arity,
+            tuples: self.tuples.clone(),
+            seen: self.seen.clone(),
+            indexes: BTreeMap::new(),
+        }
+    }
 }
 
 /// A database over interned relations.
@@ -227,6 +239,23 @@ impl IdDatabase {
         Ok(out)
     }
 
+    /// Freezes the named relations into a membership-only view (see
+    /// [`IdRelation::membership_clone`]): no indexes are copied, and names
+    /// without a stored relation are simply absent, which reads as empty.
+    /// An empty name set yields an empty database at zero cost — how the
+    /// stratified evaluator skips the freeze entirely for negation-free
+    /// strata.
+    pub(crate) fn freeze_view<'n>(&self, names: impl IntoIterator<Item = &'n str>) -> IdDatabase {
+        let mut out = IdDatabase::new();
+        for name in names {
+            if let Some(rel) = self.relation(name) {
+                out.relations
+                    .insert(name.to_string(), rel.membership_clone());
+            }
+        }
+        out
+    }
+
     /// Resolves every tuple back to constants.
     pub(crate) fn resolve(&self, pool: &ConstPool) -> Result<Database> {
         let mut out = Database::new();
@@ -237,6 +266,28 @@ impl IdDatabase {
             }
         }
         Ok(out)
+    }
+}
+
+/// The interned store's cardinality statistics behind the shared
+/// runtime's [`iql_exec::Storage`] interface — relations addressed by
+/// name, probe columns by tuple position, distinct counts read off the
+/// incremental indexes for free. This is what routes the engine's
+/// probe-column choice through the one shared policy
+/// ([`iql_exec::choose_probe`]) instead of a hand-rolled ranking.
+#[derive(Clone, Copy)]
+pub(crate) struct DbStats<'a>(pub(crate) &'a IdDatabase);
+
+impl<'a> iql_exec::Storage for DbStats<'a> {
+    type Rel = &'a str;
+    type Col = usize;
+
+    fn extent(&self, rel: &'a str) -> usize {
+        self.0.relation(rel).map_or(0, IdRelation::len)
+    }
+
+    fn distinct(&self, rel: &'a str, col: usize) -> Option<usize> {
+        self.0.relation(rel).and_then(|r| r.distinct(col))
     }
 }
 
@@ -301,6 +352,51 @@ mod tests {
             rel.insert(vec![a].into()),
             Err(DlError::Arity { .. })
         ));
+    }
+
+    #[test]
+    fn freeze_view_is_membership_only() {
+        let mut pool = ConstPool::default();
+        let (a, b) = (cid(&mut pool, 1), cid(&mut pool, 2));
+        let mut db = IdDatabase::new();
+        db.insert("Neg", vec![a, b].into()).unwrap();
+        db.insert("Other", vec![b].into()).unwrap();
+        db.ensure_index("Neg", 1);
+        let view = db.freeze_view(["Neg", "Missing"]);
+        let neg = view.relation("Neg").expect("frozen relation present");
+        assert!(neg.contains(&[a, b]));
+        assert_eq!(neg.len(), 1);
+        // Indexes are not carried over: the view is contains-only.
+        assert!(neg.index(0).is_none());
+        assert!(neg.index(1).is_none());
+        // Un-negated and missing relations are simply absent.
+        assert!(view.relation("Other").is_none());
+        assert!(view.relation("Missing").is_none());
+        // The empty name set freezes nothing.
+        assert_eq!(db.freeze_view([]).size(), 0);
+    }
+
+    #[test]
+    fn stats_implement_the_shared_storage_interface() {
+        use iql_exec::Storage;
+        let mut pool = ConstPool::default();
+        let (a, b, c) = (cid(&mut pool, 1), cid(&mut pool, 2), cid(&mut pool, 3));
+        let mut db = IdDatabase::new();
+        db.insert("Edge", vec![a, b].into()).unwrap();
+        db.insert("Edge", vec![a, c].into()).unwrap();
+        let stats = DbStats(&db);
+        assert_eq!(stats.extent("Edge"), 2);
+        assert_eq!(stats.extent("Nope"), 0);
+        // Column 0 is indexed on first insert; column 1 only on demand.
+        assert_eq!(stats.distinct("Edge", 0), Some(1));
+        assert_eq!(stats.distinct("Edge", 1), None);
+        db.ensure_index("Edge", 1);
+        assert_eq!(DbStats(&db).distinct("Edge", 1), Some(2));
+        // The shared probe policy picks the more selective column.
+        assert_eq!(
+            iql_exec::choose_probe(&DbStats(&db), "Edge", [0, 1]),
+            Some(1)
+        );
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! The semi-naive delta-intersection early exit.
+//!
+//! Under semi-naive evaluation a rule can only produce *new* derivations
+//! in a step if at least one of its body sources gained tuples in the
+//! previous step — otherwise every valuation it could find was already
+//! found. Both engines used to carry their own copy of this check
+//! (`delta_has_source` over IQL plan sources, `rule_supported` over
+//! Datalog body atoms); the quantifier now lives here and each engine
+//! supplies only the per-source "did it gain anything" predicate.
+
+/// Does the step's delta support running this rule at all? `sources`
+/// enumerates the rule's body sources (plan scan sources, positive body
+/// atoms, …); `gained` answers whether that source gained tuples in the
+/// previous step. Empty-bodied rules have no sources and are *not*
+/// delta-supported — they fire from the seed step only, which both
+/// engines handle before this check.
+pub fn rule_delta_supported<I, S>(sources: I, gained: impl Fn(&S) -> bool) -> bool
+where
+    I: IntoIterator<Item = S>,
+{
+    sources.into_iter().any(|s| gained(&s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rule_delta_supported;
+
+    #[test]
+    fn supported_iff_some_source_gained() {
+        let sources = ["a", "b", "c"];
+        assert!(rule_delta_supported(sources, |s| *s == "b"));
+        assert!(!rule_delta_supported(sources, |_| false));
+        assert!(!rule_delta_supported::<_, &str>([], |_| true));
+    }
+}

@@ -1,0 +1,380 @@
+//! Resource governance: fuel budgets, deadlines, cancellation, and
+//! graceful degradation.
+//!
+//! IQL is computationally complete (Theorem 4.2.4), so non-termination and
+//! unbounded oid invention are the language working as specified — the
+//! paper's own `R3(y,z) ← R3(x,y)` example (Section 3.4) invents a fresh
+//! oid per derivation forever. A production evaluator therefore needs a
+//! *governor*: a bundle of resource limits checked cooperatively during
+//! evaluation, cheap enough to leave on and structured so a blown budget
+//! degrades gracefully instead of discarding all work.
+//!
+//! The design splits limits into two classes:
+//!
+//! * **Deterministic budgets** (steps, facts, invented oids, interned
+//!   store nodes/bytes) are checked at *step boundaries*. Inflationary
+//!   semantics makes every completed step a valid partial answer, so a
+//!   budget trip returns the last consistent snapshot — and because the
+//!   trip point depends only on the program and input, the partial result
+//!   is bit-identical across thread counts.
+//! * **Asynchronous signals** (wall-clock deadline, external cancellation)
+//!   are additionally polled *inside* the per-step valuation search by
+//!   every worker (strided, via [`Pacer`], so the hot path stays cheap).
+//!   A mid-step trip discards the interrupted step's pending derivations
+//!   wholesale: the partial result is again the last *completed* step.
+//!
+//! Worker panics are a third failure mode: each search task runs under
+//! `catch_unwind`, so a panicking rule surfaces as
+//! [`AbortReason::WorkerPanic`] with its rule index while the other rules'
+//! derivations — and the scoped worker pool — survive.
+//!
+//! This module lives in the shared runtime because both engines run under
+//! the same governor type; the engines layer their own outcome types
+//! (`iql_core::govern::RunOutcome`, Datalog's `EvalStats::trip`) and error
+//! conversions on top.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a governed evaluation stopped early.
+///
+/// `Copy + Eq` so it can ride inside statistics structs and be matched in
+/// tests; [`AbortReason::exit_code`] gives each reason a distinct process
+/// exit code for scripting around the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// The per-stage inflationary step (or Datalog round) limit.
+    StepLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The total ground-fact budget.
+    FactBudget {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The invented-oid budget.
+    OidBudget {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The interned-value-store node high-water mark.
+    StoreBudget {
+        /// The configured limit (nodes).
+        limit: usize,
+    },
+    /// The interned-value-store byte high-water mark.
+    MemoryBudget {
+        /// The configured limit (approximate heap bytes).
+        limit: usize,
+    },
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The external cancellation token was flipped (e.g. Ctrl-C).
+    Cancelled,
+    /// A worker panicked while evaluating a rule.
+    WorkerPanic {
+        /// Index of the rule whose task panicked.
+        rule: usize,
+    },
+}
+
+impl AbortReason {
+    /// A distinct process exit code per reason, for scripting around the
+    /// CLI: `124` for deadline (the `timeout(1)` convention), `130` for
+    /// cancellation (`128 + SIGINT`), `101` for a contained panic (the
+    /// code an *uncontained* Rust panic would have produced), and
+    /// `102..=106` for the deterministic budgets.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            AbortReason::WorkerPanic { .. } => 101,
+            AbortReason::StepLimit { .. } => 102,
+            AbortReason::FactBudget { .. } => 103,
+            AbortReason::OidBudget { .. } => 104,
+            AbortReason::StoreBudget { .. } => 105,
+            AbortReason::MemoryBudget { .. } => 106,
+            AbortReason::Deadline => 124,
+            AbortReason::Cancelled => 130,
+        }
+    }
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortReason::StepLimit { limit } => write!(f, "step limit of {limit} exceeded"),
+            AbortReason::FactBudget { limit } => write!(f, "fact budget of {limit} exceeded"),
+            AbortReason::OidBudget { limit } => {
+                write!(f, "invented-oid budget of {limit} exceeded")
+            }
+            AbortReason::StoreBudget { limit } => {
+                write!(f, "value-store budget of {limit} nodes exceeded")
+            }
+            AbortReason::MemoryBudget { limit } => {
+                write!(f, "memory budget of {limit} bytes exceeded")
+            }
+            AbortReason::Deadline => write!(f, "wall-clock deadline exceeded"),
+            AbortReason::Cancelled => write!(f, "evaluation cancelled"),
+            AbortReason::WorkerPanic { rule } => {
+                write!(f, "worker evaluating rule {rule} panicked")
+            }
+        }
+    }
+}
+
+/// The shared resource governor: every limit an evaluation runs under,
+/// resolved to absolute terms (the deadline is an [`Instant`], not a
+/// duration) at construction — i.e. at evaluation start.
+///
+/// Both engines consult the same governor type: the IQL evaluator builds
+/// one from its `EvalConfig`, the Datalog engine takes one directly
+/// (`iql_datalog::eval_governed`).
+#[derive(Debug, Clone)]
+pub struct Governor {
+    /// Inflationary steps per stage / Datalog rounds per fixpoint.
+    pub max_steps: usize,
+    /// Total ground facts (or Datalog tuples) in the working instance.
+    pub max_facts: usize,
+    /// Invented oids over the whole run (IQL only).
+    pub max_oids: Option<usize>,
+    /// Interned nodes in the working instance's `ValueStore`.
+    pub max_store_nodes: Option<usize>,
+    /// Approximate heap bytes retained by the `ValueStore`.
+    pub max_store_bytes: Option<usize>,
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+    started: Instant,
+    /// Pre-computed: does any *asynchronous* signal (deadline/cancel) need
+    /// polling inside the search? One bool load keeps the ungoverned hot
+    /// path at effectively zero cost.
+    reactive: bool,
+}
+
+impl Governor {
+    /// A governor with no deadline, no cancellation, and effectively
+    /// unlimited budgets.
+    pub fn unlimited() -> Governor {
+        Governor {
+            max_steps: usize::MAX,
+            max_facts: usize::MAX,
+            max_oids: None,
+            max_store_nodes: None,
+            max_store_bytes: None,
+            deadline: None,
+            cancel: None,
+            started: Instant::now(),
+            reactive: false,
+        }
+    }
+
+    /// Sets a wall-clock deadline `d` from now (builder style).
+    pub fn with_deadline(mut self, d: Duration) -> Governor {
+        self.deadline = Some(self.started + d);
+        self.reactive = true;
+        self
+    }
+
+    /// Attaches an external cancellation token (builder style). Flipping
+    /// the token to `true` stops evaluation at the next poll point.
+    pub fn with_cancel_token(mut self, token: Arc<AtomicBool>) -> Governor {
+        self.cancel = Some(token);
+        self.reactive = true;
+        self
+    }
+
+    /// Caps the step/round count (builder style).
+    pub fn with_max_steps(mut self, n: usize) -> Governor {
+        self.max_steps = n;
+        self
+    }
+
+    /// Caps the total fact count (builder style).
+    pub fn with_max_facts(mut self, n: usize) -> Governor {
+        self.max_facts = n;
+        self
+    }
+
+    /// Does this governor carry any limit at all — a budget, a deadline,
+    /// or a cancellation token? An unlimited governor lets drivers skip
+    /// work that exists only to serve a potential trip (e.g. keeping a
+    /// partial-result snapshot).
+    pub fn limited(&self) -> bool {
+        self.reactive
+            || self.max_steps != usize::MAX
+            || self.max_facts != usize::MAX
+            || self.max_oids.is_some()
+            || self.max_store_nodes.is_some()
+            || self.max_store_bytes.is_some()
+    }
+
+    /// Does this governor carry an asynchronous signal (deadline or
+    /// cancellation) that workers must poll mid-step?
+    #[inline]
+    pub fn reactive(&self) -> bool {
+        self.reactive
+    }
+
+    /// Time since the governor (hence the evaluation) started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Polls the asynchronous signals only: cancellation first (an
+    /// explicit user action outranks a timer), then the deadline. The
+    /// deterministic budgets are *not* checked here — they are enforced at
+    /// step boundaries by the evaluation drivers.
+    #[inline]
+    pub fn trip_async(&self) -> Option<AbortReason> {
+        if !self.reactive {
+            return None;
+        }
+        if let Some(token) = &self.cancel {
+            if token.load(Ordering::Relaxed) {
+                return Some(AbortReason::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(AbortReason::Deadline);
+            }
+        }
+        None
+    }
+}
+
+impl Default for Governor {
+    fn default() -> Governor {
+        Governor::unlimited()
+    }
+}
+
+/// A strided poll counter for [`Governor::trip_async`]: calling
+/// [`Pacer::tick`] on every unit of inner-loop work polls the clock (a
+/// syscall on some platforms) only once per [`Pacer::STRIDE`] ticks, which
+/// keeps governed search within noise of ungoverned search.
+///
+/// The pacer snapshots [`Governor::reactive`] at construction, so the
+/// ungoverned hot path is a branch on a pacer-local bool — the optimizer
+/// keeps it in a register instead of re-loading through the governor
+/// reference on every inner-loop iteration. Reactivity is fixed for a
+/// governor's lifetime (set by `with_deadline`/`with_cancel_token` before
+/// evaluation starts), so the snapshot cannot go stale.
+#[derive(Debug)]
+pub struct Pacer {
+    countdown: u32,
+    reactive: bool,
+}
+
+impl Pacer {
+    /// Ticks between actual polls.
+    pub const STRIDE: u32 = 1024;
+
+    /// A fresh pacer for `gov` (polls on its `STRIDE`-th tick).
+    pub fn new(gov: &Governor) -> Pacer {
+        Pacer {
+            countdown: Self::STRIDE,
+            reactive: gov.reactive(),
+        }
+    }
+
+    /// Counts one unit of work; on every `STRIDE`-th call, polls the
+    /// governor's asynchronous signals. For non-reactive governors this is
+    /// a single branch on a local bool.
+    #[inline]
+    pub fn tick(&mut self, gov: &Governor) -> Option<AbortReason> {
+        if !self.reactive {
+            return None;
+        }
+        self.countdown -= 1;
+        if self.countdown != 0 {
+            return None;
+        }
+        self.countdown = Self::STRIDE;
+        gov.trip_async()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_governor_is_not_reactive_and_never_trips() {
+        let gov = Governor::unlimited();
+        assert!(!gov.reactive());
+        assert!(!gov.limited());
+        assert_eq!(gov.trip_async(), None);
+        let mut pacer = Pacer::new(&gov);
+        for _ in 0..10_000 {
+            assert_eq!(pacer.tick(&gov), None);
+        }
+    }
+
+    #[test]
+    fn cancel_token_trips_before_deadline() {
+        let token = Arc::new(AtomicBool::new(false));
+        let gov = Governor::unlimited()
+            .with_deadline(Duration::ZERO)
+            .with_cancel_token(Arc::clone(&token));
+        token.store(true, Ordering::Relaxed);
+        // Both signals are hot; cancellation outranks the timer.
+        assert_eq!(gov.trip_async(), Some(AbortReason::Cancelled));
+    }
+
+    #[test]
+    fn deadline_trips_once_passed() {
+        let gov = Governor::unlimited().with_deadline(Duration::ZERO);
+        assert!(gov.reactive());
+        assert!(gov.limited());
+        assert_eq!(gov.trip_async(), Some(AbortReason::Deadline));
+    }
+
+    #[test]
+    fn budgets_make_a_governor_limited_but_not_reactive() {
+        let gov = Governor::unlimited().with_max_facts(10);
+        assert!(gov.limited());
+        assert!(!gov.reactive());
+    }
+
+    #[test]
+    fn pacer_polls_on_stride_boundaries() {
+        let gov = Governor::unlimited().with_deadline(Duration::ZERO);
+        let mut pacer = Pacer::new(&gov);
+        let mut polls = 0;
+        for _ in 0..(Pacer::STRIDE * 3) {
+            if pacer.tick(&gov).is_some() {
+                polls += 1;
+            }
+        }
+        assert_eq!(polls, 3, "one poll per stride");
+    }
+
+    #[test]
+    fn exit_codes_are_distinct() {
+        let reasons = [
+            AbortReason::StepLimit { limit: 1 },
+            AbortReason::FactBudget { limit: 1 },
+            AbortReason::OidBudget { limit: 1 },
+            AbortReason::StoreBudget { limit: 1 },
+            AbortReason::MemoryBudget { limit: 1 },
+            AbortReason::Deadline,
+            AbortReason::Cancelled,
+            AbortReason::WorkerPanic { rule: 0 },
+        ];
+        let codes: std::collections::BTreeSet<u8> =
+            reasons.iter().map(AbortReason::exit_code).collect();
+        assert_eq!(codes.len(), reasons.len());
+    }
+
+    #[test]
+    fn reasons_render() {
+        for r in [
+            AbortReason::StepLimit { limit: 7 },
+            AbortReason::Deadline,
+            AbortReason::WorkerPanic { rule: 3 },
+        ] {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The physical-plan IR shared by both engines.
+//!
+//! A rule body lowers to a short, ordered program of *physical operators*:
+//! scans (optionally index-probed), bind-equalities, active-domain
+//! enumerations, filters, and negation guards. The operator vocabulary and
+//! its invariants are engine-independent — what differs is only the
+//! operand types: IQL scans denote set-valued *terms* and probe
+//! `(attribute, key-term)` pairs against persistent secondary indexes,
+//! while Datalog scans denote body-atom indices and probe tuple columns
+//! against per-relation hash indexes. [`PlanLang`] captures that operand
+//! vocabulary, so [`PhysOp`] is written once and each engine's planner
+//! lowers into `PhysOp<ItsLang>`; each engine keeps its own executor (how
+//! a pattern matches is the language, not the runtime).
+//!
+//! Plan invariants both engines maintain (and both executors rely on):
+//!
+//! * every positive membership stays a [`PhysOp::Scan`] — never a filter —
+//!   so each supporting source keeps a semi-naive delta position;
+//! * operators appear in binding order: an operand is evaluable when every
+//!   variable it mentions is bound by the operators before it;
+//! * reordering never changes the valuation set (conjunction is
+//!   order-independent), so a plan is a pure optimization and outputs stay
+//!   bit-identical across plan choices.
+//!
+//! Cardinality questions go through the abstract [`Storage`] interface;
+//! [`choose_probe`] is the one probe-selection policy both planners use.
+
+/// The operand vocabulary of one engine's plans: what a scan source, a
+/// match pattern, a probe column, a guard, and an enumeration item *are*
+/// in that engine.
+pub trait PlanLang {
+    /// A scan/bind source: the thing evaluated to produce candidates
+    /// (IQL: a set-denoting term; Datalog: a body-atom index).
+    type Src;
+    /// A match pattern: binds variables against each candidate.
+    type Pat;
+    /// A probe descriptor: how an index lookup replaces a full scan
+    /// (IQL: the statically chosen `(attribute, key-term)`; Datalog: the
+    /// candidate columns, resolved against live statistics each round).
+    type Col;
+    /// A guard operand: a literal/atom evaluated under full bindings.
+    type Guard;
+    /// An active-domain enumeration item (uninhabited for engines whose
+    /// rules are range-restricted by construction).
+    type Enum;
+}
+
+/// One physical operator. A plan is a `Vec<PhysOp<L>>` executed
+/// left-to-right over a growing set of variable bindings.
+pub enum PhysOp<L: PlanLang> {
+    /// Iterate the candidates of `src`, matching `pat` against each
+    /// (binds variables). `probe` narrows the iteration through an index
+    /// lookup instead of a full scan when the planner found a usable
+    /// bound column.
+    Scan {
+        /// What to iterate.
+        src: L::Src,
+        /// What each candidate must match.
+        pat: L::Pat,
+        /// Index probe replacing the full scan, if one was chosen.
+        probe: Option<L::Col>,
+    },
+    /// Evaluate `src` (fully bound) and match `pat` against the single
+    /// resulting value (binds variables) — an equality used as a binder.
+    BindEq {
+        /// The evaluable side.
+        src: L::Src,
+        /// The binding side.
+        pat: L::Pat,
+    },
+    /// Enumerate a variable's type over the active domain (the paper's
+    /// valuation semantics; a budgeted last resort).
+    Enumerate {
+        /// The engine's enumeration descriptor.
+        item: L::Enum,
+    },
+    /// A positive guard over fully-bound operands: keep the binding iff
+    /// the guard holds.
+    Filter {
+        /// The guard operand.
+        guard: L::Guard,
+    },
+    /// A negation guard over fully-bound operands: keep the binding iff
+    /// the negated source does *not* contain the match. Kept distinct from
+    /// [`PhysOp::Filter`] because negation is what makes plan placement
+    /// semantically delicate (it must run under full bindings and never
+    /// earns a delta position).
+    NegGuard {
+        /// The guard operand.
+        guard: L::Guard,
+    },
+}
+
+/// Cardinality statistics of one engine's storage, as the shared planner
+/// code consumes them. Implemented by `iql_model::InstanceStats` (o-value
+/// relations probed by attribute) and by the Datalog engine's interned
+/// tuple store (relations probed by column).
+pub trait Storage {
+    /// A relation handle.
+    type Rel: Copy;
+    /// A probeable column handle.
+    type Col: Copy + Ord;
+
+    /// Number of tuples in the relation (0 if unknown).
+    fn extent(&self, rel: Self::Rel) -> usize;
+
+    /// Number of distinct keys in the relation's `col` index, if that
+    /// index exists/is built. `None` means "no statistic available".
+    fn distinct(&self, rel: Self::Rel, col: Self::Col) -> Option<usize>;
+
+    /// Estimated candidates per probe of `col`: extent over distinct
+    /// keys, pessimistically the whole extent when no statistic exists.
+    fn probe_estimate(&self, rel: Self::Rel, col: Self::Col) -> usize {
+        let len = self.extent(rel);
+        match self.distinct(rel, col) {
+            Some(d) if d > 0 => len.div_ceil(d),
+            _ => len,
+        }
+    }
+}
+
+/// The shared probe-selection policy: among `candidates` (in priority
+/// order), pick the column with the most distinct keys — the most
+/// selective probe. Ties keep the *earliest* candidate, so with
+/// candidates supplied in column order the choice is deterministic and
+/// favours the lower column; candidates without statistics count as zero
+/// distinct keys, so an all-unknown candidate list yields the first
+/// candidate rather than none.
+pub fn choose_probe<S: Storage>(
+    storage: &S,
+    rel: S::Rel,
+    candidates: impl IntoIterator<Item = S::Col>,
+) -> Option<S::Col> {
+    let mut best: Option<(usize, S::Col)> = None;
+    for col in candidates {
+        let d = storage.distinct(rel, col).unwrap_or(0);
+        if best.is_none_or(|(bd, _)| d > bd) {
+            best = Some((d, col));
+        }
+    }
+    best.map(|(_, col)| col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ToyStorage;
+
+    impl Storage for ToyStorage {
+        type Rel = &'static str;
+        type Col = usize;
+        fn extent(&self, rel: &'static str) -> usize {
+            match rel {
+                "big" => 100,
+                _ => 0,
+            }
+        }
+        fn distinct(&self, rel: &'static str, col: usize) -> Option<usize> {
+            match (rel, col) {
+                ("big", 0) => Some(4),
+                ("big", 1) => Some(25),
+                ("big", 2) => Some(25),
+                _ => None,
+            }
+        }
+    }
+
+    #[test]
+    fn probe_choice_prefers_most_distinct_then_earliest() {
+        let s = ToyStorage;
+        assert_eq!(choose_probe(&s, "big", [0, 1, 2]), Some(1));
+        assert_eq!(choose_probe(&s, "big", [2, 1, 0]), Some(2));
+        assert_eq!(choose_probe(&s, "big", []), None);
+        // All-unknown candidates fall back to the first.
+        assert_eq!(choose_probe(&s, "empty", [3, 4]), Some(3));
+    }
+
+    #[test]
+    fn probe_estimate_defaults_pessimistically() {
+        let s = ToyStorage;
+        assert_eq!(s.probe_estimate("big", 1), 4); // 100 / 25
+        assert_eq!(s.probe_estimate("big", 9), 100); // no statistic
+        assert_eq!(s.probe_estimate("empty", 0), 0);
+    }
+
+    // A minimal language exercising the generic op shape.
+    struct Toy;
+    impl PlanLang for Toy {
+        type Src = u8;
+        type Pat = u8;
+        type Col = u8;
+        type Guard = u8;
+        type Enum = std::convert::Infallible;
+    }
+
+    #[test]
+    fn ops_instantiate_for_a_toy_language() {
+        let plan: Vec<PhysOp<Toy>> = vec![
+            PhysOp::Scan {
+                src: 0,
+                pat: 1,
+                probe: Some(2),
+            },
+            PhysOp::BindEq { src: 1, pat: 2 },
+            PhysOp::Filter { guard: 3 },
+            PhysOp::NegGuard { guard: 4 },
+        ];
+        let scans = plan
+            .iter()
+            .filter(|op| matches!(op, PhysOp::Scan { .. }))
+            .count();
+        assert_eq!(scans, 1);
+    }
+}

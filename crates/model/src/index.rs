@@ -58,10 +58,13 @@ impl AttrIndex {
         self.map.len()
     }
 
-    /// Folds one newly inserted fact into the index. Fact ids mostly grow
-    /// over an inflationary run, so this is an append in the common case;
-    /// a fact interned early but inserted late takes the binary-search path.
-    fn note(&mut self, key: ValueId, fid: ValueId) {
+    /// Folds one newly inserted fact into the index; returns whether the
+    /// key is new to the index (a distinct-count change). Fact ids mostly
+    /// grow over an inflationary run, so this is an append in the common
+    /// case; a fact interned early but inserted late takes the
+    /// binary-search path.
+    fn note(&mut self, key: ValueId, fid: ValueId) -> bool {
+        let before = self.map.len();
         let posting = self.map.entry(key).or_default();
         match posting.last() {
             Some(&last) if last < fid => posting.push(fid),
@@ -72,6 +75,7 @@ impl AttrIndex {
                 }
             }
         }
+        self.map.len() > before
     }
 }
 
@@ -88,19 +92,22 @@ pub struct RelIndexes {
 }
 
 impl RelIndexes {
-    /// Builds the `(r, attr)` index from `facts` if absent; O(1) once built.
+    /// Builds the `(r, attr)` index from `facts` if absent; O(1) once
+    /// built. Returns whether this call actually built it — a statistics
+    /// change the instance folds into its stats epoch.
     pub fn ensure(
         &mut self,
         r: RelName,
         attr: AttrName,
         facts: &BTreeSet<ValueId>,
         store: &ValueStore,
-    ) {
-        self.built
-            .entry(r)
-            .or_default()
-            .entry(attr)
-            .or_insert_with(|| AttrIndex::build(attr, facts.iter().copied(), store));
+    ) -> bool {
+        let per_attr = self.built.entry(r).or_default();
+        if per_attr.contains_key(&attr) {
+            return false;
+        }
+        per_attr.insert(attr, AttrIndex::build(attr, facts.iter().copied(), store));
+        true
     }
 
     /// The `(r, attr)` index, if built.
@@ -114,14 +121,21 @@ impl RelIndexes {
     }
 
     /// Folds one newly inserted fact into every built index of `r`.
-    pub fn note_insert(&mut self, r: RelName, fid: ValueId, store: &ValueStore) {
+    /// Returns whether any index's distinct-key count crossed a
+    /// power-of-two threshold — the planner's cue that its cached
+    /// selectivity estimates are stale enough to re-plan.
+    pub fn note_insert(&mut self, r: RelName, fid: ValueId, store: &ValueStore) -> bool {
+        let mut crossed = false;
         if let Some(per_attr) = self.built.get_mut(&r) {
             for (attr, idx) in per_attr.iter_mut() {
                 if let Some(key) = field_of(store, fid, *attr) {
-                    idx.note(key, fid);
+                    if idx.note(key, fid) && idx.distinct_keys().is_power_of_two() {
+                        crossed = true;
+                    }
                 }
             }
         }
+        crossed
     }
 
     /// Drops every index of `r` — called when a fact is removed from `r`.

@@ -72,7 +72,6 @@ impl fmt::Display for GroundFact {
 /// hash-consing [`ValueStore`] that gives the evaluators `Copy` handles with
 /// O(1) equality and cached oid metadata. Every mutator maintains both; the
 /// mirrors are an implementation detail and never diverge observably.
-#[derive(Clone)]
 pub struct Instance {
     schema: Arc<Schema>,
     relations: BTreeMap<RelName, BTreeSet<OValue>>,
@@ -90,6 +89,37 @@ pub struct Instance {
     /// Persistent secondary indexes over `rel_ids`, maintained incrementally
     /// by the fact mutators; never observable (not part of equality).
     indexes: RelIndexes,
+    /// Monotone statistics epoch: bumped whenever the cardinality picture a
+    /// planner might have cached goes stale — a relation or class extent
+    /// crosses a power-of-two threshold, a built index's distinct-key count
+    /// does, a new index is built, or facts are deleted. Cached plans keyed
+    /// by this epoch stay valid exactly while it holds still.
+    stats_epoch: u64,
+}
+
+/// Cloning an instance clones the *data* — ρ, π, ν, both value
+/// representations, and the statistics epoch — but not the persistent
+/// secondary indexes, which rebuild lazily on demand. Indexes are pure
+/// acceleration state (never observable, not part of equality), and the
+/// dominant clone in practice is the governed partial-result snapshot,
+/// which is read, not evaluated against — deep-copying every posting list
+/// into it was pure waste.
+impl Clone for Instance {
+    fn clone(&self) -> Instance {
+        Instance {
+            schema: Arc::clone(&self.schema),
+            relations: self.relations.clone(),
+            classes: self.classes.clone(),
+            nu: self.nu.clone(),
+            oid_class: self.oid_class.clone(),
+            gen: self.gen.clone(),
+            store: self.store.clone(),
+            rel_ids: self.rel_ids.clone(),
+            nu_ids: self.nu_ids.clone(),
+            indexes: RelIndexes::default(),
+            stats_epoch: self.stats_epoch,
+        }
+    }
 }
 
 impl Instance {
@@ -110,6 +140,7 @@ impl Instance {
             rel_ids,
             nu_ids: BTreeMap::new(),
             indexes: RelIndexes::default(),
+            stats_epoch: 0,
         }
     }
 
@@ -148,15 +179,14 @@ impl Instance {
             return Err(ModelError::UnknownRelation(r));
         }
         let id = self.intern_noting_oids(&v);
-        if !self
-            .rel_ids
-            .get_mut(&r)
-            .expect("mirrors relations")
-            .insert(id)
-        {
+        let ids = self.rel_ids.get_mut(&r).expect("mirrors relations");
+        if !ids.insert(id) {
             return Ok(false);
         }
-        self.indexes.note_insert(r, id, &self.store);
+        let crossed = ids.len().is_power_of_two();
+        if self.indexes.note_insert(r, id, &self.store) || crossed {
+            self.stats_epoch += 1;
+        }
         self.relations
             .get_mut(&r)
             .expect("mirrors rel_ids")
@@ -175,7 +205,10 @@ impl Instance {
         if !ids.insert(id) {
             return Ok(false);
         }
-        self.indexes.note_insert(r, id, &self.store);
+        let crossed = ids.len().is_power_of_two();
+        if self.indexes.note_insert(r, id, &self.store) || crossed {
+            self.stats_epoch += 1;
+        }
         for &o in self.store.oids(id) {
             self.gen.reserve_above(o);
         }
@@ -204,6 +237,7 @@ impl Instance {
         // Deletion breaks the append-only maintenance invariant; drop the
         // touched relation's indexes and let them rebuild lazily.
         self.indexes.invalidate(r);
+        self.stats_epoch += 1;
         Ok(true)
     }
 
@@ -251,10 +285,14 @@ impl Instance {
             });
         }
         self.oid_class.insert(oid, p);
-        self.classes
+        let extent = self
+            .classes
             .get_mut(&p)
-            .expect("class present by construction")
-            .insert(oid);
+            .expect("class present by construction");
+        extent.insert(oid);
+        if extent.len().is_power_of_two() {
+            self.stats_epoch += 1;
+        }
         if self.schema.is_set_valued_class(p)? {
             self.nu.insert(oid, OValue::empty_set());
             let empty = self.store.set_id(Vec::new());
@@ -432,6 +470,7 @@ impl Instance {
                 self.indexes.invalidate(*r);
             }
         }
+        self.stats_epoch += 1;
         // Cascade through relations.
         for set in self.relations.values_mut() {
             let retained: BTreeSet<OValue> =
@@ -538,10 +577,14 @@ impl Instance {
     }
 
     /// Builds the `(r, attr)` secondary index if absent; cheap once built.
-    /// Unknown relations are ignored (there is nothing to index).
+    /// Unknown relations are ignored (there is nothing to index). A fresh
+    /// build changes the statistics picture (a new distinct-count census
+    /// exists), so it bumps the stats epoch.
     pub fn ensure_rel_index(&mut self, r: RelName, attr: AttrName) {
         if let Some(facts) = self.rel_ids.get(&r) {
-            self.indexes.ensure(r, attr, facts, &self.store);
+            if self.indexes.ensure(r, attr, facts, &self.store) {
+                self.stats_epoch += 1;
+            }
         }
     }
 
@@ -553,6 +596,14 @@ impl Instance {
     /// Cardinality statistics for cost-based planning.
     pub fn stats(&self) -> InstanceStats<'_> {
         InstanceStats::new(self)
+    }
+
+    /// The monotone statistics epoch: advances whenever cached cardinality
+    /// estimates (extents, distinct counts, which indexes exist) may have
+    /// gone stale enough to re-plan. A plan computed at epoch `e` stays
+    /// valid while `stats_epoch()` still returns `e`.
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch
     }
 
     /// A read-only view of the interned mirror (ρ, π, ν as ids) that does
@@ -1192,6 +1243,49 @@ mod tests {
             .define_value(o, OValue::tuple([("a", OValue::int(2))]))
             .unwrap());
         assert_eq!(i.value(o), Some(&OValue::tuple([("a", OValue::int(1))])));
+    }
+
+    #[test]
+    fn stats_epoch_tracks_statistics_changes() {
+        let schema = SchemaBuilder::new()
+            .relation("R", TypeExpr::base())
+            .class("P", TypeExpr::set_of(TypeExpr::base()))
+            .build()
+            .unwrap()
+            .into_shared();
+        let r = RelName::new("R");
+        let mut i = Instance::new(schema);
+        assert_eq!(i.stats_epoch(), 0);
+        // The first insert crosses the power-of-two extent boundary at 1.
+        i.insert(r, OValue::int(0)).unwrap();
+        let e1 = i.stats_epoch();
+        assert!(e1 > 0);
+        // A duplicate changes no statistic.
+        assert!(!i.insert(r, OValue::int(0)).unwrap());
+        assert_eq!(i.stats_epoch(), e1);
+        // Extent 2 crosses; extent 3 does not; extent 4 crosses again.
+        i.insert(r, OValue::int(1)).unwrap();
+        let e2 = i.stats_epoch();
+        assert!(e2 > e1);
+        i.insert(r, OValue::int(2)).unwrap();
+        assert_eq!(i.stats_epoch(), e2, "extent 3 is not a crossing");
+        i.insert(r, OValue::int(3)).unwrap();
+        let e3 = i.stats_epoch();
+        assert!(e3 > e2, "extent 4 is a crossing");
+        // A fresh index build is a new distinct-count census; re-ensuring
+        // the same index is not.
+        i.ensure_rel_index(r, AttrName::new("a"));
+        let e4 = i.stats_epoch();
+        assert!(e4 > e3);
+        i.ensure_rel_index(r, AttrName::new("a"));
+        assert_eq!(i.stats_epoch(), e4);
+        // Removal invalidates indexes and shrinks the extent: always a bump.
+        i.remove(r, &OValue::int(0)).unwrap();
+        let e5 = i.stats_epoch();
+        assert!(e5 > e4);
+        // Class extents participate in planning too: the first oid crosses.
+        i.create_oid(ClassName::new("P")).unwrap();
+        assert!(i.stats_epoch() > e5);
     }
 
     #[test]

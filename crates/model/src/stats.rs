@@ -48,4 +48,27 @@ impl<'a> InstanceStats<'a> {
             _ => len,
         })
     }
+
+    /// The instance's statistics epoch — see [`Instance::stats_epoch`].
+    /// Plans (and anything else derived from these statistics) cached at
+    /// epoch `e` stay valid while the epoch still reads `e`.
+    pub fn epoch(&self) -> u64 {
+        self.inst.stats_epoch()
+    }
+}
+
+/// The shared execution runtime's view of these statistics: relations are
+/// handled by name, probe columns are tuple attributes, and distinct
+/// counts exist exactly for built secondary indexes.
+impl iql_exec::Storage for InstanceStats<'_> {
+    type Rel = RelName;
+    type Col = AttrName;
+
+    fn extent(&self, rel: RelName) -> usize {
+        self.relation_len(rel).unwrap_or(0)
+    }
+
+    fn distinct(&self, rel: RelName, col: AttrName) -> Option<usize> {
+        self.attr_distinct(rel, col)
+    }
 }

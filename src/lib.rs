@@ -14,6 +14,9 @@
 //!   inheritance (paper Sections 2, 4.1, 6);
 //! * [`lang`] — the IQL language: parser, type checker, evaluator,
 //!   sublanguage analysis (Sections 3–5);
+//! * [`exec`] — the shared execution runtime both engines compile into:
+//!   the physical-plan IR, the deterministic worker-pool driver, and the
+//!   resource governor;
 //! * [`datalog`] — a standalone relational Datalog engine (naive,
 //!   semi-naive, stratified/inflationary negation) as the rule-language
 //!   baseline;
@@ -30,6 +33,7 @@ pub use iql_algebra as algebra;
 pub use iql_core as lang;
 pub use iql_core::Engine;
 pub use iql_datalog as datalog;
+pub use iql_exec as exec;
 pub use iql_model as model;
 pub use iql_vtree as vtree;
 

@@ -133,6 +133,12 @@ const ENGINE_KNOBS: &[Knob] = &[
         apply: |b, _| Ok(b.planner(false)),
     },
     Knob {
+        flag: "--no-plan-cache",
+        arg: None,
+        help: "re-plan every rule every step instead of caching per stats epoch",
+        apply: |b, _| Ok(b.plan_cache(false)),
+    },
+    Knob {
         flag: "--timeout",
         arg: Some("DUR"),
         help: "wall-clock deadline (2s, 500ms, 1m); prints the partial result on expiry",
@@ -211,6 +217,7 @@ fn real_main() -> Result<ExitCode, String> {
     let mut positional: Vec<&str> = Vec::new();
     let mut full = false;
     let mut stats = false;
+    let mut explain = false;
     let mut builder = EvalConfig::builder();
     let mut it = args.iter();
     'args: while let Some(a) = it.next() {
@@ -228,6 +235,7 @@ fn real_main() -> Result<ExitCode, String> {
         match a.as_str() {
             "--full" => full = true,
             "--stats" => stats = true,
+            "--explain" => explain = true,
             "--help" | "-h" => {
                 print_help();
                 return Ok(ExitCode::SUCCESS);
@@ -344,6 +352,29 @@ fn real_main() -> Result<ExitCode, String> {
                     engine.config().effective_threads()
                 );
             }
+            if explain {
+                eprintln!(
+                    "plans: {} fresh, {} cached (epoch-keyed plan cache {})",
+                    out.report.plans_fresh,
+                    out.report.plans_cached,
+                    if engine.config().use_plan_cache {
+                        "on"
+                    } else {
+                        "off"
+                    }
+                );
+                let mut work = out.full.clone();
+                for (si, stage) in engine.program().stages.iter().enumerate() {
+                    eprintln!("stage {si} (plans at the final statistics epoch):");
+                    for rule in &stage.rules {
+                        eprint!(
+                            "{}",
+                            iql::lang::eval::explain_rule_planned(rule, &mut work, engine.config())
+                                .map_err(|e| e.to_string())?
+                        );
+                    }
+                }
+            }
             match abort {
                 None => Ok(ExitCode::SUCCESS),
                 Some((reason, at_step, elapsed)) => {
@@ -373,6 +404,8 @@ USAGE:
 OPTIONS:
     --full             print the full fixpoint instance, not just the output
     --stats            print evaluation statistics to stderr
+    --explain          after a run, print each rule's plan and the fresh/cached
+                       plan counts to stderr
 
 ENGINE OPTIONS:"
     );

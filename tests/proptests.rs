@@ -8,6 +8,7 @@ use iql::model::types::{ClassMap, EnumUniverse};
 use iql::model::{Oid, OidGen};
 use iql::prelude::*;
 use proptest::prelude::*;
+use proptest::strategy::Strategy;
 use std::collections::{BTreeMap, BTreeSet};
 
 // ---------------------------------------------------------------------
@@ -570,10 +571,11 @@ proptest! {
     fn planner_and_indexes_are_pure_optimizations(
         edges in prop::collection::btree_set((0usize..8, 0usize..8), 1..20)
     ) {
-        // Every cell of the planner×index on/off matrix must produce the
-        // bit-identical EvalOutput — same output facts, same full fixpoint,
-        // same semantic counters. Plan order and probe choice may only
-        // change *how* the valuations are found, never *which*.
+        // Every cell of the planner×index×plan-cache on/off matrix must
+        // produce the bit-identical EvalOutput — same output facts, same
+        // full fixpoint, same semantic counters. Plan order, probe choice,
+        // and plan reuse may only change *how* the valuations are found,
+        // never *which*.
         use iql::lang::programs::{
             graph_to_class_program, parallel_join_program, skewed_join_program,
             transitive_closure_program, unreachable_program,
@@ -638,23 +640,32 @@ proptest! {
             let base = run(prog, input, &EvalConfig::default()).unwrap();
             for planner in [true, false] {
                 for index in [true, false] {
-                    let cfg = EvalConfig::builder().planner(planner).index(index).build();
-                    let arm = run(prog, input, &cfg).unwrap();
-                    prop_assert_eq!(
-                        base.output.ground_facts(),
-                        arm.output.ground_facts(),
-                        "output drift in {} at planner={} index={}", prog, planner, index
-                    );
-                    prop_assert_eq!(
-                        base.full.ground_facts(),
-                        arm.full.ground_facts(),
-                        "full-instance drift in {} at planner={} index={}", prog, planner, index
-                    );
-                    prop_assert_eq!(
-                        base.report.counters(),
-                        arm.report.counters(),
-                        "counter drift in {} at planner={} index={}", prog, planner, index
-                    );
+                    for cache in [true, false] {
+                        let cfg = EvalConfig::builder()
+                            .planner(planner)
+                            .index(index)
+                            .plan_cache(cache)
+                            .build();
+                        let arm = run(prog, input, &cfg).unwrap();
+                        prop_assert_eq!(
+                            base.output.ground_facts(),
+                            arm.output.ground_facts(),
+                            "output drift in {} at planner={} index={} cache={}",
+                            prog, planner, index, cache
+                        );
+                        prop_assert_eq!(
+                            base.full.ground_facts(),
+                            arm.full.ground_facts(),
+                            "full-instance drift in {} at planner={} index={} cache={}",
+                            prog, planner, index, cache
+                        );
+                        prop_assert_eq!(
+                            base.report.counters(),
+                            arm.report.counters(),
+                            "counter drift in {} at planner={} index={} cache={}",
+                            prog, planner, index, cache
+                        );
+                    }
                 }
             }
         }
@@ -783,7 +794,14 @@ proptest! {
                             ),
                             "aborted for a budget that was never set: {:?}", a.reason
                         );
-                        prop_assert!(a.at_step <= max_steps);
+                        // `max_steps` limits each stage; `at_step` counts
+                        // steps across stages, so a later stage can trip
+                        // with a larger cumulative count.
+                        prop_assert!(
+                            a.at_step <= max_steps * prog.stages.len(),
+                            "at_step {} vs per-stage limit {} over {} stages",
+                            a.at_step, max_steps, prog.stages.len()
+                        );
                         (Some(a.reason), gfacts(&a.partial.full))
                     }
                 });
